@@ -1,0 +1,91 @@
+// Command modelardb-bench regenerates the paper's evaluation (§7): one
+// experiment per table and figure, printed as aligned text tables.
+//
+// Usage:
+//
+//	modelardb-bench                      # the full suite, default scale
+//	modelardb-bench -scale quick         # fast smoke run
+//	modelardb-bench -experiments fig14,fig19
+//	modelardb-bench -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"modelardb/internal/harness"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "workload scale: quick or default")
+	experiments := flag.String("experiments", "", "comma-separated experiment ids (default: all)")
+	out := flag.String("out", "", "also write results to this file")
+	epEntities := flag.Int("ep-entities", 0, "override EP entity count")
+	epTicks := flag.Int("ep-ticks", 0, "override EP tick count")
+	ehSeries := flag.Int("eh-series", 0, "override EH series count")
+	ehTicks := flag.Int("eh-ticks", 0, "override EH tick count")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "quick":
+		scale = harness.QuickScale()
+	case "default":
+		scale = harness.DefaultScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	if *epEntities > 0 {
+		scale.EPEntities = *epEntities
+	}
+	if *epTicks > 0 {
+		scale.EPTicks = *epTicks
+	}
+	if *ehSeries > 0 {
+		scale.EHSeries = *ehSeries
+	}
+	if *ehTicks > 0 {
+		scale.EHTicks = *ehTicks
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*experiments, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "ModelarDB+ evaluation harness — scale %s (EP: %d entities x %d ticks, EH: %d series x %d ticks)\n\n",
+		*scaleName, scale.EPEntities, scale.EPTicks, scale.EHSeries, scale.EHTicks)
+	start := time.Now()
+	ran := 0
+	for _, exp := range harness.All() {
+		if len(selected) > 0 && !selected[exp.ID] {
+			continue
+		}
+		expStart := time.Now()
+		table, err := exp.Run(scale)
+		if err != nil {
+			log.Fatalf("%s: %v", exp.ID, err)
+		}
+		table.Notes = append(table.Notes, fmt.Sprintf("experiment wall time: %s", time.Since(expStart).Round(time.Millisecond)))
+		table.Fprint(w)
+		ran++
+	}
+	fmt.Fprintf(w, "ran %d experiments in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}

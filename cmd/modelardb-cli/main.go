@@ -1,0 +1,65 @@
+// Command modelardb-cli is an interactive client for modelardbd: it
+// sends each input line to the server and prints the response.
+//
+// Usage:
+//
+//	modelardb-cli [-addr 127.0.0.1:8989]
+//	echo "SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid" | modelardb-cli
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8989", "modelardbd address")
+	flag.Parse()
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	in := bufio.NewScanner(os.Stdin)
+	out := bufio.NewScanner(conn)
+	out.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		fmt.Fprintln(w, line)
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+		if !printResponse(line, out) {
+			return
+		}
+	}
+}
+
+// printResponse reads one response; queries are multi-line terminated
+// by ".", everything else is a single line.
+func printResponse(request string, out *bufio.Scanner) bool {
+	multi := strings.HasPrefix(strings.ToUpper(request), "SELECT")
+	for out.Scan() {
+		line := out.Text()
+		if multi && line == "." {
+			return true
+		}
+		fmt.Println(line)
+		if !multi || strings.HasPrefix(line, "ERR ") {
+			return true
+		}
+	}
+	return false
+}

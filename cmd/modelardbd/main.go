@@ -1,0 +1,204 @@
+// Command modelardbd runs a ModelarDB server: it opens a database from
+// a configuration file, optionally bulk loads a CSV file, and serves a
+// line-oriented protocol over TCP:
+//
+//	SELECT ...                 run a SQL query; response is one header
+//	                           line, one tab-separated line per row and
+//	                           a terminating "." line
+//	APPEND <tid> <ts> <value>  ingest one data point
+//	FLUSH                      finalize buffered data points
+//	STATS                      report database statistics
+//	QUIT                       close the connection
+//
+// Errors are reported as "ERR <message>" lines.
+//
+// Usage:
+//
+//	modelardbd -config wind.conf [-data /var/lib/modelardb] \
+//	           [-load data.csv] [-listen 127.0.0.1:8989]
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"modelardb"
+	"modelardb/internal/config"
+)
+
+func main() {
+	configPath := flag.String("config", "", "configuration file (required)")
+	dataDir := flag.String("data", "", "storage directory; empty = in-memory")
+	load := flag.String("load", "", "CSV file (tid,ts,value) to bulk load at startup")
+	listen := flag.String("listen", "127.0.0.1:8989", "listen address")
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath, *dataDir, *load, *listen); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(configPath, dataDir, load, listen string) error {
+	f, err := os.Open(configPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := config.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cfg.Path = dataDir
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if load != "" {
+		n, err := loadCSV(db, load)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", load, err)
+		}
+		log.Printf("loaded %d data points from %s", n, load)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("modelardbd listening on %s (series=%d groups=%d)",
+		ln.Addr(), db.NumSeries(), len(db.Groups()))
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serve(db, conn)
+	}
+}
+
+// loadCSV ingests a tid,ts,value file.
+func loadCSV(db *modelardb.DB, path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReaderSize(f, 1<<20))
+	r.ReuseRecord = true
+	var n int64
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if len(rec) != 3 {
+			return n, fmt.Errorf("row %d has %d fields, want tid,ts,value", n+1, len(rec))
+		}
+		tid, err := strconv.Atoi(rec[0])
+		if err != nil {
+			continue // header row
+		}
+		ts, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return n, err
+		}
+		v, err := strconv.ParseFloat(rec[2], 32)
+		if err != nil {
+			return n, err
+		}
+		if err := db.Append(modelardb.Tid(tid), ts, float32(v)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, db.Flush()
+}
+
+func serve(db *modelardb.DB, conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+		handle(db, w, line)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func handle(db *modelardb.DB, w *bufio.Writer, line string) {
+	verb := strings.ToUpper(strings.Fields(line)[0])
+	switch verb {
+	case "SELECT":
+		res, err := db.Query(line)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = fmt.Sprint(v)
+			}
+			fmt.Fprintln(w, strings.Join(cells, "\t"))
+		}
+		fmt.Fprintln(w, ".")
+	case "APPEND":
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			fmt.Fprintln(w, "ERR usage: APPEND <tid> <ts> <value>")
+			return
+		}
+		tid, err1 := strconv.Atoi(fields[1])
+		ts, err2 := strconv.ParseInt(fields[2], 10, 64)
+		v, err3 := strconv.ParseFloat(fields[3], 32)
+		if err1 != nil || err2 != nil || err3 != nil {
+			fmt.Fprintln(w, "ERR usage: APPEND <tid> <ts> <value>")
+			return
+		}
+		if err := db.Append(modelardb.Tid(tid), ts, float32(v)); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "FLUSH":
+		if err := db.Flush(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "STATS":
+		st, err := db.Stats()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "OK series=%d groups=%d segments=%d bytes=%d points=%d\n",
+			st.Series, st.Groups, st.Segments, st.StorageBytes, st.DataPoints)
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", verb)
+	}
+}

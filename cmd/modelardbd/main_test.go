@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modelardb"
+)
+
+func testDB(t *testing.T) *modelardb.DB {
+	t.Helper()
+	db, err := modelardb.Open(modelardb.Config{
+		ErrorBound: modelardb.RelBound(0),
+		Dimensions: []modelardb.Dimension{{Name: "Location", Levels: []string{"Park"}}},
+		Series: []modelardb.SeriesConfig{
+			{SI: 1000, Members: map[string][]string{"Location": {"A"}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func send(t *testing.T, db *modelardb.DB, line string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	handle(db, w, line)
+	w.Flush()
+	return buf.String()
+}
+
+func TestHandleAppendFlushStats(t *testing.T) {
+	db := testDB(t)
+	for i := 0; i < 3; i++ {
+		out := send(t, db, "APPEND 1 "+strings.Repeat("0", 1)+" 5")
+		_ = out
+	}
+	if out := send(t, db, "APPEND 1 1000 5"); out != "OK\n" {
+		t.Fatalf("APPEND = %q", out)
+	}
+	if out := send(t, db, "FLUSH"); out != "OK\n" {
+		t.Fatalf("FLUSH = %q", out)
+	}
+	out := send(t, db, "STATS")
+	if !strings.HasPrefix(out, "OK series=1 groups=1") {
+		t.Fatalf("STATS = %q", out)
+	}
+}
+
+func TestHandleSelect(t *testing.T) {
+	db := testDB(t)
+	send(t, db, "APPEND 1 0 5")
+	send(t, db, "APPEND 1 1000 5")
+	send(t, db, "FLUSH")
+	out := send(t, db, "SELECT SUM_S(*) FROM Segment")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || lines[0] != "SUM_S(*)" || lines[1] != "10" || lines[2] != "." {
+		t.Fatalf("SELECT = %q", out)
+	}
+}
+
+func TestHandleErrors(t *testing.T) {
+	db := testDB(t)
+	cases := []string{
+		"APPEND 1 2",    // arity
+		"APPEND x y z",  // types
+		"APPEND 99 0 1", // unknown tid
+		"SELECT Nope FROM Segment",
+		"BOGUS",
+	}
+	for _, line := range cases {
+		if out := send(t, db, line); !strings.HasPrefix(out, "ERR ") {
+			t.Errorf("handle(%q) = %q, want ERR", line, out)
+		}
+	}
+}
+
+func TestLoadCSVFile(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := os.WriteFile(path, []byte("tid,ts,value\n1,0,2\n1,1000,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := loadCSV(db, path)
+	if err != nil || n != 2 {
+		t.Fatalf("loadCSV = %d, %v", n, err)
+	}
+	out := send(t, db, "SELECT COUNT_S(*) FROM Segment")
+	if !strings.Contains(out, "\n2\n") {
+		t.Fatalf("count after load = %q", out)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(path, []byte("1,0\n"), 0o644)
+	if _, err := loadCSV(db, path); err == nil {
+		t.Fatal("short row must fail")
+	}
+	if _, err := loadCSV(db, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -1,0 +1,108 @@
+// Command tsgen generates the synthetic EP- and EH-like data sets used
+// by the evaluation (§7.2 analogues) as a CSV file of data points plus
+// a modelardbd configuration file declaring the dimensions and series,
+// so a generated data set can be served directly:
+//
+//	tsgen -kind ep -entities 24 -ticks 4000 -out ./ep
+//	modelardbd -config ./ep/modelardb.conf -load ./ep/data.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"modelardb/internal/core"
+	"modelardb/internal/tsgen"
+)
+
+func main() {
+	kind := flag.String("kind", "ep", "data set kind: ep or eh")
+	entities := flag.Int("entities", 24, "EP: number of entities (4 series each)")
+	series := flag.Int("series", 16, "EH: number of series")
+	ticks := flag.Int("ticks", 4000, "sampling intervals to generate")
+	seed := flag.Int64("seed", 42, "random seed")
+	gap := flag.Float64("gap", 0.0005, "per-tick probability of a series entering a gap")
+	out := flag.String("out", ".", "output directory")
+	errorBound := flag.Float64("error-bound", 5, "error bound percent written to the config")
+	flag.Parse()
+
+	var d *tsgen.Dataset
+	var clauses []string
+	switch strings.ToLower(*kind) {
+	case "ep":
+		d = tsgen.EP(tsgen.EPConfig{Entities: *entities, Ticks: *ticks, Seed: *seed, GapRate: *gap})
+		clauses = []string{
+			"Production 0, Measure 1 Production",
+			"Production 0, Measure 1 Temperature",
+		}
+	case "eh":
+		d = tsgen.EH(tsgen.EHConfig{Series: *series, Ticks: *ticks, Seed: *seed, GapRate: *gap})
+		clauses = []string{"0.16666667"}
+	default:
+		log.Fatalf("unknown kind %q (want ep or eh)", *kind)
+	}
+	if err := write(d, clauses, *out, *errorBound); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func write(d *tsgen.Dataset, clauses []string, dir string, errorBound float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	conf, err := os.Create(filepath.Join(dir, "modelardb.conf"))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(conf)
+	fmt.Fprintf(w, "# Generated %s data set: %d series, %d ticks, SI %d ms.\n",
+		d.Name, len(d.Series), d.Ticks, d.SI)
+	fmt.Fprintf(w, "error_bound %g\n", errorBound)
+	for _, dim := range d.Dimensions {
+		fmt.Fprintf(w, "dimension %s %s\n", dim.Name, strings.Join(dim.Levels, " "))
+	}
+	for _, c := range clauses {
+		fmt.Fprintf(w, "correlation %s\n", c)
+	}
+	for _, s := range d.Series {
+		fmt.Fprintf(w, "series %s %d", s.Source, s.SI)
+		for _, dim := range d.Dimensions {
+			fmt.Fprintf(w, " %s=%s", dim.Name, strings.Join(s.Members[dim.Name], "/"))
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := conf.Close(); err != nil {
+		return err
+	}
+
+	data, err := os.Create(filepath.Join(dir, "data.csv"))
+	if err != nil {
+		return err
+	}
+	dw := bufio.NewWriterSize(data, 1<<20)
+	var points int64
+	err = d.Points(func(p core.DataPoint) error {
+		points++
+		_, err := fmt.Fprintf(dw, "%d,%d,%g\n", p.Tid, p.TS, p.Value)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if err := dw.Flush(); err != nil {
+		return err
+	}
+	if err := data.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d series and %d data points to %s", len(d.Series), points, dir)
+	return nil
+}

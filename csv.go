@@ -1,0 +1,82 @@
+package modelardb
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// LoadCSV ingests data points from a CSV stream with rows of
+// tid,timestamp-ms,value (a header row is skipped if present). Points
+// must be ordered as Append requires: non-decreasing ticks per group.
+// It returns the number of points ingested; the caller should Flush
+// when the load is complete.
+func (db *DB) LoadCSV(r io.Reader) (int64, error) {
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
+	cr.ReuseRecord = true
+	var n int64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("modelardb: csv: %w", err)
+		}
+		if len(rec) != 3 {
+			return n, fmt.Errorf("modelardb: csv row %d has %d fields, want tid,ts,value", n+1, len(rec))
+		}
+		tid, err := strconv.Atoi(rec[0])
+		if err != nil {
+			if n == 0 {
+				continue // header row
+			}
+			return n, fmt.Errorf("modelardb: csv row %d: bad tid %q", n+1, rec[0])
+		}
+		ts, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return n, fmt.Errorf("modelardb: csv row %d: bad timestamp %q", n+1, rec[1])
+		}
+		v, err := strconv.ParseFloat(rec[2], 32)
+		if err != nil {
+			return n, fmt.Errorf("modelardb: csv row %d: bad value %q", n+1, rec[2])
+		}
+		if err := db.Append(Tid(tid), ts, float32(v)); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// WriteCSV writes the reconstructed data points of the given series
+// (all series when tids is empty) as tid,ts,value rows, ordered by the
+// store's (Gid, EndTime) scan order. It is the export counterpart of
+// LoadCSV.
+func (db *DB) WriteCSV(w io.Writer, tids ...Tid) (int64, error) {
+	sql := "SELECT Tid, TS, Value FROM DataPoint"
+	if len(tids) > 0 {
+		sql += " WHERE Tid IN ("
+		for i, tid := range tids {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += strconv.Itoa(int(tid))
+		}
+		sql += ")"
+	}
+	res, err := db.Query(sql)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, row := range res.Rows {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%g\n", row[0].(int64), row[1].(int64), row[2].(float64)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}

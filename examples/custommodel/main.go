@@ -1,0 +1,188 @@
+// Custommodel: the user-defined model extension API (§3.1 — "users can
+// optionally implement more models through an extension API without
+// recompiling ModelarDB"). The example registers a two-segment
+// piecewise-constant "Step" model that captures level shifts a single
+// PMC model would reject, and shows the ingestion pipeline picking it
+// when it compresses best.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"modelardb"
+)
+
+// stepType is a user-defined ModelType: a constant level that may
+// switch once to a second level. Parameters: both levels as float32
+// plus the switch index as uint16.
+type stepType struct{}
+
+func (stepType) MID() modelardb.MID { return modelardb.MID(80) }
+func (stepType) Name() string       { return "Step" }
+
+func (stepType) New(bound modelardb.ErrorBound, nseries int) modelardb.Model {
+	return &stepModel{bound: bound}
+}
+
+func (stepType) View(params []byte, nseries, length int) (modelardb.AggView, error) {
+	if len(params) != 10 {
+		return nil, fmt.Errorf("step: parameters must be 10 bytes, got %d", len(params))
+	}
+	return &stepView{
+		a:       math.Float32frombits(binary.LittleEndian.Uint32(params[0:4])),
+		b:       math.Float32frombits(binary.LittleEndian.Uint32(params[4:8])),
+		switch_: int(binary.LittleEndian.Uint16(params[8:10])),
+		n:       nseries,
+		l:       length,
+	}, nil
+}
+
+type stepModel struct {
+	bound   modelardb.ErrorBound
+	a, b    float64
+	switch_ int // first index at level b; == length while on level a
+	length  int
+	onB     bool
+}
+
+func (m *stepModel) Append(values []float32) bool {
+	lo, hi := math.Inf(-1), math.Inf(1)
+	for _, v := range values {
+		l, h := m.bound.Interval(float64(v))
+		lo, hi = math.Max(lo, l), math.Min(hi, h)
+	}
+	if lo > hi {
+		return false
+	}
+	level := &m.a
+	if m.onB {
+		level = &m.b
+	}
+	switch {
+	case m.length == 0:
+		m.a = (lo + hi) / 2
+	case *level >= lo && *level <= hi:
+		// Current level still fits.
+	case !m.onB:
+		// First level broke: switch to the second level.
+		m.onB = true
+		m.switch_ = m.length
+		m.b = (lo + hi) / 2
+	default:
+		return false
+	}
+	m.length++
+	return true
+}
+
+func (m *stepModel) Length() int { return m.length }
+
+func (m *stepModel) Bytes(length int) ([]byte, error) {
+	if length < 1 || length > m.length {
+		return nil, fmt.Errorf("step: Bytes(%d) outside [1, %d]", length, m.length)
+	}
+	sw := m.switch_
+	if !m.onB || sw > length {
+		sw = length
+	}
+	out := make([]byte, 10)
+	binary.LittleEndian.PutUint32(out[0:4], math.Float32bits(float32(m.a)))
+	binary.LittleEndian.PutUint32(out[4:8], math.Float32bits(float32(m.b)))
+	binary.LittleEndian.PutUint16(out[8:10], uint16(sw))
+	return out, nil
+}
+
+type stepView struct {
+	a, b    float32
+	switch_ int
+	n, l    int
+}
+
+func (v *stepView) Length() int    { return v.l }
+func (v *stepView) NumSeries() int { return v.n }
+
+func (v *stepView) ValueAt(series, i int) float32 {
+	if i < v.switch_ {
+		return v.a
+	}
+	return v.b
+}
+
+func (v *stepView) SumRange(series, i0, i1 int) float64 {
+	sum := 0.0
+	for i := i0; i <= i1; i++ {
+		sum += float64(v.ValueAt(series, i))
+	}
+	return sum
+}
+
+func (v *stepView) MinRange(series, i0, i1 int) float64 {
+	mn := float64(v.ValueAt(series, i0))
+	for i := i0 + 1; i <= i1; i++ {
+		mn = math.Min(mn, float64(v.ValueAt(series, i)))
+	}
+	return mn
+}
+
+func (v *stepView) MaxRange(series, i0, i1 int) float64 {
+	mx := float64(v.ValueAt(series, i0))
+	for i := i0 + 1; i <= i1; i++ {
+		mx = math.Max(mx, float64(v.ValueAt(series, i)))
+	}
+	return mx
+}
+
+func main() {
+	db, err := modelardb.Open(modelardb.Config{
+		ErrorBound: modelardb.RelBound(1),
+		Dimensions: []modelardb.Dimension{
+			{Name: "Location", Levels: []string{"Park"}},
+		},
+		Series: []modelardb.SeriesConfig{
+			{SI: 1000, Members: map[string][]string{"Location": {"Aalborg"}}},
+		},
+		// The extension API: Step is tried after PMC, Swing and Gorilla.
+		Models: []modelardb.ModelType{stepType{}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A noisy square wave: constant runs with level shifts every 20
+	// ticks plus measurement noise inside the error bound. A single PMC
+	// or Swing model breaks at each shift; Gorilla stores every noisy
+	// mantissa; the Step model represents two runs with 10 bytes.
+	rng := rand.New(rand.NewSource(1))
+	for tick := 0; tick < 400; tick++ {
+		level := 10.0
+		if (tick/20)%2 == 1 {
+			level = 55
+		}
+		level += rng.Float64()*0.08 - 0.04 // noise within the 1% bound
+		if err := db.Append(1, int64(tick)*1000, float32(level)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	usage, err := db.ModelUsage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model usage with the user-defined Step model: %v\n", usage)
+
+	res, err := db.Query("SELECT MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregates on mixed builtin + user-defined models: %v %v\n", res.Columns, res.Rows[0])
+	stats, _ := db.Stats()
+	fmt.Printf("storage: %d bytes for %d points\n", stats.StorageBytes, stats.DataPoints)
+}

@@ -1,0 +1,73 @@
+// Quickstart: open an in-memory ModelarDB, ingest two correlated
+// sensors, and run aggregate queries on models through the Segment
+// View.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"modelardb"
+)
+
+func main() {
+	db, err := modelardb.Open(modelardb.Config{
+		// Reconstructed values may deviate up to 1% from the ingested
+		// values; 0 would make storage lossless.
+		ErrorBound: modelardb.RelBound(1),
+		Dimensions: []modelardb.Dimension{
+			{Name: "Location", Levels: []string{"Park", "Turbine"}},
+		},
+		// Series in the same park are correlated and compressed
+		// together with one model per segment (MMGC).
+		Correlations: []string{"Location 1"},
+		Series: []modelardb.SeriesConfig{
+			{SI: 1000, Members: map[string][]string{"Location": {"Aalborg", "T1"}}},
+			{SI: 1000, Members: map[string][]string{"Location": {"Aalborg", "T2"}}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Ingest one hour of 1 Hz temperature-like data for both turbines.
+	for tick := 0; tick < 3600; tick++ {
+		ts := int64(tick) * 1000
+		base := 20 + 5*math.Sin(float64(tick)/600)
+		if err := db.Append(1, ts, float32(base)); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Append(2, ts, float32(base+0.1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := stats.DataPoints * 16
+	fmt.Printf("ingested %d points; stored %d bytes (raw %d, %.1fx compression)\n",
+		stats.DataPoints, stats.StorageBytes, raw, float64(raw)/float64(stats.StorageBytes))
+
+	for _, sql := range []string{
+		"SELECT Tid, MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+		"SELECT Turbine, CUBE_SUM_MINUTE(*) FROM Segment GROUP BY Turbine ORDER BY Turbine LIMIT 4",
+		"SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS BETWEEN 5000 AND 8000",
+	} {
+		res, err := db.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", sql)
+		fmt.Println(res.Columns)
+		for _, row := range res.Rows {
+			fmt.Println(row)
+		}
+	}
+}

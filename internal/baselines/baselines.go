@@ -1,0 +1,150 @@
+// Package baselines implements the comparator systems of the paper's
+// evaluation (§7.1) as single-process stand-ins that preserve each
+// system's storage layout and query trade-offs:
+//
+//   - RowStore for Apache Cassandra: one partition per Tid, rows of
+//     (TS, Value, denormalized dimensions) in lightly compressed
+//     blocks; every query is a full decode of the matching partitions.
+//   - ColumnStore for Apache Parquet and ORC: per-Tid row groups with
+//     independently compressed column chunks, so single-column
+//     aggregates prune unread columns; the ORC variant adds run-length
+//     encoding, a dimension dictionary and per-chunk min/max statistics
+//     for scan skipping.
+//   - TSDB for InfluxDB: per-series chunks with delta-of-delta
+//     timestamps and Gorilla-compressed values, dimensions stored once
+//     per series in the index; time-window aggregation only.
+//
+// All systems (and adapters wrapping ModelarDB itself, so v1/v2 run
+// through the same harness) implement the System interface the
+// benchmark harness measures.
+package baselines
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"modelardb/internal/core"
+)
+
+// System is the uniform surface the harness measures: ingestion,
+// storage footprint and the paper's four query classes (L-AGG/S-AGG
+// via SumAll/SumSeries, P/R via ScanRange, M-AGG via MonthlySum).
+type System interface {
+	Name() string
+	// Append ingests one data point.
+	Append(p core.DataPoint) error
+	// Flush persists buffered data.
+	Flush() error
+	// SizeBytes is the stored size of all data.
+	SizeBytes() (int64, error)
+	// SumAll aggregates every stored point (L-AGG).
+	SumAll() (sum float64, count int64, err error)
+	// SumSeries aggregates one series (S-AGG).
+	SumSeries(tid core.Tid) (sum float64, count int64, err error)
+	// ScanRange iterates one series' points in [from, to] (P/R).
+	ScanRange(tid core.Tid, from, to int64, fn func(core.DataPoint) error) error
+	// MonthlySum computes sum per (group member, month start) over the
+	// series matching the filter (M-AGG). With perTid the group key is
+	// "member/Tid".
+	MonthlySum(filter MemberFilter, group MemberRef, perTid bool) (map[string]map[int64]float64, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemberFilter restricts series by a dimension member; the zero value
+// matches everything.
+type MemberFilter struct {
+	Dimension string
+	Level     int
+	Member    string
+}
+
+// Matches reports whether a series passes the filter.
+func (f MemberFilter) Matches(ts *core.TimeSeries) bool {
+	if f.Dimension == "" {
+		return true
+	}
+	return ts.Member(f.Dimension, f.Level) == f.Member
+}
+
+// MemberRef names the dimension level M-AGG groups by.
+type MemberRef struct {
+	Dimension string
+	Level     int
+}
+
+// monthlyKey renders the M-AGG group key.
+func monthlyKey(ts *core.TimeSeries, group MemberRef, perTid bool) string {
+	key := ts.Member(group.Dimension, group.Level)
+	if perTid {
+		key = fmt.Sprintf("%s/%d", key, ts.Tid)
+	}
+	return key
+}
+
+// monthStart truncates a timestamp to its UTC month.
+func monthStart(ts int64) int64 {
+	t := time.UnixMilli(ts).UTC()
+	return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+}
+
+// dimString renders the denormalized dimension members appended to
+// every data point for the row- and column-oriented formats (§7.3:
+// "the denormalized dimensions are appended to the data points").
+func dimString(ts *core.TimeSeries) string {
+	names := make([]string, 0, len(ts.Members))
+	for name := range ts.Members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		sb.WriteString(strings.Join(ts.Members[name], "|"))
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// deflate compresses data with the given flate level; level 1 mimics
+// fast block compression (Cassandra LZ4, Parquet Snappy), level 6
+// stronger codecs (ORC zlib).
+func deflate(data []byte, level int) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		panic(err) // only fails for invalid levels
+	}
+	if _, err := w.Write(data); err != nil {
+		panic(err)
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// inflate decompresses deflate output.
+func inflate(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: inflate: %w", err)
+	}
+	return out, nil
+}
+
+// sortedTids returns the Tids of a memtable map in ascending order.
+func sortedTids[T any](m map[core.Tid]T) []core.Tid {
+	tids := make([]core.Tid, 0, len(m))
+	for tid := range m {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	return tids
+}

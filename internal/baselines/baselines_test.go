@@ -1,0 +1,306 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"modelardb"
+	"modelardb/internal/core"
+)
+
+// testMeta builds metadata for four series in two parks, two
+// categories.
+func testMeta(t *testing.T) *core.MetadataCache {
+	t.Helper()
+	meta := core.NewMetadataCache()
+	specs := []struct {
+		park, cat string
+	}{
+		{"Aalborg", "Production"},
+		{"Aalborg", "Temperature"},
+		{"Farsø", "Production"},
+		{"Farsø", "Temperature"},
+	}
+	for i, sp := range specs {
+		err := meta.Add(&core.TimeSeries{
+			Tid: core.Tid(i + 1), SI: 1000,
+			Members: map[string][]string{
+				"Location": {sp.park},
+				"Measure":  {sp.cat},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := meta.SetGroup(core.Tid(i+1), core.Gid(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return meta
+}
+
+// fill ingests a deterministic workload: tick-major, value =
+// tid*1000 + tick%100, ticks spanning two calendar months.
+const fillTicks = 3000
+
+// monthTS maps tick to a timestamp: first half in January 2020, the
+// rest in February 2020.
+func monthTS(tick int) int64 {
+	const jan1 = 1577836800000 // 2020-01-01T00:00:00Z
+	const feb1 = 1580515200000 // 2020-02-01T00:00:00Z
+	if tick < fillTicks/2 {
+		return jan1 + int64(tick)*1000
+	}
+	return feb1 + int64(tick-fillTicks/2)*1000
+}
+
+func fill(t *testing.T, s System, nseries int) {
+	t.Helper()
+	for tick := 0; tick < fillTicks; tick++ {
+		for tid := 1; tid <= nseries; tid++ {
+			p := core.DataPoint{
+				Tid:   core.Tid(tid),
+				TS:    monthTS(tick),
+				Value: float32(tid*1000 + tick%100),
+			}
+			if err := s.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectedSeriesSum(tid int) float64 {
+	sum := 0.0
+	for tick := 0; tick < fillTicks; tick++ {
+		sum += float64(tid*1000 + tick%100)
+	}
+	return sum
+}
+
+// systems builds every System implementation over the same logical
+// data set.
+func systems(t *testing.T) []System {
+	t.Helper()
+	meta := testMeta(t)
+	mdbCfg := modelardb.Config{
+		ErrorBound: modelardb.RelBound(0),
+		Dimensions: []modelardb.Dimension{
+			{Name: "Location", Levels: []string{"Park"}},
+			{Name: "Measure", Levels: []string{"Category"}},
+		},
+		Series: []modelardb.SeriesConfig{
+			{SI: 1000, Members: map[string][]string{"Location": {"Aalborg"}, "Measure": {"Production"}}},
+			{SI: 1000, Members: map[string][]string{"Location": {"Aalborg"}, "Measure": {"Temperature"}}},
+			{SI: 1000, Members: map[string][]string{"Location": {"Farsø"}, "Measure": {"Production"}}},
+			{SI: 1000, Members: map[string][]string{"Location": {"Farsø"}, "Measure": {"Temperature"}}},
+		},
+	}
+	db, err := modelardb.Open(mdbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []System{
+		NewRowStore(meta, 256),
+		NewColumnStore(meta, VariantParquet, 512),
+		NewColumnStore(meta, VariantORC, 512),
+		NewTSDB(meta, 256),
+		WrapMDB("ModelarDBv2", db),
+	}
+}
+
+func TestAllSystemsSumQueries(t *testing.T) {
+	for _, s := range systems(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			fill(t, s, 4)
+			wantTotal := 0.0
+			for tid := 1; tid <= 4; tid++ {
+				wantTotal += expectedSeriesSum(tid)
+			}
+			sum, count, err := s.SumAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != 4*fillTicks {
+				t.Fatalf("count = %d, want %d", count, 4*fillTicks)
+			}
+			if math.Abs(sum-wantTotal) > 1e-6*wantTotal {
+				t.Fatalf("sum = %g, want %g", sum, wantTotal)
+			}
+			sum, count, err = s.SumSeries(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != fillTicks || math.Abs(sum-expectedSeriesSum(2)) > 1e-6*expectedSeriesSum(2) {
+				t.Fatalf("series 2 sum = %g (%d), want %g (%d)", sum, count, expectedSeriesSum(2), fillTicks)
+			}
+		})
+	}
+}
+
+func TestAllSystemsScanRange(t *testing.T) {
+	for _, s := range systems(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			fill(t, s, 4)
+			from, to := monthTS(10), monthTS(19)
+			var got []core.DataPoint
+			err := s.ScanRange(3, from, to, func(p core.DataPoint) error {
+				got = append(got, p)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 10 {
+				t.Fatalf("points = %d, want 10", len(got))
+			}
+			for i, p := range got {
+				if p.TS != monthTS(10+i) {
+					t.Fatalf("ts = %d, want %d", p.TS, monthTS(10+i))
+				}
+				want := float32(3*1000 + (10+i)%100)
+				if p.Value != want {
+					t.Fatalf("value = %g, want %g", p.Value, want)
+				}
+			}
+		})
+	}
+}
+
+func TestAllSystemsMonthlySum(t *testing.T) {
+	for _, s := range systems(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			fill(t, s, 4)
+			res, err := s.MonthlySum(
+				MemberFilter{Dimension: "Measure", Level: 1, Member: "Production"},
+				MemberRef{Dimension: "Location", Level: 1},
+				false,
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Production series: 1 (Aalborg) and 3 (Farsø).
+			if len(res) != 2 {
+				t.Fatalf("groups = %v, want Aalborg and Farsø", res)
+			}
+			for key, tidVal := range map[string]int{"Aalborg": 1, "Farsø": 3} {
+				buckets := res[key]
+				if len(buckets) != 2 {
+					t.Fatalf("%s buckets = %v, want 2 months", key, buckets)
+				}
+				total := 0.0
+				for _, v := range buckets {
+					total += v
+				}
+				want := expectedSeriesSum(tidVal)
+				if math.Abs(total-want) > 1e-6*want {
+					t.Fatalf("%s total = %g, want %g", key, total, want)
+				}
+			}
+		})
+	}
+}
+
+func TestAllSystemsMonthlySumPerTid(t *testing.T) {
+	for _, s := range systems(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			fill(t, s, 4)
+			res, err := s.MonthlySum(MemberFilter{}, MemberRef{Dimension: "Location", Level: 1}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 4 {
+				t.Fatalf("groups = %d, want 4 (per tid)", len(res))
+			}
+			if _, ok := res["Aalborg/1"]; !ok {
+				t.Fatalf("keys = %v, want Aalborg/1", keysOf(res))
+			}
+		})
+	}
+}
+
+func keysOf(m map[string]map[int64]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSizesBytesPositiveAndOrdered(t *testing.T) {
+	// The redundant-dimensions formats must store more than the
+	// index-based TSDB on the same data.
+	var sizes = map[string]int64{}
+	for _, s := range systems(t) {
+		fill(t, s, 4)
+		size, err := s.SizeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size <= 0 {
+			t.Fatalf("%s size = %d", s.Name(), size)
+		}
+		sizes[s.Name()] = size
+		s.Close()
+	}
+	if sizes["InfluxDB-like"] >= sizes["Cassandra-like"] {
+		t.Fatalf("sizes = %v: TSDB must beat the row store", sizes)
+	}
+	if sizes["ORC-like"] >= sizes["Parquet-like"] {
+		t.Fatalf("sizes = %v: ORC must beat Parquet (RLE + dictionary)", sizes)
+	}
+}
+
+func TestMemtableVisibleBeforeFlush(t *testing.T) {
+	// Row store and TSDB support online analytics: queries must see
+	// unflushed points.
+	meta := testMeta(t)
+	for _, s := range []System{NewRowStore(meta, 1024), NewTSDB(meta, 1024)} {
+		s.Append(core.DataPoint{Tid: 1, TS: 0, Value: 5})
+		sum, count, err := s.SumSeries(1)
+		if err != nil || count != 1 || sum != 5 {
+			t.Fatalf("%s: sum=%g count=%d err=%v", s.Name(), sum, count, err)
+		}
+		s.Close()
+	}
+}
+
+func TestColumnStoreORCSkipsChunks(t *testing.T) {
+	meta := testMeta(t)
+	s := NewColumnStore(meta, VariantORC, 64)
+	fill(t, s, 1)
+	count := 0
+	err := s.ScanRange(1, monthTS(0), monthTS(63), func(p core.DataPoint) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 64 {
+		t.Fatalf("count = %d, want 64", count)
+	}
+}
+
+func TestDeflateInflateRoundTrip(t *testing.T) {
+	data := []byte("hello hello hello hello compressible data")
+	for _, level := range []int{1, 6} {
+		out, err := inflate(deflate(data, level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(data) {
+			t.Fatalf("round trip changed data at level %d", level)
+		}
+	}
+	if _, err := inflate([]byte{0x42}); err == nil {
+		t.Fatal("inflate of garbage must fail")
+	}
+}

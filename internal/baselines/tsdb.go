@@ -1,0 +1,287 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"modelardb/internal/core"
+	"modelardb/internal/models"
+)
+
+// TSDB is the InfluxDB stand-in: a single-node time series database
+// with per-series chunks of delta-of-delta timestamps and
+// Gorilla-compressed values. Dimensions live in the series index (like
+// InfluxDB tags), not in the data, so its compression is far better
+// than the row/column formats — but, matching §7.1 and §7.3, it is
+// single-node only and supports only fixed time windows, not the
+// calendar roll-ups ModelarDB's CUBE_* functions provide.
+type TSDB struct {
+	meta      *core.MetadataCache
+	chunkRows int
+	memtable  map[core.Tid][]core.DataPoint
+	chunks    map[core.Tid][]tsdbChunk
+	// index maps the rendered series key (measurement + tag set) to the
+	// series, resolved on every write like InfluxDB's tag index.
+	index map[string]core.Tid
+	wal   []byte
+	size  int64
+}
+
+type tsdbChunk struct {
+	count        int
+	minTS, maxTS int64
+	tsData       []byte // delta-of-delta varints
+	valueData    []byte // Gorilla stream
+}
+
+// NewTSDB returns an empty store. chunkRows <= 0 selects 1024.
+func NewTSDB(meta *core.MetadataCache, chunkRows int) *TSDB {
+	if chunkRows <= 0 {
+		chunkRows = 1024
+	}
+	return &TSDB{
+		meta:      meta,
+		chunkRows: chunkRows,
+		memtable:  make(map[core.Tid][]core.DataPoint),
+		chunks:    make(map[core.Tid][]tsdbChunk),
+		index:     make(map[string]core.Tid),
+	}
+}
+
+// Name implements System.
+func (s *TSDB) Name() string { return "InfluxDB-like" }
+
+// Append implements System. Each write renders and resolves the series
+// key against the tag index and appends to a write-ahead log, the
+// per-point work that makes InfluxDB one of the slower ingesters in
+// Fig. 13 (it is built to be queried during ingestion, not bulk
+// loaded).
+func (s *TSDB) Append(p core.DataPoint) error {
+	ts, err := s.meta.Series(p.Tid)
+	if err != nil {
+		return err
+	}
+	key := dimString(ts)
+	if _, ok := s.index[key]; !ok {
+		s.index[key] = p.Tid
+	}
+	var rec [12]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(p.TS))
+	binary.LittleEndian.PutUint32(rec[8:12], math.Float32bits(p.Value))
+	s.wal = append(s.wal, key...)
+	s.wal = append(s.wal, rec[:]...)
+	if len(s.wal) >= 1<<20 {
+		s.wal = s.wal[:0] // WAL segment rotation
+	}
+	s.memtable[p.Tid] = append(s.memtable[p.Tid], p)
+	if len(s.memtable[p.Tid]) >= s.chunkRows {
+		return s.flushTid(p.Tid)
+	}
+	return nil
+}
+
+func (s *TSDB) flushTid(tid core.Tid) error {
+	rows := s.memtable[tid]
+	if len(rows) == 0 {
+		return nil
+	}
+	chunk := tsdbChunk{count: len(rows), minTS: rows[0].TS, maxTS: rows[len(rows)-1].TS}
+	// Timestamps: delta-of-delta; regular series encode each step as 0.
+	var tmp [binary.MaxVarintLen64]byte
+	var tsRaw []byte
+	prevTS, prevDelta := int64(0), int64(0)
+	for i, p := range rows {
+		var v int64
+		switch i {
+		case 0:
+			v = p.TS
+		default:
+			delta := p.TS - prevTS
+			v = delta - prevDelta
+			prevDelta = delta
+		}
+		n := binary.PutVarint(tmp[:], v)
+		tsRaw = append(tsRaw, tmp[:n]...)
+		prevTS = p.TS
+		if p.TS < chunk.minTS {
+			chunk.minTS = p.TS
+		}
+		if p.TS > chunk.maxTS {
+			chunk.maxTS = p.TS
+		}
+	}
+	chunk.tsData = tsRaw
+	// Values: the same Gorilla XOR compression ModelarDB ships,
+	// applied per series.
+	m := models.GorillaType{}.New(models.RelBound(0), 1)
+	one := make([]float32, 1)
+	for _, p := range rows {
+		one[0] = p.Value
+		if !m.Append(one) {
+			return fmt.Errorf("baselines: gorilla rejected a value")
+		}
+	}
+	valueData, err := m.Bytes(len(rows))
+	if err != nil {
+		return err
+	}
+	chunk.valueData = valueData
+	s.chunks[tid] = append(s.chunks[tid], chunk)
+	s.size += int64(len(chunk.tsData) + len(chunk.valueData) + 16)
+	s.memtable[tid] = s.memtable[tid][:0]
+	return nil
+}
+
+// Flush implements System.
+func (s *TSDB) Flush() error {
+	for _, tid := range sortedTids(s.memtable) {
+		if err := s.flushTid(tid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeBytes implements System; the series index (dimensions stored
+// once per series) is included.
+func (s *TSDB) SizeBytes() (int64, error) {
+	size := s.size
+	for tid := 1; tid <= s.meta.NumSeries(); tid++ {
+		ts, err := s.meta.Series(core.Tid(tid))
+		if err != nil {
+			return 0, err
+		}
+		size += int64(len(dimString(ts)))
+	}
+	return size, nil
+}
+
+func (c *tsdbChunk) decode(tid core.Tid, fn func(core.DataPoint) error) error {
+	values, err := models.GorillaType{}.View(c.valueData, 1, c.count)
+	if err != nil {
+		return err
+	}
+	raw := c.tsData
+	prevTS, prevDelta := int64(0), int64(0)
+	for i := 0; i < c.count; i++ {
+		v, n := binary.Varint(raw)
+		if n <= 0 {
+			return fmt.Errorf("baselines: corrupt delta-of-delta stream")
+		}
+		raw = raw[n:]
+		switch i {
+		case 0:
+			prevTS = v
+		default:
+			prevDelta += v
+			prevTS += prevDelta
+		}
+		if err := fn(core.DataPoint{Tid: tid, TS: prevTS, Value: values.ValueAt(0, i)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *TSDB) scanTid(tid core.Tid, fn func(core.DataPoint) error) error {
+	for i := range s.chunks[tid] {
+		if err := s.chunks[tid][i].decode(tid, fn); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.memtable[tid] {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SumAll implements System.
+func (s *TSDB) SumAll() (float64, int64, error) {
+	var sum float64
+	var count int64
+	for tid := 1; tid <= s.meta.NumSeries(); tid++ {
+		ssum, scount, err := s.SumSeries(core.Tid(tid))
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += ssum
+		count += scount
+	}
+	return sum, count, nil
+}
+
+// SumSeries implements System.
+func (s *TSDB) SumSeries(tid core.Tid) (float64, int64, error) {
+	var sum float64
+	var count int64
+	err := s.scanTid(tid, func(p core.DataPoint) error {
+		sum += float64(p.Value)
+		count++
+		return nil
+	})
+	return sum, count, err
+}
+
+// ScanRange implements System with chunk-level time pruning.
+func (s *TSDB) ScanRange(tid core.Tid, from, to int64, fn func(core.DataPoint) error) error {
+	for i := range s.chunks[tid] {
+		c := &s.chunks[tid][i]
+		if c.maxTS < from || c.minTS > to {
+			continue
+		}
+		err := c.decode(tid, func(p core.DataPoint) error {
+			if p.TS < from || p.TS > to {
+				return nil
+			}
+			return fn(p)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, p := range s.memtable[tid] {
+		if p.TS < from || p.TS > to {
+			continue
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MonthlySum implements System. InfluxDB cannot aggregate by calendar
+// month natively (§7.3 cites its fixed-duration windows); the harness
+// accounts for that by marking this result as emulated.
+func (s *TSDB) MonthlySum(filter MemberFilter, group MemberRef, perTid bool) (map[string]map[int64]float64, error) {
+	out := map[string]map[int64]float64{}
+	for tid := 1; tid <= s.meta.NumSeries(); tid++ {
+		ts, err := s.meta.Series(core.Tid(tid))
+		if err != nil {
+			return nil, err
+		}
+		if !filter.Matches(ts) {
+			continue
+		}
+		key := monthlyKey(ts, group, perTid)
+		buckets := out[key]
+		if buckets == nil {
+			buckets = map[int64]float64{}
+			out[key] = buckets
+		}
+		err = s.scanTid(ts.Tid, func(p core.DataPoint) error {
+			buckets[monthStart(p.TS)] += float64(p.Value)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close implements System.
+func (s *TSDB) Close() error { return nil }

@@ -1,0 +1,154 @@
+// Package bits provides bit-level readers and writers used by the
+// Gorilla model and the segment codecs. The layout is big-endian within
+// each byte: the first bit written becomes the most significant bit of
+// the first byte.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Reader when more bits are requested than
+// the underlying buffer holds.
+var ErrShortBuffer = errors.New("bits: read past end of buffer")
+
+// Writer accumulates bits into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+	// free is the number of unused low bits in the last byte of buf.
+	// It is 0 when the last byte is full (or buf is empty).
+	free uint
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(bit bool) {
+	if w.free == 0 {
+		w.buf = append(w.buf, 0)
+		w.free = 8
+	}
+	if bit {
+		w.buf[len(w.buf)-1] |= 1 << (w.free - 1)
+	}
+	w.free--
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits with n=%d > 64", n))
+	}
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := w.free
+		if n < take {
+			take = n
+		}
+		chunk := byte(v >> (n - take))                  // top `take` bits of remaining value
+		chunk &= (1 << take) - 1                        // mask to width
+		w.buf[len(w.buf)-1] |= chunk << (w.free - take) // place below already-used bits
+		w.free -= take
+		n -= take
+	}
+}
+
+// WriteByte appends one full byte.
+func (w *Writer) WriteByte(b byte) error {
+	w.WriteBits(uint64(b), 8)
+	return nil
+}
+
+// Len returns the number of complete or partial bytes written.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the exact number of bits written.
+func (w *Writer) BitLen() int { return len(w.buf)*8 - int(w.free) }
+
+// Bytes returns the written bytes. Unused trailing bits are zero.
+// The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Clone returns a deep copy of the writer, so a model candidate can be
+// snapshotted while fitting continues.
+func (w *Writer) Clone() *Writer {
+	c := &Writer{buf: make([]byte, len(w.buf), cap(w.buf)), free: w.free}
+	copy(c.buf, w.buf)
+	return c
+}
+
+// Reset clears the writer for reuse, keeping the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.free = 0
+}
+
+// Reader consumes bits from a byte slice produced by Writer.
+type Reader struct {
+	buf []byte
+	// pos is the index of the next byte; used counts consumed bits in it.
+	pos  int
+	used uint
+}
+
+// NewReader returns a Reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= len(r.buf) {
+		return false, ErrShortBuffer
+	}
+	bit := r.buf[r.pos]&(1<<(7-r.used)) != 0
+	r.used++
+	if r.used == 8 {
+		r.used = 0
+		r.pos++
+	}
+	return bit, nil
+}
+
+// ReadBits consumes n bits and returns them in the low bits of the result,
+// most significant first. n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: ReadBits with n=%d > 64", n))
+	}
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrShortBuffer
+		}
+		avail := 8 - r.used
+		take := avail
+		if n < take {
+			take = n
+		}
+		chunk := r.buf[r.pos] >> (avail - take)
+		chunk &= (1 << take) - 1
+		v = v<<take | uint64(chunk)
+		r.used += take
+		if r.used == 8 {
+			r.used = 0
+			r.pos++
+		}
+		n -= take
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.used)
+}

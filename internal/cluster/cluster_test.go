@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"testing"
+
+	"modelardb"
+)
+
+// fleetConfig builds a config with 8 series in 4 groups of 2.
+func fleetConfig() modelardb.Config {
+	cfg := modelardb.Config{
+		ErrorBound: modelardb.RelBound(0),
+		Dimensions: []modelardb.Dimension{
+			{Name: "Location", Levels: []string{"Park", "Turbine"}},
+		},
+		Correlations: []string{"Location 1"},
+	}
+	for park := 0; park < 4; park++ {
+		for t := 0; t < 2; t++ {
+			cfg.Series = append(cfg.Series, modelardb.SeriesConfig{
+				SI: 1000,
+				Members: map[string][]string{
+					"Location": {fmt.Sprintf("P%d", park), fmt.Sprintf("T%d-%d", park, t)},
+				},
+			})
+		}
+	}
+	return cfg
+}
+
+// fillCluster ingests a deterministic workload.
+func fillCluster(t *testing.T, appendFn func(modelardb.Tid, int64, float32) error, nseries, ticks int) {
+	t.Helper()
+	for tick := 0; tick < ticks; tick++ {
+		for tid := 1; tid <= nseries; tid++ {
+			v := float32(tid*100 + tick%7)
+			if err := appendFn(modelardb.Tid(tid), int64(tick)*1000, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func expectedSum(tid, ticks int) float64 {
+	sum := 0.0
+	for tick := 0; tick < ticks; tick++ {
+		sum += float64(tid*100 + tick%7)
+	}
+	return sum
+}
+
+func TestAssignGroupsBalanced(t *testing.T) {
+	db, err := modelardb.Open(fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	assign := AssignGroups(db, 2)
+	if len(assign) != 4 {
+		t.Fatalf("assign = %v, want 4 groups", assign)
+	}
+	load := map[int]int{}
+	for gid, w := range assign {
+		load[w] += len(db.GroupMembers(gid))
+	}
+	if load[0] != 4 || load[1] != 4 {
+		t.Fatalf("load = %v, want 4 series per worker", load)
+	}
+}
+
+func TestLocalClusterMatchesSingleNode(t *testing.T) {
+	const ticks = 300
+	single, err := modelardb.Open(fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	fillCluster(t, single.Append, 8, ticks)
+	if err := single.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewLocal(fleetConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fillCluster(t, c.Append, 8, ticks)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+		"SELECT Park, COUNT_S(*), AVG_S(*) FROM Segment GROUP BY Park ORDER BY Park",
+		"SELECT MAX_S(*) FROM Segment",
+		"SELECT Tid, CUBE_SUM_MINUTE(*) FROM Segment WHERE Tid IN (1, 5) GROUP BY Tid",
+	}
+	for _, sql := range queries {
+		want, err := single.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		got, err := c.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: %d rows vs %d", sql, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			for j := range got.Rows[i] {
+				gv, wv := got.Rows[i][j], want.Rows[i][j]
+				if gf, ok := gv.(float64); ok {
+					if math.Abs(gf-wv.(float64)) > 1e-6*math.Max(1, math.Abs(wv.(float64))) {
+						t.Fatalf("%s: cell (%d,%d) = %v, want %v", sql, i, j, gv, wv)
+					}
+				} else if gv != wv {
+					t.Fatalf("%s: cell (%d,%d) = %v, want %v", sql, i, j, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalClusterRouting(t *testing.T) {
+	c, err := NewLocal(fleetConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Series of the same group land on the same worker (co-location).
+	w1, err := c.WorkerOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := c.WorkerOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatalf("group-mates on workers %d and %d, want co-located", w1, w2)
+	}
+	if _, err := c.WorkerOf(99); err == nil {
+		t.Fatal("unknown tid must fail")
+	}
+}
+
+func TestLocalClusterStats(t *testing.T) {
+	c, err := NewLocal(fleetConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fillCluster(t, c.Append, 8, 100)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DataPoints != 800 || stats.Segments == 0 || stats.Series != 8 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestQueryWithStatsReportsWorkers(t *testing.T) {
+	c, err := NewLocal(fleetConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fillCluster(t, c.Append, 8, 50)
+	c.Flush()
+	_, times, err := c.QueryWithStats("SELECT SUM_S(*) FROM Segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("times = %v, want one per worker", times)
+	}
+}
+
+func TestRPCClusterEndToEnd(t *testing.T) {
+	const nWorkers = 2
+	const ticks = 200
+	cfg := fleetConfig()
+	var addrs []string
+	for i := 0; i < nWorkers; i++ {
+		db, err := modelardb.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go Serve(db, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	client, err := Dial(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.BatchSize = 64
+	fillCluster(t, client.Append, 8, ticks)
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Query("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		want := expectedSum(i+1, ticks)
+		if got := row[1].(float64); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("tid %d sum = %g, want %g", i+1, got, want)
+		}
+	}
+}
+
+func TestRPCQueryErrorPropagates(t *testing.T) {
+	cfg := fleetConfig()
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(db, ln)
+	client, err := Dial(cfg, []string{ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Query("SELECT Nope FROM Segment"); err == nil {
+		t.Fatal("bad query must propagate an error")
+	}
+}
+
+func TestNewLocalValidations(t *testing.T) {
+	if _, err := NewLocal(fleetConfig(), 0); err == nil {
+		t.Fatal("zero workers must fail")
+	}
+	cfg := fleetConfig()
+	cfg.Path = "/tmp/x"
+	if _, err := NewLocal(cfg, 1); err == nil {
+		t.Fatal("file-backed local cluster must fail")
+	}
+}

@@ -1,0 +1,195 @@
+// Package cluster implements the master/worker architecture of §3.1:
+// the master partitions time series into groups, assigns every group
+// to the worker with the most available capacity (preventing data
+// skew), routes ingestion to the owning worker, and executes queries
+// by scattering the rewritten query to the workers and merging their
+// mergeable aggregate states (Algorithm 5: iterate on workers, merge
+// and finalize on the master). Because a group's series are always
+// co-located, queries never shuffle data between workers — the
+// property behind the paper's linear scale-out (Fig. 20).
+//
+// Two deployments are provided: an in-process cluster (LocalCluster)
+// used by tests, benchmarks and the scale-out simulation, and a
+// net/rpc-based deployment (Server/Client) for multi-process use.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"modelardb"
+	"modelardb/internal/query"
+	"modelardb/internal/sqlparse"
+)
+
+// LocalCluster runs n workers in one process, each with its own
+// segment store and ingestion pipeline, sharing the master's metadata.
+type LocalCluster struct {
+	workers []*modelardb.DB
+	// assign maps each group to its worker index.
+	assign map[modelardb.Gid]int
+}
+
+// NewLocal creates a cluster of n workers from one database config.
+// Every worker opens the same configuration (the partitioning is
+// deterministic), so they share Tids, Gids and dimension metadata like
+// the paper's metadata cache replicated to every node.
+func NewLocal(cfg modelardb.Config, n int) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one worker")
+	}
+	if cfg.Path != "" {
+		return nil, fmt.Errorf("cluster: local cluster workers are memory-backed")
+	}
+	c := &LocalCluster{assign: make(map[modelardb.Gid]int)}
+	for i := 0; i < n; i++ {
+		db, err := modelardb.Open(cfg)
+		if err != nil {
+			for _, w := range c.workers {
+				w.Close()
+			}
+			return nil, err
+		}
+		c.workers = append(c.workers, db)
+	}
+	c.assignGroups()
+	return c, nil
+}
+
+// assignGroups gives each group to the least-loaded worker.
+func (c *LocalCluster) assignGroups() {
+	c.assign = AssignGroups(c.workers[0], len(c.workers))
+}
+
+// AssignGroups assigns every group of the master's metadata to one of
+// n workers, always picking the least-loaded worker measured in
+// assigned series (§3.1: "each group is assigned to the worker with
+// the most available resources", preventing data skew).
+func AssignGroups(master *modelardb.DB, n int) map[modelardb.Gid]int {
+	gids := master.Groups()
+	// Largest groups first so the greedy assignment balances well.
+	sort.Slice(gids, func(i, j int) bool {
+		gi, gj := len(master.GroupMembers(gids[i])), len(master.GroupMembers(gids[j]))
+		if gi != gj {
+			return gi > gj
+		}
+		return gids[i] < gids[j]
+	})
+	assign := make(map[modelardb.Gid]int, len(gids))
+	load := make([]int, n)
+	for _, gid := range gids {
+		best := 0
+		for w := 1; w < n; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		assign[gid] = best
+		load[best] += len(master.GroupMembers(gid))
+	}
+	return assign
+}
+
+// NumWorkers returns the cluster size.
+func (c *LocalCluster) NumWorkers() int { return len(c.workers) }
+
+// WorkerOf returns the worker index owning a series' group.
+func (c *LocalCluster) WorkerOf(tid modelardb.Tid) (int, error) {
+	gid, err := c.workers[0].GroupOf(tid)
+	if err != nil {
+		return 0, err
+	}
+	return c.assign[gid], nil
+}
+
+// Append routes one data point to the worker owning its group.
+func (c *LocalCluster) Append(tid modelardb.Tid, ts int64, value float32) error {
+	w, err := c.WorkerOf(tid)
+	if err != nil {
+		return err
+	}
+	return c.workers[w].Append(tid, ts, value)
+}
+
+// Flush flushes every worker.
+func (c *LocalCluster) Flush() error {
+	for _, w := range c.workers {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query scatters the query to all workers in parallel and merges their
+// partial results on the master.
+func (c *LocalCluster) Query(sql string) (*modelardb.Result, error) {
+	res, _, err := c.QueryWithStats(sql)
+	return res, err
+}
+
+// QueryWithStats additionally reports each worker's execution time,
+// which the scale-out experiment (Fig. 20) uses: with shuffle-free
+// placement the cluster's latency is the slowest worker's latency.
+func (c *LocalCluster) QueryWithStats(sql string) (*modelardb.Result, []time.Duration, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	partials := make([]*query.PartialResult, len(c.workers))
+	times := make([]time.Duration, len(c.workers))
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *modelardb.DB) {
+			defer wg.Done()
+			start := time.Now()
+			partials[i], errs[i] = w.Engine().ExecutePartial(q)
+			times[i] = time.Since(start)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := c.workers[0].Engine().Finalize(q, partials)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, times, nil
+}
+
+// Stats aggregates worker statistics.
+func (c *LocalCluster) Stats() (modelardb.Stats, error) {
+	var total modelardb.Stats
+	for i, w := range c.workers {
+		s, err := w.Stats()
+		if err != nil {
+			return total, err
+		}
+		if i == 0 {
+			total.Series = s.Series
+			total.Groups = s.Groups
+		}
+		total.Segments += s.Segments
+		total.StorageBytes += s.StorageBytes
+		total.DataPoints += s.DataPoints
+	}
+	return total, nil
+}
+
+// Close closes every worker.
+func (c *LocalCluster) Close() error {
+	var first error
+	for _, w := range c.workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"modelardb"
+	"modelardb/internal/core"
+	"modelardb/internal/query"
+	"modelardb/internal/sqlparse"
+)
+
+func init() {
+	// Group keys and row cells travel as interface values inside gob.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+}
+
+// Server exposes one worker's ingestion and query execution over
+// net/rpc. The paper's workers are Spark executors with co-located
+// Cassandra nodes; here each worker is a DB with its own store.
+type Server struct {
+	db *modelardb.DB
+}
+
+// NewServer wraps a database as an RPC worker.
+func NewServer(db *modelardb.DB) *Server { return &Server{db: db} }
+
+// AppendArgs is a batch of data points for one worker.
+type AppendArgs struct {
+	Points []core.DataPoint
+}
+
+// Append ingests a batch of data points.
+func (s *Server) Append(args *AppendArgs, _ *struct{}) error {
+	for _, p := range args.Points {
+		if err := s.db.Append(p.Tid, p.TS, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush finalizes buffered data points into segments.
+func (s *Server) Flush(_ *struct{}, _ *struct{}) error {
+	return s.db.Flush()
+}
+
+// QueryArgs carries the SQL text; every worker parses and compiles it
+// against its replicated metadata, as the paper's master sends
+// rewritten queries to each worker.
+type QueryArgs struct {
+	SQL string
+}
+
+// ExecutePartial runs the worker-side part of a query.
+func (s *Server) ExecutePartial(args *QueryArgs, reply *query.PartialResult) error {
+	q, err := sqlparse.Parse(args.SQL)
+	if err != nil {
+		return err
+	}
+	partial, err := s.db.Engine().ExecutePartial(q)
+	if err != nil {
+		return err
+	}
+	*reply = *partial
+	return nil
+}
+
+// StatsReply mirrors modelardb.Stats over RPC.
+type StatsReply struct {
+	Stats modelardb.Stats
+}
+
+// Stats returns the worker's statistics.
+func (s *Server) Stats(_ *struct{}, reply *StatsReply) error {
+	st, err := s.db.Stats()
+	if err != nil {
+		return err
+	}
+	reply.Stats = st
+	return nil
+}
+
+// Serve registers the worker on a listener and serves connections
+// until the listener closes.
+func Serve(db *modelardb.DB, ln net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", NewServer(db)); err != nil {
+		return err
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Client is the master side of an RPC cluster: it owns the metadata
+// (via a local, storage-less DB open of the same config), routes
+// ingestion by group and scatters queries.
+type Client struct {
+	meta    *modelardb.DB
+	workers []*rpc.Client
+	assign  map[modelardb.Gid]int
+	mu      sync.Mutex
+	pending [][]core.DataPoint
+	// BatchSize is the number of points buffered per worker before an
+	// Append RPC is issued (akin to the paper's micro-batches).
+	BatchSize int
+}
+
+// Dial connects the master to worker addresses. cfg must be the same
+// configuration the workers were opened with.
+func Dial(cfg modelardb.Config, addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	cfg.Path = ""
+	meta, err := modelardb.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		meta:      meta,
+		assign:    AssignGroups(meta, len(addrs)),
+		pending:   make([][]core.DataPoint, len(addrs)),
+		BatchSize: 1024,
+	}
+	for _, addr := range addrs {
+		conn, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		c.workers = append(c.workers, conn)
+	}
+	return c, nil
+}
+
+// Append buffers a data point and sends a batch when full.
+func (c *Client) Append(tid modelardb.Tid, ts int64, value float32) error {
+	gid, err := c.meta.GroupOf(tid)
+	if err != nil {
+		return err
+	}
+	w := c.assign[gid]
+	c.mu.Lock()
+	c.pending[w] = append(c.pending[w], core.DataPoint{Tid: tid, TS: ts, Value: value})
+	send := len(c.pending[w]) >= c.BatchSize
+	var batch []core.DataPoint
+	if send {
+		batch = c.pending[w]
+		c.pending[w] = nil
+	}
+	c.mu.Unlock()
+	if send {
+		return c.workers[w].Call("Worker.Append", &AppendArgs{Points: batch}, &struct{}{})
+	}
+	return nil
+}
+
+// Flush drains batches and flushes every worker.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	batches := c.pending
+	c.pending = make([][]core.DataPoint, len(c.workers))
+	c.mu.Unlock()
+	for w, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := c.workers[w].Call("Worker.Append", &AppendArgs{Points: batch}, &struct{}{}); err != nil {
+			return err
+		}
+	}
+	for _, w := range c.workers {
+		if err := w.Call("Worker.Flush", &struct{}{}, &struct{}{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query scatters the query to all workers and merges the partials.
+func (c *Client) Query(sql string) (*modelardb.Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	partials := make([]*query.PartialResult, len(c.workers))
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *rpc.Client) {
+			defer wg.Done()
+			reply := &query.PartialResult{}
+			errs[i] = w.Call("Worker.ExecutePartial", &QueryArgs{SQL: sql}, reply)
+			partials[i] = reply
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.meta.Engine().Finalize(q, partials)
+}
+
+// Close closes worker connections and the master's metadata DB.
+func (c *Client) Close() error {
+	for _, w := range c.workers {
+		if w != nil {
+			w.Close()
+		}
+	}
+	return c.meta.Close()
+}

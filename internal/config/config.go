@@ -1,0 +1,125 @@
+// Package config parses the textual configuration file used by the
+// modelardbd server, mirroring how the paper's system is configured
+// through modelardb.correlation clauses and related settings (§4.1,
+// Table 1).
+//
+// Syntax (one directive per line, '#' comments):
+//
+//	error_bound 5            # percent; 0 = lossless
+//	length_limit 50
+//	split_fraction 10
+//	bulk_write_size 50000
+//	dimension Location Park Turbine
+//	correlation Location 1
+//	series s1.gz 100 Location=Aalborg/T1
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"modelardb"
+)
+
+// Parse reads a configuration into a modelardb.Config.
+func Parse(r io.Reader) (modelardb.Config, error) {
+	cfg := modelardb.Config{}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		if err := apply(&cfg, directive, rest); err != nil {
+			return cfg, fmt.Errorf("config: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return cfg, fmt.Errorf("config: %w", err)
+	}
+	return cfg, nil
+}
+
+func apply(cfg *modelardb.Config, directive, rest string) error {
+	switch directive {
+	case "error_bound":
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("error_bound %q is not a non-negative number", rest)
+		}
+		cfg.ErrorBound = modelardb.RelBound(v)
+	case "length_limit":
+		v, err := strconv.Atoi(rest)
+		if err != nil || v < 1 {
+			return fmt.Errorf("length_limit %q is not a positive integer", rest)
+		}
+		cfg.LengthLimit = v
+	case "split_fraction":
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("split_fraction %q is not a positive number", rest)
+		}
+		cfg.SplitFraction = v
+	case "bulk_write_size":
+		v, err := strconv.Atoi(rest)
+		if err != nil || v < 1 {
+			return fmt.Errorf("bulk_write_size %q is not a positive integer", rest)
+		}
+		cfg.BulkWriteSize = v
+	case "dimension":
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return fmt.Errorf("dimension needs a name and at least one level")
+		}
+		cfg.Dimensions = append(cfg.Dimensions, modelardb.Dimension{
+			Name: fields[0], Levels: fields[1:],
+		})
+	case "correlation":
+		if rest == "" {
+			return fmt.Errorf("correlation needs a clause")
+		}
+		cfg.Correlations = append(cfg.Correlations, rest)
+	case "series":
+		sc, err := parseSeries(rest)
+		if err != nil {
+			return err
+		}
+		cfg.Series = append(cfg.Series, sc)
+	default:
+		return fmt.Errorf("unknown directive %q", directive)
+	}
+	return nil
+}
+
+// parseSeries parses "source si Dim=a/b Dim2=c/d".
+func parseSeries(rest string) (modelardb.SeriesConfig, error) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return modelardb.SeriesConfig{}, fmt.Errorf("series needs a source and a sampling interval")
+	}
+	si, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || si <= 0 {
+		return modelardb.SeriesConfig{}, fmt.Errorf("sampling interval %q is not a positive integer", fields[1])
+	}
+	sc := modelardb.SeriesConfig{
+		Source:  fields[0],
+		SI:      si,
+		Members: map[string][]string{},
+	}
+	for _, f := range fields[2:] {
+		dim, path, ok := strings.Cut(f, "=")
+		if !ok {
+			return modelardb.SeriesConfig{}, fmt.Errorf("member %q is not Dimension=a/b", f)
+		}
+		sc.Members[dim] = strings.Split(path, "/")
+	}
+	return sc, nil
+}

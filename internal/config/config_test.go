@@ -1,0 +1,84 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"modelardb"
+)
+
+const sample = `
+# A wind park.
+error_bound 5
+length_limit 42
+split_fraction 8
+bulk_write_size 1000
+dimension Location Park Turbine
+dimension Measure Category
+correlation Location 1, Measure 1 Temperature
+correlation 0.25
+series t1.gz 100 Location=Aalborg/T1 Measure=Temperature
+series t2.gz 100 Location=Aalborg/T2 Measure=Temperature
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ErrorBound != modelardb.RelBound(5) {
+		t.Fatalf("bound = %v", cfg.ErrorBound)
+	}
+	if cfg.LengthLimit != 42 || cfg.SplitFraction != 8 || cfg.BulkWriteSize != 1000 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if len(cfg.Dimensions) != 2 || cfg.Dimensions[0].Name != "Location" {
+		t.Fatalf("dimensions = %+v", cfg.Dimensions)
+	}
+	if len(cfg.Correlations) != 2 {
+		t.Fatalf("correlations = %v", cfg.Correlations)
+	}
+	if len(cfg.Series) != 2 {
+		t.Fatalf("series = %+v", cfg.Series)
+	}
+	if cfg.Series[0].SI != 100 || cfg.Series[0].Members["Location"][1] != "T1" {
+		t.Fatalf("series[0] = %+v", cfg.Series[0])
+	}
+	// The parsed config must open.
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"nonsense directive",
+		"error_bound -1",
+		"error_bound x",
+		"length_limit 0",
+		"split_fraction 0",
+		"bulk_write_size x",
+		"dimension OnlyName",
+		"correlation",
+		"series one_field",
+		"series s.gz notanumber",
+		"series s.gz 100 BadMember",
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", line)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	cfg, err := Parse(strings.NewReader("\n# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Series) != 0 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}

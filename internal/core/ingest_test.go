@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"modelardb/internal/models"
+)
+
+func newTestIngestor(bound models.ErrorBound, members []Tid, si int64, out *[]*Segment) *GroupIngestor {
+	return newTestIngestorFrac(bound, members, si, out, 0)
+}
+
+// newTestIngestorFrac allows tests of the splitting mechanism to use a
+// less extreme split fraction than Table 1's default of 10: the
+// fraction only controls when the heuristic fires, not what it does.
+func newTestIngestorFrac(bound models.ErrorBound, members []Tid, si int64, out *[]*Segment, frac float64) *GroupIngestor {
+	cfg := IngestorConfig{
+		Generator: GeneratorConfig{
+			Registry: models.NewBuiltinRegistry(),
+			Bound:    bound,
+			OnSegment: func(s *Segment) error {
+				*out = append(*out, s)
+				return nil
+			},
+		},
+		SplitFraction: frac,
+	}
+	return NewGroupIngestor(cfg, 1, si, members)
+}
+
+func TestIngestSingleSeries(t *testing.T) {
+	var segs []*Segment
+	g := newTestIngestor(models.RelBound(0), []Tid{1}, 100, &segs)
+	for i := 0; i < 100; i++ {
+		if err := g.Append(1, int64(i)*100, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Length()
+	}
+	if total != 100 {
+		t.Fatalf("covered ticks = %d, want 100", total)
+	}
+}
+
+func TestIngestOutOfOrderRejected(t *testing.T) {
+	var segs []*Segment
+	g := newTestIngestor(models.RelBound(0), []Tid{1}, 100, &segs)
+	if err := g.Append(1, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append(1, 900, 1); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestIngestMisalignedRejected(t *testing.T) {
+	var segs []*Segment
+	g := newTestIngestor(models.RelBound(0), []Tid{1, 2}, 100, &segs)
+	if err := g.Append(1, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append(2, 1050, 1); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("err = %v, want ErrMisaligned", err)
+	}
+}
+
+func TestIngestDuplicateInTickRejected(t *testing.T) {
+	var segs []*Segment
+	g := newTestIngestor(models.RelBound(0), []Tid{1}, 100, &segs)
+	if err := g.Append(1, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append(1, 1000, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder for duplicate", err)
+	}
+}
+
+func TestIngestGapCreatesNewSegments(t *testing.T) {
+	// Two series; series 2 disappears for ticks 10..19 — per Fig. 5 the
+	// ingestor must emit S1 (both), S2 (only series 1, gap lists 2),
+	// S3 (both) with correct time ranges.
+	var segs []*Segment
+	g := newTestIngestor(models.RelBound(0), []Tid{1, 2}, 100, &segs)
+	appendBoth := func(tick int) {
+		t.Helper()
+		ts := int64(tick) * 100
+		if err := g.Append(1, ts, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Append(2, ts, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tick := 0; tick < 10; tick++ {
+		appendBoth(tick)
+	}
+	for tick := 10; tick < 20; tick++ {
+		if err := g.Append(1, int64(tick)*100, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tick := 20; tick < 30; tick++ {
+		appendBoth(tick)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Collect per-phase segments: those with gaps and those without.
+	var gapless, gapped []*Segment
+	for _, s := range segs {
+		if len(s.GapTids) == 0 {
+			gapless = append(gapless, s)
+		} else {
+			gapped = append(gapped, s)
+		}
+	}
+	if len(gapped) == 0 {
+		t.Fatal("no segments recorded the gap")
+	}
+	for _, s := range gapped {
+		if len(s.GapTids) != 1 || s.GapTids[0] != 2 {
+			t.Fatalf("gap tids = %v, want [2]", s.GapTids)
+		}
+		if s.StartTime < 1000 || s.EndTime > 1900 {
+			t.Fatalf("gapped segment range [%d, %d] outside the gap window", s.StartTime, s.EndTime)
+		}
+	}
+	covered := 0
+	for _, s := range gapless {
+		covered += s.Length()
+	}
+	if covered != 20 {
+		t.Fatalf("gapless segments cover %d ticks, want 20", covered)
+	}
+}
+
+func TestIngestWholeGroupGap(t *testing.T) {
+	var segs []*Segment
+	g := newTestIngestor(models.RelBound(0), []Tid{1}, 100, &segs)
+	if err := g.Append(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append(1, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Jump far ahead: a gap with no data for any series.
+	if err := g.Append(1, 100000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2 (one per side of the gap)", len(segs))
+	}
+	if segs[0].EndTime != 100 || segs[1].StartTime != 100000 {
+		t.Fatalf("segment boundaries [%d, %d] do not respect the gap", segs[0].EndTime, segs[1].StartTime)
+	}
+}
+
+func TestIngestSplitOnDecorrelation(t *testing.T) {
+	// Two series move together, then diverge sharply: §4.2 dynamic
+	// splitting should eventually put them in separate parts.
+	var segs []*Segment
+	g := newTestIngestorFrac(models.AbsBound(0.5), []Tid{1, 2}, 100, &segs, 3)
+	tick := 0
+	for ; tick < 100; tick++ {
+		ts := int64(tick) * 100
+		if err := g.Append(1, ts, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Append(2, ts, 100.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Diverge: series 2 drops far away and wanders so the group model
+	// emits poorly compressed segments.
+	rng := rand.New(rand.NewSource(8))
+	for ; tick < 400; tick++ {
+		ts := int64(tick) * 100
+		if err := g.Append(1, ts, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Append(2, ts, float32(500+rng.NormFloat64()*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.NumParts() < 2 {
+		t.Fatalf("parts = %d, want a split after decorrelation", g.NumParts())
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After the split both series must still be fully reconstructable;
+	// check coverage per series.
+	cover := map[Tid]int{}
+	for _, s := range segs {
+		for _, tid := range tidsDiff([]Tid{1, 2}, s.GapTids) {
+			cover[tid] += s.Length()
+		}
+	}
+	if cover[1] != 400 || cover[2] != 400 {
+		t.Fatalf("coverage = %v, want 400 ticks for both series", cover)
+	}
+}
+
+func TestIngestJoinAfterRecorrelation(t *testing.T) {
+	// Diverge, then re-correlate: Algorithm 4 should merge the parts.
+	var segs []*Segment
+	g := newTestIngestorFrac(models.AbsBound(0.5), []Tid{1, 2}, 100, &segs, 3)
+	tick := 0
+	appendPair := func(v1, v2 float32) {
+		t.Helper()
+		ts := int64(tick) * 100
+		if err := g.Append(1, ts, v1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Append(2, ts, v2); err != nil {
+			t.Fatal(err)
+		}
+		tick++
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		appendPair(100, 100.1)
+	}
+	for i := 0; i < 300; i++ {
+		appendPair(100, float32(900+rng.NormFloat64()*150))
+	}
+	if g.NumParts() < 2 {
+		t.Skip("split did not trigger with this workload")
+	}
+	for i := 0; i < 600; i++ {
+		appendPair(100, 100.1)
+	}
+	if g.NumParts() != 1 {
+		t.Fatalf("parts = %d, want 1 after re-correlation", g.NumParts())
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestSplitDisabled(t *testing.T) {
+	cfg := IngestorConfig{
+		Generator: GeneratorConfig{
+			Registry:  models.NewBuiltinRegistry(),
+			Bound:     models.AbsBound(0.5),
+			OnSegment: func(s *Segment) error { return nil },
+		},
+		DisableSplitting: true,
+	}
+	g := NewGroupIngestor(cfg, 1, 100, []Tid{1, 2})
+	rng := rand.New(rand.NewSource(8))
+	for tick := 0; tick < 400; tick++ {
+		ts := int64(tick) * 100
+		if err := g.Append(1, ts, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Append(2, ts, float32(500+rng.NormFloat64()*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.NumParts() != 1 {
+		t.Fatalf("parts = %d, want 1 with splitting disabled", g.NumParts())
+	}
+}
+
+// TestIngestQuickRoundTrip: regardless of gaps and value patterns, the
+// union of emitted segments reconstructs exactly the ingested points
+// (within bound), with gap ticks absent.
+func TestIngestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, relPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bound := models.RelBound(float64(relPct % 6))
+		nseries := rng.Intn(3) + 1
+		members := make([]Tid, nseries)
+		for i := range members {
+			members[i] = Tid(i + 1)
+		}
+		var segs []*Segment
+		g := newTestIngestor(bound, members, 100, &segs)
+		nticks := rng.Intn(200) + 1
+		// truth[tid][tick] = value; present[tid][tick] = had data
+		truth := make(map[Tid]map[int]float32)
+		for _, tid := range members {
+			truth[tid] = make(map[int]float32)
+		}
+		base := rng.Float64() * 50
+		for tick := 0; tick < nticks; tick++ {
+			base += rng.NormFloat64()
+			wrote := false
+			for _, tid := range members {
+				if rng.Float64() < 0.15 { // this series is in a gap
+					continue
+				}
+				v := float32(base + rng.NormFloat64()*0.2)
+				if err := g.Append(tid, int64(tick)*100, v); err != nil {
+					return false
+				}
+				truth[tid][tick] = v
+				wrote = true
+			}
+			_ = wrote
+		}
+		if err := g.Flush(); err != nil {
+			return false
+		}
+		reg := models.NewBuiltinRegistry()
+		seen := make(map[Tid]map[int]bool)
+		for _, tid := range members {
+			seen[tid] = make(map[int]bool)
+		}
+		for _, seg := range segs {
+			active := tidsDiff(members, seg.GapTids)
+			view, err := reg.View(seg.MID, seg.Params, len(active), seg.Length())
+			if err != nil {
+				return false
+			}
+			for i := 0; i < seg.Length(); i++ {
+				tick := int((seg.TimestampAt(i)) / 100)
+				for pos, tid := range active {
+					want, ok := truth[tid][tick]
+					if !ok {
+						return false // segment covers a tick with no data
+					}
+					if seen[tid][tick] {
+						return false // duplicate coverage
+					}
+					seen[tid][tick] = true
+					if !bound.Within(float64(view.ValueAt(pos, i)), float64(want)) {
+						return false
+					}
+				}
+			}
+		}
+		for _, tid := range members {
+			if len(seen[tid]) != len(truth[tid]) {
+				return false // missing coverage
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTidsHelpers(t *testing.T) {
+	if got := tidsDiff([]Tid{1, 2, 3, 4}, []Tid{2, 4}); !tidsEqual(got, []Tid{1, 3}) {
+		t.Fatalf("tidsDiff = %v", got)
+	}
+	if got := tidsUnion([]Tid{1, 3}, []Tid{2, 3, 5}); !tidsEqual(got, []Tid{1, 2, 3, 5}) {
+		t.Fatalf("tidsUnion = %v", got)
+	}
+	if got := tidsDiff(nil, []Tid{1}); len(got) != 0 {
+		t.Fatalf("tidsDiff(nil) = %v", got)
+	}
+	sorted := tidsUnion(nil, []Tid{9, 11})
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatal("tidsUnion must stay sorted")
+	}
+}

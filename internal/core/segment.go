@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"modelardb/internal/models"
+)
+
+// Segment is the 6-tuple of Definition 9: a bounded time interval of a
+// time series group represented by one model within an error bound.
+// Gaps are stored as the Tids not represented by the segment (the
+// second method of §3.2, Fig. 5), so a segment always represents a
+// static set of series.
+type Segment struct {
+	Gid       Gid
+	StartTime int64
+	EndTime   int64
+	SI        int64
+	MID       models.MID
+	Params    []byte
+	// GapTids lists, sorted, the group members in a gap for the whole
+	// segment interval (the Gts function of Definition 9).
+	GapTids []Tid
+}
+
+// Length returns the number of sampling intervals the segment covers.
+func (s *Segment) Length() int {
+	return int((s.EndTime-s.StartTime)/s.SI) + 1
+}
+
+// Covers reports whether the segment interval intersects [from, to].
+func (s *Segment) Covers(from, to int64) bool {
+	return s.EndTime >= from && s.StartTime <= to
+}
+
+// IndexRange clamps [from, to] to the segment and converts it to
+// inclusive grid indices. ok is false when the ranges do not intersect.
+func (s *Segment) IndexRange(from, to int64) (i0, i1 int, ok bool) {
+	if !s.Covers(from, to) {
+		return 0, 0, false
+	}
+	if from < s.StartTime {
+		from = s.StartTime
+	}
+	if to > s.EndTime {
+		to = s.EndTime
+	}
+	// Round the clamped bounds inward onto the grid.
+	i0 = int((from - s.StartTime + s.SI - 1) / s.SI)
+	i1 = int((to - s.StartTime) / s.SI)
+	if i0 > i1 {
+		return 0, 0, false
+	}
+	return i0, i1, true
+}
+
+// TimestampAt returns the timestamp of grid index i.
+func (s *Segment) TimestampAt(i int) int64 {
+	return s.StartTime + int64(i)*s.SI
+}
+
+// InGap reports whether tid is in a gap for this segment.
+func (s *Segment) InGap(tid Tid) bool {
+	i := sort.Search(len(s.GapTids), func(i int) bool { return s.GapTids[i] >= tid })
+	return i < len(s.GapTids) && s.GapTids[i] == tid
+}
+
+// gapMask encodes GapTids as a bitmask over the sorted group member
+// positions, as the Cassandra schema of §3.3 stores them.
+func gapMask(gaps []Tid, members []Tid) []byte {
+	if len(gaps) == 0 {
+		return nil
+	}
+	mask := make([]byte, (len(members)+7)/8)
+	for _, t := range gaps {
+		i := sort.Search(len(members), func(i int) bool { return members[i] >= t })
+		if i < len(members) && members[i] == t {
+			mask[i/8] |= 1 << (i % 8)
+		}
+	}
+	return mask
+}
+
+// gapTidsFromMask inverts gapMask.
+func gapTidsFromMask(mask []byte, members []Tid) []Tid {
+	var gaps []Tid
+	for i, t := range members {
+		if i/8 < len(mask) && mask[i/8]&(1<<(i%8)) != 0 {
+			gaps = append(gaps, t)
+		}
+	}
+	return gaps
+}
+
+// Encode serializes the segment for the segment store. Following the
+// paper's Cassandra schema (§3.3) the start time is not stored; the
+// segment's length is stored instead and the start time recomputed as
+// EndTime - (Size-1)*SI. members must be the sorted Tids of the
+// segment's group, used to pack the gap bitmask.
+func (s *Segment) Encode(members []Tid) []byte {
+	mask := gapMask(s.GapTids, members)
+	buf := make([]byte, 0, 32+len(mask)+len(s.Params))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(s.Gid))
+	n := binary.PutVarint(tmp[:], s.EndTime)
+	buf = append(buf, tmp[:n]...)
+	put(uint64(s.SI))
+	put(uint64(s.Length()))
+	buf = append(buf, byte(s.MID))
+	put(uint64(len(mask)))
+	buf = append(buf, mask...)
+	put(uint64(len(s.Params)))
+	buf = append(buf, s.Params...)
+	return buf
+}
+
+// DecodeSegment parses a segment encoded by Encode. members must be
+// the same sorted group member Tids passed to Encode.
+func DecodeSegment(data []byte, members []Tid) (*Segment, error) {
+	s := &Segment{}
+	rest := data
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("core: segment decode: truncated varint")
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	gid, err := next()
+	if err != nil {
+		return nil, err
+	}
+	s.Gid = Gid(gid)
+	end, n := binary.Varint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("core: segment decode: truncated end time")
+	}
+	rest = rest[n:]
+	s.EndTime = end
+	si, err := next()
+	if err != nil {
+		return nil, err
+	}
+	s.SI = int64(si)
+	if s.SI <= 0 {
+		return nil, fmt.Errorf("core: segment decode: non-positive SI %d", s.SI)
+	}
+	length, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if length == 0 {
+		return nil, fmt.Errorf("core: segment decode: zero length")
+	}
+	s.StartTime = s.EndTime - int64(length-1)*s.SI
+	if len(rest) < 1 {
+		return nil, fmt.Errorf("core: segment decode: missing MID")
+	}
+	s.MID = models.MID(rest[0])
+	rest = rest[1:]
+	maskLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(rest)) < maskLen {
+		return nil, fmt.Errorf("core: segment decode: truncated gap mask")
+	}
+	s.GapTids = gapTidsFromMask(rest[:maskLen], members)
+	rest = rest[maskLen:]
+	paramLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(rest)) < paramLen {
+		return nil, fmt.Errorf("core: segment decode: truncated parameters")
+	}
+	s.Params = append([]byte(nil), rest[:paramLen]...)
+	return s, nil
+}
+
+// StoredSize returns the segment's serialized size in bytes, the
+// quantity minimized by model selection and reported by the storage
+// experiments.
+func (s *Segment) StoredSize(members []Tid) int {
+	return len(s.Encode(members))
+}

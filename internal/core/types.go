@@ -1,0 +1,91 @@
+// Package core implements the central concepts of ModelarDB+
+// (Definitions 1-9 of the paper): time series with gaps, time series
+// groups, segments, and the multi-model segment generator that
+// compresses a group of correlated series into dynamically sized
+// segments within a user-defined error bound, including the dynamic
+// group splitting and joining of §4.2.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tid identifies a time series (Definition 1); Tids start at 1 so they
+// can index arrays directly during the hash-join of §6.1.
+type Tid int32
+
+// Gid identifies a time series group (Definition 8); Gids start at 1.
+type Gid int32
+
+// BytesPerDataPoint is the size of one uncompressed data point in the
+// Data Point View schema (Tid int32, TS int64, Value float32), used for
+// compression-ratio accounting.
+const BytesPerDataPoint = 16
+
+// DataPoint is one timestamped value of one time series (Definition 1).
+// Timestamps are Unix milliseconds.
+type DataPoint struct {
+	Tid   Tid
+	TS    int64
+	Value float32
+}
+
+// TimeSeries is one row of the Time Series table (Fig. 6): per-series
+// metadata including the sampling interval, the group the Partitioner
+// assigned the series to, the scaling constant applied during ingestion
+// and query processing, and the denormalized dimension members.
+type TimeSeries struct {
+	Tid Tid
+	// SI is the sampling interval in milliseconds (Definition 3).
+	SI int64
+	// Gid is the group the series was partitioned into.
+	Gid Gid
+	// Scaling is multiplied onto every value during ingestion and
+	// divided out during query processing, so correlated series with
+	// different magnitudes can share models.
+	Scaling float32
+	// Source names where the series comes from (file, socket, ...).
+	Source string
+	// Members holds, per dimension name, the member path from the
+	// coarsest level (level 1, just below the top element) to the most
+	// detailed level (Definition 7).
+	Members map[string][]string
+}
+
+// Member returns the series' member at the 1-based level of the named
+// dimension, or "" when absent.
+func (ts *TimeSeries) Member(dimension string, level int) string {
+	path := ts.Members[dimension]
+	if level < 1 || level > len(path) {
+		return ""
+	}
+	return path[level-1]
+}
+
+// Errors reported by ingestion.
+var (
+	// ErrOutOfOrder is returned when a data point's timestamp is not
+	// newer than already-processed ticks; the paper assumes wired,
+	// reliable sensors for which out-of-order points are rare.
+	ErrOutOfOrder = errors.New("core: data point out of order")
+	// ErrMisaligned is returned when a timestamp is not on the group's
+	// sampling grid (Definition 8 requires aligned start times).
+	ErrMisaligned = errors.New("core: timestamp not aligned to the sampling interval")
+	// ErrUnknownTid is returned for data points of unregistered series.
+	ErrUnknownTid = errors.New("core: unknown Tid")
+	// ErrNoFittingModel is returned when no registered model can
+	// represent a buffered value; registries should include a lossless
+	// fallback such as Gorilla.
+	ErrNoFittingModel = errors.New("core: no registered model fits the values")
+)
+
+// tickIndex maps a timestamp to its index on the grid anchored at
+// phase with the given sampling interval.
+func tickIndex(ts, phase, si int64) (int64, error) {
+	d := ts - phase
+	if d%si != 0 {
+		return 0, fmt.Errorf("%w: ts=%d phase=%d si=%d", ErrMisaligned, ts, phase, si)
+	}
+	return d / si, nil
+}

@@ -1,0 +1,126 @@
+// Package dims implements user-defined dimensions (Definition 7): a
+// hierarchy of members describing each time series, from the top
+// element through coarser levels down to the most detailed level the
+// series belongs to, e.g. Country -> Region -> Park -> Turbine for the
+// paper's Location dimension (Fig. 7).
+package dims
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dimension describes one hierarchy. Levels are named from level 1
+// (the coarsest level below the top element) to level Height() (the
+// most detailed level, whose member the member function of Definition
+// 7 returns).
+type Dimension struct {
+	Name   string
+	Levels []string
+}
+
+// Height returns the number of levels below the top element.
+func (d Dimension) Height() int { return len(d.Levels) }
+
+// LevelOf returns the 1-based level with the given name, or 0.
+func (d Dimension) LevelOf(name string) int {
+	for i, l := range d.Levels {
+		if strings.EqualFold(l, name) {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func (d Dimension) String() string {
+	return fmt.Sprintf("%s(%s)", d.Name, strings.Join(d.Levels, "->"))
+}
+
+// Schema is the set of dimensions of one data set.
+type Schema struct {
+	dims   []Dimension
+	byName map[string]int
+}
+
+// NewSchema validates and indexes the dimensions.
+func NewSchema(dimensions ...Dimension) (*Schema, error) {
+	s := &Schema{byName: make(map[string]int, len(dimensions))}
+	for _, d := range dimensions {
+		if d.Name == "" {
+			return nil, fmt.Errorf("dims: dimension with empty name")
+		}
+		if len(d.Levels) == 0 {
+			return nil, fmt.Errorf("dims: dimension %s has no levels", d.Name)
+		}
+		if _, dup := s.byName[d.Name]; dup {
+			return nil, fmt.Errorf("dims: duplicate dimension %s", d.Name)
+		}
+		s.byName[d.Name] = len(s.dims)
+		s.dims = append(s.dims, d)
+	}
+	return s, nil
+}
+
+// Dimensions returns the schema's dimensions in declaration order.
+func (s *Schema) Dimensions() []Dimension { return s.dims }
+
+// Dimension returns the named dimension.
+func (s *Schema) Dimension(name string) (Dimension, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return Dimension{}, false
+	}
+	return s.dims[i], true
+}
+
+// Validate checks that members holds, for every dimension of the
+// schema, a full path from level 1 to the most detailed level.
+func (s *Schema) Validate(members map[string][]string) error {
+	for _, d := range s.dims {
+		path, ok := members[d.Name]
+		if !ok {
+			return fmt.Errorf("dims: missing dimension %s", d.Name)
+		}
+		if len(path) != d.Height() {
+			return fmt.Errorf("dims: dimension %s path has %d members, want %d",
+				d.Name, len(path), d.Height())
+		}
+		for lvl, m := range path {
+			if m == "" {
+				return fmt.Errorf("dims: dimension %s has empty member at level %d", d.Name, lvl+1)
+			}
+		}
+	}
+	for name := range members {
+		if _, ok := s.byName[name]; !ok {
+			return fmt.Errorf("dims: unknown dimension %s", name)
+		}
+	}
+	return nil
+}
+
+// LCALevel returns the Lowest Common Ancestor level of two member
+// paths (§4.1): the deepest level at which the paths still share equal
+// members starting from the top element. 0 means they only share the
+// top element; len(path) means the paths are identical.
+func LCALevel(a, b []string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	lca := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			break
+		}
+		lca = i + 1
+	}
+	return lca
+}
+
+// MeetPath returns the common prefix of two member paths: the members
+// shared by every series of a merged group. Used to compute group LCA
+// levels incrementally during partitioning.
+func MeetPath(a, b []string) []string {
+	return a[:LCALevel(a, b)]
+}

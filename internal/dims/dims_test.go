@@ -1,0 +1,133 @@
+package dims
+
+import "testing"
+
+func turbineSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Dimension{Name: "Location", Levels: []string{"Country", "Region", "Park", "Turbine"}},
+		Dimension{Name: "Measure", Levels: []string{"Category", "Concrete"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := turbineSchema(t)
+	d, ok := s.Dimension("Location")
+	if !ok || d.Height() != 4 {
+		t.Fatalf("Location = %+v, ok=%v", d, ok)
+	}
+	if _, ok := s.Dimension("Nope"); ok {
+		t.Fatal("unknown dimension must not be found")
+	}
+	if len(s.Dimensions()) != 2 {
+		t.Fatalf("Dimensions = %d, want 2", len(s.Dimensions()))
+	}
+}
+
+func TestDimensionLevelOf(t *testing.T) {
+	s := turbineSchema(t)
+	d, _ := s.Dimension("Location")
+	if got := d.LevelOf("Park"); got != 3 {
+		t.Fatalf("LevelOf(Park) = %d, want 3", got)
+	}
+	if got := d.LevelOf("park"); got != 3 {
+		t.Fatalf("LevelOf is case-insensitive, got %d", got)
+	}
+	if got := d.LevelOf("Blade"); got != 0 {
+		t.Fatalf("LevelOf(Blade) = %d, want 0", got)
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(Dimension{Name: "", Levels: []string{"a"}}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if _, err := NewSchema(Dimension{Name: "D"}); err == nil {
+		t.Fatal("no levels must fail")
+	}
+	if _, err := NewSchema(
+		Dimension{Name: "D", Levels: []string{"a"}},
+		Dimension{Name: "D", Levels: []string{"b"}},
+	); err == nil {
+		t.Fatal("duplicate dimension must fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := turbineSchema(t)
+	good := map[string][]string{
+		"Location": {"Denmark", "Nordjylland", "Aalborg", "9572"},
+		"Measure":  {"Temperature", "NacelleTemp"},
+	}
+	if err := s.Validate(good); err != nil {
+		t.Fatalf("valid members rejected: %v", err)
+	}
+	bad := map[string][]string{
+		"Location": {"Denmark", "Nordjylland"},
+		"Measure":  {"Temperature", "NacelleTemp"},
+	}
+	if err := s.Validate(bad); err == nil {
+		t.Fatal("short path must fail")
+	}
+	missing := map[string][]string{
+		"Measure": {"Temperature", "NacelleTemp"},
+	}
+	if err := s.Validate(missing); err == nil {
+		t.Fatal("missing dimension must fail")
+	}
+	unknown := map[string][]string{
+		"Location": {"Denmark", "Nordjylland", "Aalborg", "9572"},
+		"Measure":  {"Temperature", "NacelleTemp"},
+		"Extra":    {"x"},
+	}
+	if err := s.Validate(unknown); err == nil {
+		t.Fatal("unknown dimension must fail")
+	}
+	empty := map[string][]string{
+		"Location": {"Denmark", "", "Aalborg", "9572"},
+		"Measure":  {"Temperature", "NacelleTemp"},
+	}
+	if err := s.Validate(empty); err == nil {
+		t.Fatal("empty member must fail")
+	}
+}
+
+func TestLCALevelPaperExample(t *testing.T) {
+	// Fig. 7: Tid 2 (Aalborg turbine 9632) and Tid 3 (Farsø turbine
+	// 9634) share Denmark and Nordjylland: the figure puts their LCA at
+	// the Park member for Tid 2... the LCA *level* of the two paths is
+	// 2 (Country and Region equal), giving distance (4-2)/4 = 0.5; for
+	// turbines in the same park the LCA level is 3, distance 0.25 as
+	// computed in §4.1.
+	t92 := []string{"Denmark", "Nordjylland", "Aalborg", "9632"}
+	t94 := []string{"Denmark", "Nordjylland", "Aalborg", "9634"}
+	farso := []string{"Denmark", "Nordjylland", "Farsø", "9572"}
+	if got := LCALevel(t92, t94); got != 3 {
+		t.Fatalf("LCA same park = %d, want 3", got)
+	}
+	if got := LCALevel(t92, farso); got != 2 {
+		t.Fatalf("LCA different park = %d, want 2", got)
+	}
+	if got := LCALevel(t92, t92); got != 4 {
+		t.Fatalf("LCA with itself = %d, want 4", got)
+	}
+	if got := LCALevel(t92, []string{"Germany", "Bayern", "X", "1"}); got != 0 {
+		t.Fatalf("LCA different countries = %d, want 0", got)
+	}
+}
+
+func TestMeetPath(t *testing.T) {
+	a := []string{"Denmark", "Nordjylland", "Aalborg", "9632"}
+	b := []string{"Denmark", "Nordjylland", "Farsø", "9572"}
+	got := MeetPath(a, b)
+	if len(got) != 2 || got[0] != "Denmark" || got[1] != "Nordjylland" {
+		t.Fatalf("MeetPath = %v", got)
+	}
+	if got := MeetPath(a, a); len(got) != 4 {
+		t.Fatalf("MeetPath with itself = %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§7) at a configurable scale: the same workloads, the
+// same systems (with the substitutions documented in DESIGN.md) and
+// the same reported quantities. Absolute numbers differ from the paper
+// (different hardware and reimplemented comparators); the shapes —
+// who wins, by roughly what factor, where the crossovers fall — are
+// what these experiments reproduce.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"modelardb"
+	"modelardb/internal/baselines"
+	"modelardb/internal/core"
+	"modelardb/internal/partition"
+	"modelardb/internal/tsgen"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	ID     string // e.g. "fig14"
+	Title  string // e.g. "Figure 14: Storage, EP"
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", note)
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale sizes the synthetic data sets. The paper's EP is 339 GiB and
+// EH 583 GiB; these defaults run the full suite in minutes on one
+// machine while keeping the comparative shapes.
+type Scale struct {
+	EPEntities int
+	EPTicks    int
+	EHSeries   int
+	EHTicks    int
+	Seed       int64
+	GapRate    float64
+	// ScaleOutNodes are the simulated cluster sizes for Fig. 20.
+	ScaleOutNodes []int
+}
+
+// DefaultScale is used by the modelardb-bench binary.
+func DefaultScale() Scale {
+	return Scale{
+		EPEntities:    24, // 96 series
+		EPTicks:       4000,
+		EHSeries:      16,
+		EHTicks:       20000,
+		Seed:          42,
+		GapRate:       0.0005,
+		ScaleOutNodes: []int{1, 2, 4, 8, 16, 32},
+	}
+}
+
+// QuickScale keeps unit-test and testing.B runs fast.
+func QuickScale() Scale {
+	return Scale{
+		EPEntities:    6,
+		EPTicks:       600,
+		EHSeries:      8,
+		EHTicks:       2000,
+		Seed:          42,
+		GapRate:       0.001,
+		ScaleOutNodes: []int{1, 2, 4},
+	}
+}
+
+// Bounds are the evaluated error bounds (Table 1).
+var Bounds = []float64{0, 1, 5, 10}
+
+// epDataset builds the EP-like data set.
+func (s Scale) epDataset() *tsgen.Dataset {
+	return tsgen.EP(tsgen.EPConfig{
+		Entities: s.EPEntities,
+		Ticks:    s.EPTicks,
+		Seed:     s.Seed,
+		GapRate:  s.GapRate,
+	})
+}
+
+// ehDataset builds the EH-like data set.
+func (s Scale) ehDataset() *tsgen.Dataset {
+	return tsgen.EH(tsgen.EHConfig{
+		Series:  s.EHSeries,
+		Ticks:   s.EHTicks,
+		Seed:    s.Seed + 1,
+		GapRate: s.GapRate,
+	})
+}
+
+// epClauses is the EP correlation configuration, the analogue of the
+// paper's "Production 0, Measure 1 ProductionMWh" (§7.3): series of
+// one entity sharing a measure category are grouped.
+func epClauses() []string {
+	return []string{
+		"Production 0, Measure 1 Production",
+		"Production 0, Measure 1 Temperature",
+	}
+}
+
+// ehClauses uses the lowest-distance rule of thumb, exactly as §7.3
+// configures EH (0.16666667 for its 3- and 2-level dimensions).
+func ehClauses(d *tsgen.Dataset) []string {
+	schema := mustSchema(d)
+	return []string{fmt.Sprintf("%g", partition.LowestDistance(schema))}
+}
+
+func mustSchema(d *tsgen.Dataset) *modelardb.Schema {
+	cfg := mdbConfig(d, modelardb.RelBound(0), nil)
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	return db.Schema()
+}
+
+// mdbConfig converts a generated data set to a database config.
+func mdbConfig(d *tsgen.Dataset, bound modelardb.ErrorBound, clauses []string) modelardb.Config {
+	cfg := modelardb.Config{
+		ErrorBound:   bound,
+		Dimensions:   d.Dimensions,
+		Correlations: clauses,
+	}
+	for _, sp := range d.Series {
+		cfg.Series = append(cfg.Series, modelardb.SeriesConfig{
+			SI: sp.SI, Source: sp.Source, Members: sp.Members,
+		})
+	}
+	return cfg
+}
+
+// openMDB opens a v1-like (no grouping, no splitting) or v2-like
+// database over a data set.
+func openMDB(d *tsgen.Dataset, bound modelardb.ErrorBound, clauses []string, v1 bool) (*modelardb.DB, error) {
+	cfg := mdbConfig(d, bound, clauses)
+	if v1 {
+		cfg.Correlations = nil
+		cfg.DisableSplitting = true
+	}
+	return modelardb.Open(cfg)
+}
+
+// buildMeta converts a data set to the metadata cache the baseline
+// systems consume.
+func buildMeta(d *tsgen.Dataset) (*core.MetadataCache, error) {
+	meta := core.NewMetadataCache()
+	for i, sp := range d.Series {
+		err := meta.Add(&core.TimeSeries{
+			Tid: core.Tid(i + 1), SI: sp.SI, Source: sp.Source, Members: sp.Members,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := meta.SetGroup(core.Tid(i+1), core.Gid(i+1)); err != nil {
+			return nil, err
+		}
+	}
+	return meta, nil
+}
+
+// ingestInto streams the data set into a system and reports the
+// ingestion wall time.
+func ingestInto(s baselines.System, d *tsgen.Dataset) (time.Duration, int64, error) {
+	start := time.Now()
+	var points int64
+	err := d.Points(func(p core.DataPoint) error {
+		points++
+		return s.Append(p)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.Flush(); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), points, nil
+}
+
+// comparators builds the four baseline systems over a data set's
+// metadata.
+func comparators(d *tsgen.Dataset) ([]baselines.System, error) {
+	meta, err := buildMeta(d)
+	if err != nil {
+		return nil, err
+	}
+	return []baselines.System{
+		baselines.NewTSDB(meta, 1024),
+		baselines.NewRowStore(meta, 1024),
+		baselines.NewColumnStore(meta, baselines.VariantParquet, 4096),
+		baselines.NewColumnStore(meta, baselines.VariantORC, 4096),
+	}, nil
+}
+
+// mdbSystems builds the v1 and v2 adapters over a data set.
+func mdbSystems(d *tsgen.Dataset, bound modelardb.ErrorBound, clauses []string) (v1, v2 *baselines.MDB, err error) {
+	db1, err := openMDB(d, bound, clauses, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	db2, err := openMDB(d, bound, clauses, false)
+	if err != nil {
+		db1.Close()
+		return nil, nil, err
+	}
+	return baselines.WrapMDB("ModelarDBv1", db1), baselines.WrapMDB("ModelarDBv2", db2), nil
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond * 10).String()
+}
+
+func fmtRate(points int64, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3f M dp/s", float64(points)/d.Seconds()/1e6)
+}

@@ -1,0 +1,452 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"modelardb"
+	"modelardb/internal/baselines"
+	"modelardb/internal/core"
+	"modelardb/internal/query"
+	"modelardb/internal/sqlparse"
+	"modelardb/internal/tsgen"
+)
+
+// timed runs fn and returns its duration.
+func timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// Fig19 reproduces Figure 19: L-AGG, large-scale aggregates over the
+// whole EP data set per system, including ModelarDBv2 through both the
+// Segment View (SV) and the Data Point View (DPV). The paper reports
+// SV fastest or close to Parquet (whose column pruning wins simple
+// single-column aggregates), with row stores far behind.
+func Fig19(scale Scale) (*Table, error) {
+	d := scale.epDataset()
+	t := &Table{
+		ID:     "fig19",
+		Title:  "L-AGG runtime, EP",
+		Header: []string{"System", "Interface", "Time", "Checksum"},
+	}
+	systems, err := comparators(d)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range systems {
+		if _, _, err := ingestInto(s, d); err != nil {
+			return nil, err
+		}
+		var sum float64
+		dur, err := timed(func() error {
+			var err error
+			sum, _, err = s.SumAll()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{s.Name(), "S", fmtDur(dur), fmt.Sprintf("%.1f", sum)})
+		s.Close()
+	}
+	v1, v2, err := mdbSystems(d, modelardb.RelBound(5), epClauses())
+	if err != nil {
+		return nil, err
+	}
+	defer v1.Close()
+	defer v2.Close()
+	if _, _, err := ingestInto(v1, d); err != nil {
+		return nil, err
+	}
+	if _, _, err := ingestInto(v2, d); err != nil {
+		return nil, err
+	}
+	var sum float64
+	dur, err := timed(func() error {
+		var err error
+		sum, _, err = v1.SumAll()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"ModelarDBv1", "SV", fmtDur(dur), fmt.Sprintf("%.1f", sum)})
+	dur, err = timed(func() error {
+		var err error
+		sum, _, err = v2.SumAll()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"ModelarDBv2", "SV", fmtDur(dur), fmt.Sprintf("%.1f", sum)})
+	dur, err = timed(func() error {
+		var err error
+		sum, _, err = v2.SumAllDataPoints()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"ModelarDBv2", "DPV", fmtDur(dur), fmt.Sprintf("%.1f", sum)})
+	t.Notes = append(t.Notes, "paper: SV beats DPV by executing on models; Parquet competitive via column pruning")
+	return t, nil
+}
+
+// Fig20 reproduces Figure 20: weak-scaling scale-out of L-AGG from 1
+// to 32 nodes for both views. Each simulated node holds a full copy of
+// the base data (as the paper duplicates EP per node); the cluster's
+// wall time is the slowest worker plus the master's merge, because
+// group-based placement never shuffles data. The paper reports linear
+// scaling for both views.
+func Fig20(scale Scale) (*Table, error) {
+	d := scale.epDataset()
+	t := &Table{
+		ID:     "fig20",
+		Title:  "Scale-out, L-AGG (simulated weak scaling)",
+		Header: []string{"Nodes", "SV relative increase", "DPV relative increase"},
+	}
+	db, err := openMDB(d, modelardb.RelBound(5), epClauses(), false)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := d.Points(func(p core.DataPoint) error { return db.Append(p.Tid, p.TS, p.Value) }); err != nil {
+		return nil, err
+	}
+	if err := db.Flush(); err != nil {
+		return nil, err
+	}
+	queries := map[string]string{
+		"SV":  "SELECT SUM_S(*), COUNT_S(*) FROM Segment",
+		"DPV": "SELECT SUM(Value), COUNT(*) FROM DataPoint",
+	}
+	baselineThroughput := map[string]float64{}
+	rows := map[int][]string{}
+	for _, view := range []string{"SV", "DPV"} {
+		q, err := sqlparse.Parse(queries[view])
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range scale.ScaleOutNodes {
+			// Each node executes the same partial over its own copy; the
+			// cluster's wall time is max(worker) + merge at the master.
+			// Per-worker times are the best of three runs to keep
+			// scheduler noise out of the scaling curve.
+			var maxWorker time.Duration
+			partials := make([]*query.PartialResult, n)
+			for w := 0; w < n; w++ {
+				var best time.Duration
+				for rep := 0; rep < 3; rep++ {
+					dur, err := timed(func() error {
+						var err error
+						partials[w], err = db.Engine().ExecutePartial(q)
+						return err
+					})
+					if err != nil {
+						return nil, err
+					}
+					if rep == 0 || dur < best {
+						best = dur
+					}
+				}
+				if best > maxWorker {
+					maxWorker = best
+				}
+			}
+			mergeDur, err := timed(func() error {
+				_, err := db.Engine().Finalize(q, partials)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			wall := maxWorker + mergeDur
+			throughput := float64(n) / wall.Seconds()
+			if n == scale.ScaleOutNodes[0] {
+				baselineThroughput[view] = throughput / float64(n)
+			}
+			rel := throughput / baselineThroughput[view]
+			if rows[n] == nil {
+				rows[n] = []string{fmt.Sprint(n)}
+			}
+			rows[n] = append(rows[n], fmt.Sprintf("%.2fx", rel))
+		}
+	}
+	for _, n := range scale.ScaleOutNodes {
+		t.Rows = append(t.Rows, rows[n])
+	}
+	t.Notes = append(t.Notes,
+		"wall time per cluster size = slowest worker + master merge (no shuffling, §7.3)",
+		"paper: linear up to 32 Azure nodes for both views")
+	return t, nil
+}
+
+// saggFigure runs S-AGG (Figs. 21 and 22): small aggregates on single
+// series and a five-series GROUP BY.
+func saggFigure(id, title string, d *tsgen.Dataset, clauses []string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"System", "Single series", "5-series GROUP BY"},
+	}
+	singleTids := []core.Tid{1, 3, 5}
+	groupTids := []core.Tid{1, 2, 3, 4, 5}
+	run := func(name string, s baselines.System) error {
+		var dur1 time.Duration
+		for _, tid := range singleTids {
+			dur, err := timed(func() error {
+				_, _, err := s.SumSeries(tid)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			dur1 += dur
+		}
+		dur5, err := timed(func() error {
+			for _, tid := range groupTids {
+				if _, _, err := s.SumSeries(tid); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{name, fmtDur(dur1 / time.Duration(len(singleTids))), fmtDur(dur5)})
+		return nil
+	}
+	systems, err := comparators(d)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range systems {
+		if _, _, err := ingestInto(s, d); err != nil {
+			return nil, err
+		}
+		if err := run(s.Name(), s); err != nil {
+			return nil, err
+		}
+		s.Close()
+	}
+	v1, v2, err := mdbSystems(d, modelardb.RelBound(5), clauses)
+	if err != nil {
+		return nil, err
+	}
+	defer v1.Close()
+	defer v2.Close()
+	for _, s := range []*baselines.MDB{v1, v2} {
+		if _, _, err := ingestInto(s, d); err != nil {
+			return nil, err
+		}
+		if err := run(s.Name(), s); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes, "paper: v2 slightly slower than columnar formats here (a whole group is read for one series)")
+	return t, nil
+}
+
+// Fig21 reproduces Figure 21: S-AGG on EP.
+func Fig21(scale Scale) (*Table, error) {
+	return saggFigure("fig21", "S-AGG, EP", scale.epDataset(), epClauses())
+}
+
+// Fig22 reproduces Figure 22: S-AGG on EH.
+func Fig22(scale Scale) (*Table, error) {
+	d := scale.ehDataset()
+	return saggFigure("fig22", "S-AGG, EH", d, ehClauses(d))
+}
+
+// prFigure runs P/R (Figs. 23 and 24): point and small range queries,
+// the workload MMGC is explicitly not designed for.
+func prFigure(id, title string, d *tsgen.Dataset, clauses []string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"System", "Point query", "Range query"},
+	}
+	pointTS := d.StartTime + int64(d.Ticks/2)*d.SI
+	rangeFrom := pointTS
+	rangeTo := pointTS + 100*d.SI
+	run := func(name string, s baselines.System) error {
+		durP, err := timed(func() error {
+			return s.ScanRange(2, pointTS, pointTS, func(core.DataPoint) error { return nil })
+		})
+		if err != nil {
+			return err
+		}
+		durR, err := timed(func() error {
+			return s.ScanRange(2, rangeFrom, rangeTo, func(core.DataPoint) error { return nil })
+		})
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{name, fmtDur(durP), fmtDur(durR)})
+		return nil
+	}
+	systems, err := comparators(d)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range systems {
+		if _, _, err := ingestInto(s, d); err != nil {
+			return nil, err
+		}
+		if err := run(s.Name(), s); err != nil {
+			return nil, err
+		}
+		s.Close()
+	}
+	v1, v2, err := mdbSystems(d, modelardb.RelBound(5), clauses)
+	if err != nil {
+		return nil, err
+	}
+	defer v1.Close()
+	defer v2.Close()
+	for _, s := range []*baselines.MDB{v1, v2} {
+		if _, _, err := ingestInto(s, d); err != nil {
+			return nil, err
+		}
+		if err := run(s.Name(), s); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes, "paper: v2 slower than v1 here (group segments read for one series); worst case for MMGC")
+	return t, nil
+}
+
+// Fig23 reproduces Figure 23: P/R on EP.
+func Fig23(scale Scale) (*Table, error) {
+	return prFigure("fig23", "P/R, EP", scale.epDataset(), epClauses())
+}
+
+// Fig24 reproduces Figure 24: P/R on EH.
+func Fig24(scale Scale) (*Table, error) {
+	d := scale.ehDataset()
+	return prFigure("fig24", "P/R, EH", d, ehClauses(d))
+}
+
+// maggFigure runs M-AGG (Figs. 25-28): multi-dimensional aggregates
+// filtered to one member, grouped by month and a dimension level,
+// optionally drilling below the partitioning level (perTid adds Tid).
+func maggFigure(id, title string, d *tsgen.Dataset, clauses []string,
+	filter baselines.MemberFilter, group baselines.MemberRef, perTid bool) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"System", "Time", "Groups"},
+	}
+	run := func(name string, s baselines.System, note string) error {
+		var groups int
+		dur, err := timed(func() error {
+			res, err := s.MonthlySum(filter, group, perTid)
+			groups = len(res)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		label := name + note
+		t.Rows = append(t.Rows, []string{label, fmtDur(dur), fmt.Sprint(groups)})
+		return nil
+	}
+	systems, err := comparators(d)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range systems {
+		if _, _, err := ingestInto(s, d); err != nil {
+			return nil, err
+		}
+		note := ""
+		if s.Name() == "InfluxDB-like" {
+			// §7.3: InfluxDB cannot aggregate calendar months natively.
+			note = " (emulated)"
+		}
+		if err := run(s.Name(), s, note); err != nil {
+			return nil, err
+		}
+		s.Close()
+	}
+	_, v2, err := mdbSystems(d, modelardb.RelBound(5), clauses)
+	if err != nil {
+		return nil, err
+	}
+	defer v2.Close()
+	if _, _, err := ingestInto(v2, d); err != nil {
+		return nil, err
+	}
+	if err := run("ModelarDBv2", v2, " (SV)"); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: v2 fastest for M-AGG at and below the partitioning level (1.05-91.9x)")
+	return t, nil
+}
+
+// Fig25 reproduces Figure 25: M-AGG-One on EP — GROUP BY month and
+// category (the level the data was partitioned at).
+func Fig25(scale Scale) (*Table, error) {
+	return maggFigure("fig25", "M-AGG-One, EP", scale.epDataset(), epClauses(),
+		baselines.MemberFilter{Dimension: "Measure", Level: 1, Member: "Production"},
+		baselines.MemberRef{Dimension: "Measure", Level: 1}, false)
+}
+
+// Fig26 reproduces Figure 26: M-AGG-Two on EP — drill-down one level
+// below the partitioning (GROUP BY concrete measure and Tid).
+func Fig26(scale Scale) (*Table, error) {
+	return maggFigure("fig26", "M-AGG-Two, EP", scale.epDataset(), epClauses(),
+		baselines.MemberFilter{Dimension: "Measure", Level: 1, Member: "Production"},
+		baselines.MemberRef{Dimension: "Measure", Level: 2}, true)
+}
+
+// Fig27 reproduces Figure 27: M-AGG-One on EH — GROUP BY month and
+// park.
+func Fig27(scale Scale) (*Table, error) {
+	d := scale.ehDataset()
+	return maggFigure("fig27", "M-AGG-One, EH", d, ehClauses(d),
+		baselines.MemberFilter{Dimension: "Measure", Level: 1, Member: "Power"},
+		baselines.MemberRef{Dimension: "Location", Level: 2}, false)
+}
+
+// Fig28 reproduces Figure 28: M-AGG-Two on EH — GROUP BY month and
+// entity.
+func Fig28(scale Scale) (*Table, error) {
+	d := scale.ehDataset()
+	return maggFigure("fig28", "M-AGG-Two, EH", d, ehClauses(d),
+		baselines.MemberFilter{Dimension: "Measure", Level: 1, Member: "Power"},
+		baselines.MemberRef{Dimension: "Location", Level: 3}, true)
+}
+
+// Experiment is one runnable paper experiment.
+type Experiment struct {
+	ID  string
+	Run func(Scale) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"sec5.2", Sec52},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"fig15", Fig15},
+		{"fig16", Fig16},
+		{"fig17", Fig17},
+		{"fig18", Fig18},
+		{"fig19", Fig19},
+		{"fig20", Fig20},
+		{"fig21", Fig21},
+		{"fig22", Fig22},
+		{"fig23", Fig23},
+		{"fig24", Fig24},
+		{"fig25", Fig25},
+		{"fig26", Fig26},
+		{"fig27", Fig27},
+		{"fig28", Fig28},
+	}
+}

@@ -1,0 +1,228 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	mathbits "math/bits"
+
+	"modelardb/internal/bits"
+)
+
+// GorillaType is the lossless floating-point compression of Pelkonen et
+// al. with the MGC extension of §5.2: the values of all series in a
+// group are stored in time-ordered blocks, one block per sampling
+// interval, so correlated series XOR against each other's nearly equal
+// values and encode in a few bits each.
+type GorillaType struct{}
+
+// MID implements ModelType.
+func (GorillaType) MID() MID { return MidGorilla }
+
+// Name implements ModelType.
+func (GorillaType) Name() string { return "Gorilla" }
+
+// New implements ModelType.
+func (GorillaType) New(bound ErrorBound, nseries int) Model {
+	m := &gorillaModel{nseries: nseries}
+	m.enc.w = bits.NewWriter(64)
+	return m
+}
+
+// View implements ModelType: it decodes the value stream eagerly, so
+// aggregates on Gorilla segments cost time linear in the range, unlike
+// the constant-time PMC and Swing fast paths.
+func (GorillaType) View(params []byte, nseries, length int) (AggView, error) {
+	values, err := gorillaDecode(params, nseries*length)
+	if err != nil {
+		return nil, err
+	}
+	return &gorillaView{values: values, nseries: nseries, length: length}, nil
+}
+
+// gorillaEncoder holds the XOR-compression state for a stream of
+// float32 values.
+type gorillaEncoder struct {
+	w        *bits.Writer
+	prev     uint32
+	prevLead uint8
+	prevMLen uint8 // meaningful bits of the previous window; 0 = no window yet
+	count    int
+}
+
+func (e *gorillaEncoder) append(v float32) {
+	b := math.Float32bits(v)
+	if e.count == 0 {
+		e.w.WriteBits(uint64(b), 32)
+		e.prev = b
+		e.count++
+		return
+	}
+	xor := e.prev ^ b
+	e.prev = b
+	e.count++
+	if xor == 0 {
+		e.w.WriteBit(false)
+		return
+	}
+	e.w.WriteBit(true)
+	lead := uint8(mathbits.LeadingZeros32(xor))
+	if lead > 31 {
+		lead = 31
+	}
+	trail := uint8(mathbits.TrailingZeros32(xor))
+	mlen := 32 - lead - trail
+	if e.prevMLen != 0 && lead >= e.prevLead && trail >= 32-e.prevLead-e.prevMLen {
+		// The meaningful bits fit in the previous window.
+		e.w.WriteBit(false)
+		prevTrail := 32 - e.prevLead - e.prevMLen
+		e.w.WriteBits(uint64(xor>>prevTrail), uint(e.prevMLen))
+		return
+	}
+	e.w.WriteBit(true)
+	e.w.WriteBits(uint64(lead), 5)
+	e.w.WriteBits(uint64(mlen-1), 5)
+	e.w.WriteBits(uint64(xor>>trail), uint(mlen))
+	e.prevLead, e.prevMLen = lead, mlen
+}
+
+// gorillaDecode reconstructs count float32 values from a stream
+// produced by gorillaEncoder.
+func gorillaDecode(params []byte, count int) ([]float32, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	r := bits.NewReader(params)
+	out := make([]float32, 0, count)
+	first, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("models: gorilla decode: %w", err)
+	}
+	prev := uint32(first)
+	out = append(out, math.Float32frombits(prev))
+	var lead, mlen uint8
+	for len(out) < count {
+		ctrl, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("models: gorilla decode: %w", err)
+		}
+		if !ctrl {
+			out = append(out, math.Float32frombits(prev))
+			continue
+		}
+		newWindow, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("models: gorilla decode: %w", err)
+		}
+		if newWindow {
+			l, err := r.ReadBits(5)
+			if err != nil {
+				return nil, fmt.Errorf("models: gorilla decode: %w", err)
+			}
+			ml, err := r.ReadBits(5)
+			if err != nil {
+				return nil, fmt.Errorf("models: gorilla decode: %w", err)
+			}
+			lead, mlen = uint8(l), uint8(ml)+1
+		} else if mlen == 0 {
+			return nil, fmt.Errorf("models: gorilla decode: reused window before any window was set")
+		}
+		m, err := r.ReadBits(uint(mlen))
+		if err != nil {
+			return nil, fmt.Errorf("models: gorilla decode: %w", err)
+		}
+		trail := 32 - lead - mlen
+		prev ^= uint32(m) << trail
+		out = append(out, math.Float32frombits(prev))
+	}
+	return out, nil
+}
+
+// gorillaModel appends the group's values in series order at each
+// sampling interval. Being lossless it can always fit more values; the
+// segment generator bounds its growth with the model length limit.
+type gorillaModel struct {
+	nseries int
+	length  int
+	enc     gorillaEncoder
+}
+
+func (m *gorillaModel) Append(values []float32) bool {
+	if len(values) != m.nseries {
+		return false
+	}
+	for _, v := range values {
+		m.enc.append(v)
+	}
+	m.length++
+	return true
+}
+
+func (m *gorillaModel) Length() int { return m.length }
+
+func (m *gorillaModel) Bytes(length int) ([]byte, error) {
+	if length < 1 || length > m.length {
+		return nil, fmt.Errorf("models: Gorilla Bytes(%d) outside [1, %d]", length, m.length)
+	}
+	if length == m.length {
+		out := make([]byte, m.enc.w.Len())
+		copy(out, m.enc.w.Bytes())
+		return out, nil
+	}
+	// Re-encode the prefix. This path is only taken when a verified
+	// prefix is shorter than the fitted length, which lossless Gorilla
+	// never triggers during normal ingestion.
+	values, err := gorillaDecode(m.enc.w.Bytes(), length*m.nseries)
+	if err != nil {
+		return nil, err
+	}
+	enc := gorillaEncoder{w: bits.NewWriter(len(values))}
+	for _, v := range values {
+		enc.append(v)
+	}
+	out := make([]byte, enc.w.Len())
+	copy(out, enc.w.Bytes())
+	return out, nil
+}
+
+// gorillaView serves aggregates from the decoded value grid, stored
+// interval-major: values[i*nseries+series].
+type gorillaView struct {
+	values  []float32
+	nseries int
+	length  int
+}
+
+func (v *gorillaView) Length() int    { return v.length }
+func (v *gorillaView) NumSeries() int { return v.nseries }
+
+func (v *gorillaView) ValueAt(series, i int) float32 {
+	return v.values[i*v.nseries+series]
+}
+
+func (v *gorillaView) SumRange(series, i0, i1 int) float64 {
+	sum := 0.0
+	for i := i0; i <= i1; i++ {
+		sum += float64(v.values[i*v.nseries+series])
+	}
+	return sum
+}
+
+func (v *gorillaView) MinRange(series, i0, i1 int) float64 {
+	mn := float64(v.values[i0*v.nseries+series])
+	for i := i0 + 1; i <= i1; i++ {
+		if f := float64(v.values[i*v.nseries+series]); f < mn {
+			mn = f
+		}
+	}
+	return mn
+}
+
+func (v *gorillaView) MaxRange(series, i0, i1 int) float64 {
+	mx := float64(v.values[i0*v.nseries+series])
+	for i := i0 + 1; i <= i1; i++ {
+		if f := float64(v.values[i*v.nseries+series]); f > mx {
+			mx = f
+		}
+	}
+	return mx
+}

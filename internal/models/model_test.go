@@ -1,0 +1,184 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErrorBoundInterval(t *testing.T) {
+	tests := []struct {
+		name   string
+		bound  ErrorBound
+		value  float64
+		lo, hi float64
+	}{
+		{"relative 10% positive", RelBound(10), 100, 90, 110},
+		{"relative 10% negative", RelBound(10), -100, -110, -90},
+		{"relative zero value", RelBound(10), 0, 0, 0},
+		{"absolute", AbsBound(2), 5, 3, 7},
+		{"lossless relative", RelBound(0), 42, 42, 42},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lo, hi := tt.bound.Interval(tt.value)
+			if lo != tt.lo || hi != tt.hi {
+				t.Fatalf("Interval(%g) = [%g, %g], want [%g, %g]", tt.value, lo, hi, tt.lo, tt.hi)
+			}
+		})
+	}
+}
+
+func TestErrorBoundWithin(t *testing.T) {
+	b := RelBound(5)
+	if !b.Within(105, 100) {
+		t.Fatal("105 should be within 5% of 100")
+	}
+	if b.Within(105.01, 100) {
+		t.Fatal("105.01 should not be within 5% of 100")
+	}
+	if !b.Within(100, 100) {
+		t.Fatal("exact value must always be within")
+	}
+	z := RelBound(0)
+	if !z.Within(7, 7) || z.Within(7.0000001, 7) {
+		t.Fatal("lossless bound must require exact equality")
+	}
+}
+
+func TestErrorBoundIsLossless(t *testing.T) {
+	if !RelBound(0).IsLossless() || !AbsBound(0).IsLossless() {
+		t.Fatal("zero bounds must be lossless")
+	}
+	if RelBound(1).IsLossless() {
+		t.Fatal("non-zero bound must not be lossless")
+	}
+}
+
+func TestErrorBoundString(t *testing.T) {
+	if got := RelBound(5).String(); got != "5%" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := AbsBound(0.5).String(); got != "abs(0.5)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCorridor(t *testing.T) {
+	lo, hi, ok := corridor([]float32{100, 102}, AbsBound(2))
+	if !ok {
+		t.Fatal("corridor should be non-empty")
+	}
+	if lo != 100 || hi != 102 {
+		t.Fatalf("corridor = [%g, %g], want [100, 102]", lo, hi)
+	}
+	// Values more than 2e apart admit no common approximation (the
+	// double-error-bound rule of §4.2).
+	_, _, ok = corridor([]float32{100, 104.1}, AbsBound(2))
+	if ok {
+		t.Fatal("corridor should be empty for values more than 2e apart")
+	}
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	r := NewBuiltinRegistry()
+	types := r.Types()
+	if len(types) != 3 {
+		t.Fatalf("builtin registry has %d types, want 3", len(types))
+	}
+	wantOrder := []MID{MidPMC, MidSwing, MidGorilla}
+	for i, mt := range types {
+		if mt.MID() != wantOrder[i] {
+			t.Fatalf("type %d has MID %d, want %d", i, mt.MID(), wantOrder[i])
+		}
+	}
+	if _, ok := r.Get(MidSwing); !ok {
+		t.Fatal("Get(MidSwing) not found")
+	}
+	if _, ok := r.ByName("Gorilla"); !ok {
+		t.Fatal(`ByName("Gorilla") not found`)
+	}
+	if _, ok := r.Get(99); ok {
+		t.Fatal("Get(99) should not be found")
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewBuiltinRegistry()
+	if err := r.Register(PMCType{}); err == nil {
+		t.Fatal("duplicate MID must be rejected")
+	}
+	if err := r.Register(NewMulti(PMCType{}, MidPMC)); err == nil {
+		t.Fatal("duplicate MID must be rejected even under a different name")
+	}
+	if err := r.Register(NewMulti(PMCType{}, MidMultiBase)); err != nil {
+		t.Fatalf("fresh MID rejected: %v", err)
+	}
+	if err := r.Register(NewMulti(PMCType{}, MidMultiBase+1)); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	}
+}
+
+func TestRegistryRejectsMIDZero(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(NewMulti(PMCType{}, 0)); err == nil {
+		t.Fatal("MID 0 must be rejected")
+	}
+}
+
+func TestRegistryViewUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.View(7, nil, 1, 1); err == nil {
+		t.Fatal("View with unknown MID must fail")
+	}
+}
+
+// fitAll appends every interval of grid (interval-major values for
+// nseries series) and returns the fitted length.
+func fitAll(m Model, grid [][]float32) int {
+	for _, vals := range grid {
+		if !m.Append(vals) {
+			break
+		}
+	}
+	return m.Length()
+}
+
+// checkViewWithinBound decodes the model at the given length and
+// verifies every reconstructed value against the bound.
+func checkViewWithinBound(t *testing.T, mt ModelType, m Model, grid [][]float32, nseries int, bound ErrorBound) {
+	t.Helper()
+	length := m.Length()
+	if length == 0 {
+		return
+	}
+	params, err := m.Bytes(length)
+	if err != nil {
+		t.Fatalf("Bytes(%d): %v", length, err)
+	}
+	view, err := mt.View(params, nseries, length)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if view.Length() != length || view.NumSeries() != nseries {
+		t.Fatalf("view dims = (%d, %d), want (%d, %d)", view.Length(), view.NumSeries(), length, nseries)
+	}
+	for i := 0; i < length; i++ {
+		for s := 0; s < nseries; s++ {
+			got := float64(view.ValueAt(s, i))
+			real := float64(grid[i][s])
+			if !withinLoose(bound, got, real) {
+				t.Fatalf("%s: value (series=%d, i=%d) = %g, real %g outside bound %v",
+					mt.Name(), s, i, got, real, bound)
+			}
+		}
+	}
+}
+
+// withinLoose allows a single float32 ULP of slack for the quantization
+// of stored parameters; the segment generator's verification pass (see
+// internal/core) enforces the strict bound on what is actually stored.
+func withinLoose(b ErrorBound, approx, real float64) bool {
+	lo, hi := b.Interval(real)
+	slack := math.Max(math.Abs(real), math.Abs(approx)) * 1.2e-7
+	return approx >= lo-slack && approx <= hi+slack
+}

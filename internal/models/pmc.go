@@ -1,0 +1,105 @@
+package models
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PMCType is the constant PMC-Mean model (Lazaridis & Mehrotra) with
+// the MGC extension of §5.2: the values of a whole group at one
+// sampling interval are reduced to their permitted-interval corridor,
+// so the model represents every series with a single mean value and
+// needs no structural change to support groups.
+type PMCType struct{}
+
+// MID implements ModelType.
+func (PMCType) MID() MID { return MidPMC }
+
+// Name implements ModelType.
+func (PMCType) Name() string { return "PMC" }
+
+// New implements ModelType.
+func (PMCType) New(bound ErrorBound, nseries int) Model {
+	return &pmcModel{bound: bound, lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+// View implements ModelType. PMC parameters are one float32.
+func (PMCType) View(params []byte, nseries, length int) (AggView, error) {
+	if len(params) != 4 {
+		return nil, fmt.Errorf("models: PMC parameters must be 4 bytes, got %d", len(params))
+	}
+	v := math.Float32frombits(binary.LittleEndian.Uint32(params))
+	return pmcView{value: v, nseries: nseries, length: length}, nil
+}
+
+// pmcModel tracks the running mean of every appended value and the
+// corridor of approximations permitted by all of them. The model is
+// valid while the mean stays inside the corridor; since every value
+// lies inside its own permitted interval this is exact, not a
+// heuristic.
+type pmcModel struct {
+	bound  ErrorBound
+	length int
+	count  float64 // number of values (ticks x series)
+	sum    float64
+	lo, hi float64 // corridor: max of lower limits, min of upper limits
+}
+
+func (m *pmcModel) Append(values []float32) bool {
+	if len(values) == 0 {
+		return false
+	}
+	lo, hi, sum := m.lo, m.hi, m.sum
+	for _, v := range values {
+		l, h := m.bound.Interval(float64(v))
+		if l > lo {
+			lo = l
+		}
+		if h < hi {
+			hi = h
+		}
+		sum += float64(v)
+	}
+	count := m.count + float64(len(values))
+	mean := sum / count
+	// The stored parameter is a float32, so validate the quantized mean.
+	qm := float64(float32(mean))
+	if lo > hi || qm < lo || qm > hi {
+		return false
+	}
+	m.lo, m.hi, m.sum, m.count = lo, hi, sum, count
+	m.length++
+	return true
+}
+
+func (m *pmcModel) Length() int { return m.length }
+
+func (m *pmcModel) Bytes(length int) ([]byte, error) {
+	if length < 1 || length > m.length {
+		return nil, fmt.Errorf("models: PMC Bytes(%d) outside [1, %d]", length, m.length)
+	}
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint32(out, math.Float32bits(float32(m.sum/m.count)))
+	return out, nil
+}
+
+// pmcView answers aggregates in constant time: every series at every
+// interval has the same reconstructed value.
+type pmcView struct {
+	value   float32
+	nseries int
+	length  int
+}
+
+func (v pmcView) Length() int    { return v.length }
+func (v pmcView) NumSeries() int { return v.nseries }
+
+func (v pmcView) ValueAt(series, i int) float32 { return v.value }
+
+func (v pmcView) SumRange(series, i0, i1 int) float64 {
+	return float64(v.value) * float64(i1-i0+1)
+}
+
+func (v pmcView) MinRange(series, i0, i1 int) float64 { return float64(v.value) }
+func (v pmcView) MaxRange(series, i0, i1 int) float64 { return float64(v.value) }

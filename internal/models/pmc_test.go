@@ -1,0 +1,171 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPMCConstantSeries(t *testing.T) {
+	m := PMCType{}.New(RelBound(0), 1)
+	for i := 0; i < 100; i++ {
+		if !m.Append([]float32{42}) {
+			t.Fatalf("lossless PMC rejected constant value at %d", i)
+		}
+	}
+	if m.Length() != 100 {
+		t.Fatalf("Length = %d, want 100", m.Length())
+	}
+	params, err := m.Bytes(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 4 {
+		t.Fatalf("PMC params are %d bytes, want 4", len(params))
+	}
+	view, err := PMCType{}.View(params, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ValueAt(0, 50) != 42 {
+		t.Fatalf("ValueAt = %g, want 42", view.ValueAt(0, 50))
+	}
+}
+
+func TestPMCLosslessRejectsChange(t *testing.T) {
+	m := PMCType{}.New(RelBound(0), 1)
+	if !m.Append([]float32{1}) {
+		t.Fatal("first append rejected")
+	}
+	if m.Append([]float32{2}) {
+		t.Fatal("lossless PMC must reject a different value")
+	}
+	if m.Length() != 1 {
+		t.Fatalf("Length after rejection = %d, want 1", m.Length())
+	}
+}
+
+func TestPMCWithinAbsoluteBound(t *testing.T) {
+	m := PMCType{}.New(AbsBound(1), 1)
+	values := []float32{10, 10.5, 9.5, 10.9, 9.1}
+	for i, v := range values {
+		if !m.Append([]float32{v}) {
+			t.Fatalf("append %d (%g) rejected", i, v)
+		}
+	}
+	// 12.5 is more than 2 from 9.1's permitted range given the mean.
+	if m.Append([]float32{12.5}) {
+		t.Fatal("PMC must reject a value outside the corridor")
+	}
+}
+
+func TestPMCGroupUsesCorridor(t *testing.T) {
+	// A group of three series whose values at each interval stay within
+	// 2e of each other fits a single PMC model (§5.2).
+	m := PMCType{}.New(AbsBound(1), 3)
+	grid := [][]float32{
+		{10, 10.5, 9.5},
+		{10.2, 10.8, 9.4},
+		{9.8, 10.1, 10.6},
+	}
+	if got := fitAll(m, grid); got != 3 {
+		t.Fatalf("fitted length = %d, want 3", got)
+	}
+	checkViewWithinBound(t, PMCType{}, m, grid, 3, AbsBound(1))
+}
+
+func TestPMCGroupRejectsWideSpread(t *testing.T) {
+	m := PMCType{}.New(AbsBound(1), 2)
+	if m.Append([]float32{0, 3}) {
+		t.Fatal("values 3 apart cannot share a PMC value under bound 1")
+	}
+}
+
+func TestPMCRejectionLeavesModelUsable(t *testing.T) {
+	m := PMCType{}.New(AbsBound(0.5), 1)
+	grid := [][]float32{{5}, {5.2}, {4.9}}
+	fitAll(m, grid)
+	if m.Append([]float32{50}) {
+		t.Fatal("must reject")
+	}
+	// Bytes for the accepted prefix still works after rejection.
+	checkViewWithinBound(t, PMCType{}, m, grid, 1, AbsBound(0.5))
+}
+
+func TestPMCBytesRangeChecks(t *testing.T) {
+	m := PMCType{}.New(RelBound(10), 1)
+	m.Append([]float32{1})
+	if _, err := m.Bytes(0); err == nil {
+		t.Fatal("Bytes(0) must fail")
+	}
+	if _, err := m.Bytes(2); err == nil {
+		t.Fatal("Bytes beyond length must fail")
+	}
+}
+
+func TestPMCViewAggregates(t *testing.T) {
+	m := PMCType{}.New(RelBound(10), 2)
+	grid := [][]float32{{100, 101}, {99, 100}, {101, 102}}
+	fitAll(m, grid)
+	params, _ := m.Bytes(3)
+	view, err := PMCType{}.View(params, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := float64(view.ValueAt(0, 0))
+	if got := view.SumRange(0, 0, 2); got != 3*v {
+		t.Fatalf("SumRange = %g, want %g", got, 3*v)
+	}
+	if view.MinRange(1, 0, 2) != v || view.MaxRange(1, 0, 2) != v {
+		t.Fatal("constant model min/max must equal its value")
+	}
+}
+
+func TestPMCViewBadParams(t *testing.T) {
+	if _, err := (PMCType{}).View([]byte{1, 2, 3}, 1, 1); err == nil {
+		t.Fatal("short params must fail")
+	}
+}
+
+// TestPMCQuickWithinBound fits random near-constant series and checks
+// the reconstruction invariant.
+func TestPMCQuickWithinBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := rng.Float64()*200 - 100
+		bound := AbsBound(rng.Float64()*2 + 0.1)
+		nseries := rng.Intn(4) + 1
+		m := PMCType{}.New(bound, nseries)
+		var grid [][]float32
+		for i := 0; i < 50; i++ {
+			vals := make([]float32, nseries)
+			for s := range vals {
+				vals[s] = float32(base + rng.NormFloat64()*bound.Value/4)
+			}
+			grid = append(grid, vals)
+		}
+		length := fitAll(m, grid)
+		if length == 0 {
+			return true
+		}
+		params, err := m.Bytes(length)
+		if err != nil {
+			return false
+		}
+		view, err := PMCType{}.View(params, nseries, length)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < length; i++ {
+			for s := 0; s < nseries; s++ {
+				if !withinLoose(bound, float64(view.ValueAt(s, i)), float64(grid[i][s])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

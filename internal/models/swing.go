@@ -1,0 +1,157 @@
+package models
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SwingType is the linear Swing model (Elmeleegy et al.) with the MGC
+// extension of §5.2: the line's initial point is computed like PMC
+// from the first interval's corridor, and at every later interval only
+// the corridor of the group's values can tighten the feasible slope
+// range, so a single line represents every series in the group.
+type SwingType struct{}
+
+// MID implements ModelType.
+func (SwingType) MID() MID { return MidSwing }
+
+// Name implements ModelType.
+func (SwingType) Name() string { return "Swing" }
+
+// New implements ModelType.
+func (SwingType) New(bound ErrorBound, nseries int) Model {
+	return &swingModel{bound: bound}
+}
+
+// View implements ModelType. Swing parameters are the line's first and
+// last reconstructed values as two float32s; the slope is derived from
+// them and the segment length.
+func (SwingType) View(params []byte, nseries, length int) (AggView, error) {
+	if len(params) != 8 {
+		return nil, fmt.Errorf("models: Swing parameters must be 8 bytes, got %d", len(params))
+	}
+	first := math.Float32frombits(binary.LittleEndian.Uint32(params[:4]))
+	last := math.Float32frombits(binary.LittleEndian.Uint32(params[4:]))
+	slope := 0.0
+	if length > 1 {
+		slope = (float64(last) - float64(first)) / float64(length-1)
+	}
+	return swingView{first: float64(first), slope: slope, nseries: nseries, length: length}, nil
+}
+
+// swingModel fits v(i) = v1 + slope*i with v1 fixed from the first
+// interval and [sLo, sHi] the feasible slope interval.
+type swingModel struct {
+	bound    ErrorBound
+	length   int
+	v1       float64
+	sLo, sHi float64
+}
+
+func (m *swingModel) Append(values []float32) bool {
+	if len(values) == 0 {
+		return false
+	}
+	lo, hi, ok := corridor(values, m.bound)
+	if !ok {
+		return false
+	}
+	if m.length == 0 {
+		// Fix the initial point at the corridor midpoint, quantized to
+		// the stored precision so fitting and reconstruction agree.
+		v1 := float64(float32((lo + hi) / 2))
+		if v1 < lo || v1 > hi {
+			return false
+		}
+		m.v1 = v1
+		m.sLo, m.sHi = math.Inf(-1), math.Inf(1)
+		m.length = 1
+		return true
+	}
+	i := float64(m.length)
+	newLo, newHi := m.sLo, m.sHi
+	if s := (lo - m.v1) / i; s > newLo {
+		newLo = s
+	}
+	if s := (hi - m.v1) / i; s < newHi {
+		newHi = s
+	}
+	if newLo > newHi {
+		return false
+	}
+	m.sLo, m.sHi = newLo, newHi
+	m.length++
+	return true
+}
+
+func (m *swingModel) Length() int { return m.length }
+
+func (m *swingModel) slope() float64 {
+	if math.IsInf(m.sLo, -1) && math.IsInf(m.sHi, 1) {
+		return 0
+	}
+	if math.IsInf(m.sLo, -1) {
+		return m.sHi
+	}
+	if math.IsInf(m.sHi, 1) {
+		return m.sLo
+	}
+	return (m.sLo + m.sHi) / 2
+}
+
+func (m *swingModel) Bytes(length int) ([]byte, error) {
+	if length < 1 || length > m.length {
+		return nil, fmt.Errorf("models: Swing Bytes(%d) outside [1, %d]", length, m.length)
+	}
+	first := float32(m.v1)
+	last := first
+	if length > 1 {
+		last = float32(m.v1 + m.slope()*float64(length-1))
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint32(out[:4], math.Float32bits(first))
+	binary.LittleEndian.PutUint32(out[4:], math.Float32bits(last))
+	return out, nil
+}
+
+// swingView answers aggregates on a line in constant time, e.g. the
+// sum over a range is the midpoint value times the interval count as
+// in the paper's Fig. 11.
+type swingView struct {
+	first   float64
+	slope   float64
+	nseries int
+	length  int
+}
+
+func (v swingView) Length() int    { return v.length }
+func (v swingView) NumSeries() int { return v.nseries }
+
+func (v swingView) at(i int) float64 {
+	return v.first + v.slope*float64(i)
+}
+
+func (v swingView) ValueAt(series, i int) float32 { return float32(v.at(i)) }
+
+func (v swingView) SumRange(series, i0, i1 int) float64 {
+	n := float64(i1 - i0 + 1)
+	// Sum of the float32-quantized endpoints' arithmetic series; use the
+	// exact real-valued line, matching reconstruction to float32 only at
+	// the level of the error bound.
+	return (v.at(i0) + v.at(i1)) / 2 * n
+}
+
+func (v swingView) MinRange(series, i0, i1 int) float64 {
+	if v.slope >= 0 {
+		return v.at(i0)
+	}
+	return v.at(i1)
+}
+
+func (v swingView) MaxRange(series, i0, i1 int) float64 {
+	if v.slope >= 0 {
+		return v.at(i1)
+	}
+	return v.at(i0)
+}

@@ -1,0 +1,210 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSwingExactLine(t *testing.T) {
+	m := SwingType{}.New(AbsBound(0.01), 1)
+	var grid [][]float32
+	for i := 0; i < 60; i++ {
+		grid = append(grid, []float32{float32(2.0 + 0.5*float64(i))})
+	}
+	if got := fitAll(m, grid); got != 60 {
+		t.Fatalf("fitted length = %d, want 60", got)
+	}
+	checkViewWithinBound(t, SwingType{}, m, grid, 1, AbsBound(0.01))
+}
+
+func TestSwingRejectsNonLinear(t *testing.T) {
+	m := SwingType{}.New(AbsBound(0.1), 1)
+	grid := [][]float32{{0}, {1}, {2}, {10}}
+	if got := fitAll(m, grid); got != 3 {
+		t.Fatalf("fitted length = %d, want 3", got)
+	}
+}
+
+func TestSwingSingleInterval(t *testing.T) {
+	m := SwingType{}.New(AbsBound(1), 1)
+	grid := [][]float32{{7}}
+	fitAll(m, grid)
+	params, err := m.Bytes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := SwingType{}.View(params, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := view.ValueAt(0, 0); math.Abs(float64(got)-7) > 1 {
+		t.Fatalf("ValueAt = %g, want about 7", got)
+	}
+}
+
+func TestSwingGroupLine(t *testing.T) {
+	// Three correlated series on parallel slopes fit one Swing line when
+	// their spread stays within 2e (§5.2, Fig. 10).
+	bound := AbsBound(1)
+	m := SwingType{}.New(bound, 3)
+	var grid [][]float32
+	for i := 0; i < 40; i++ {
+		base := 100 - 0.4*float64(i)
+		grid = append(grid, []float32{float32(base - 0.6), float32(base), float32(base + 0.6)})
+	}
+	if got := fitAll(m, grid); got != 40 {
+		t.Fatalf("fitted length = %d, want 40", got)
+	}
+	checkViewWithinBound(t, SwingType{}, m, grid, 3, bound)
+}
+
+func TestSwingGroupRejectsWideSpread(t *testing.T) {
+	m := SwingType{}.New(AbsBound(1), 2)
+	if m.Append([]float32{0, 2.5}) {
+		t.Fatal("first interval with spread > 2e must be rejected")
+	}
+	if m.Length() != 0 {
+		t.Fatalf("Length = %d, want 0", m.Length())
+	}
+}
+
+func TestSwingRejectionDoesNotCorruptState(t *testing.T) {
+	bound := AbsBound(0.5)
+	m := SwingType{}.New(bound, 1)
+	grid := [][]float32{{0}, {1}, {2}, {3}}
+	fitAll(m, grid)
+	if m.Append([]float32{100}) {
+		t.Fatal("must reject the jump")
+	}
+	// The accepted prefix must still reconstruct within bound.
+	checkViewWithinBound(t, SwingType{}, m, grid, 1, bound)
+}
+
+func TestSwingTruncatedBytes(t *testing.T) {
+	bound := AbsBound(0.2)
+	m := SwingType{}.New(bound, 1)
+	var grid [][]float32
+	for i := 0; i < 20; i++ {
+		grid = append(grid, []float32{float32(5 + 2*i)})
+	}
+	fitAll(m, grid)
+	// Serializing a prefix recomputes the final point for that length.
+	params, err := m.Bytes(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := SwingType{}.View(params, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !withinLoose(bound, float64(view.ValueAt(0, i)), float64(grid[i][0])) {
+			t.Fatalf("truncated reconstruction out of bound at %d", i)
+		}
+	}
+}
+
+func TestSwingViewAggregates(t *testing.T) {
+	// Line v(i) = 10 + 2i over length 5: reconstructed from params.
+	m := SwingType{}.New(AbsBound(0.001), 1)
+	var grid [][]float32
+	for i := 0; i < 5; i++ {
+		grid = append(grid, []float32{float32(10 + 2*i)})
+	}
+	fitAll(m, grid)
+	params, _ := m.Bytes(5)
+	view, err := SwingType{}.View(params, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum = (10+18)/2*5 = 70 (Fig. 11 computes sums this way).
+	if got := view.SumRange(0, 0, 4); math.Abs(got-70) > 0.01 {
+		t.Fatalf("SumRange = %g, want 70", got)
+	}
+	if got := view.MinRange(0, 1, 3); math.Abs(got-12) > 0.01 {
+		t.Fatalf("MinRange = %g, want 12", got)
+	}
+	if got := view.MaxRange(0, 1, 3); math.Abs(got-16) > 0.01 {
+		t.Fatalf("MaxRange = %g, want 16", got)
+	}
+}
+
+func TestSwingViewNegativeSlopeAggregates(t *testing.T) {
+	m := SwingType{}.New(AbsBound(0.001), 1)
+	var grid [][]float32
+	for i := 0; i < 5; i++ {
+		grid = append(grid, []float32{float32(10 - 2*i)})
+	}
+	fitAll(m, grid)
+	params, _ := m.Bytes(5)
+	view, _ := SwingType{}.View(params, 1, 5)
+	if got := view.MinRange(0, 0, 4); math.Abs(got-2) > 0.01 {
+		t.Fatalf("MinRange = %g, want 2", got)
+	}
+	if got := view.MaxRange(0, 0, 4); math.Abs(got-10) > 0.01 {
+		t.Fatalf("MaxRange = %g, want 10", got)
+	}
+}
+
+func TestSwingViewBadParams(t *testing.T) {
+	if _, err := (SwingType{}).View([]byte{0}, 1, 1); err == nil {
+		t.Fatal("short params must fail")
+	}
+}
+
+func TestSwingBytesRangeChecks(t *testing.T) {
+	m := SwingType{}.New(AbsBound(1), 1)
+	m.Append([]float32{0})
+	if _, err := m.Bytes(0); err == nil {
+		t.Fatal("Bytes(0) must fail")
+	}
+	if _, err := m.Bytes(5); err == nil {
+		t.Fatal("Bytes beyond length must fail")
+	}
+}
+
+// TestSwingQuickWithinBound fits random noisy lines and checks the
+// reconstruction invariant on the accepted prefix.
+func TestSwingQuickWithinBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bound := AbsBound(rng.Float64()*2 + 0.2)
+		slope := rng.Float64()*4 - 2
+		base := rng.Float64()*100 - 50
+		nseries := rng.Intn(3) + 1
+		m := SwingType{}.New(bound, nseries)
+		var grid [][]float32
+		for i := 0; i < 80; i++ {
+			vals := make([]float32, nseries)
+			for s := range vals {
+				vals[s] = float32(base + slope*float64(i) + rng.NormFloat64()*bound.Value/5)
+			}
+			grid = append(grid, vals)
+		}
+		length := fitAll(m, grid)
+		if length == 0 {
+			return true
+		}
+		params, err := m.Bytes(length)
+		if err != nil {
+			return false
+		}
+		view, err := SwingType{}.View(params, nseries, length)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < length; i++ {
+			for s := 0; s < nseries; s++ {
+				if !withinLoose(bound, float64(view.ValueAt(s, i)), float64(grid[i][s])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"modelardb/internal/core"
+)
+
+// The pairwise fixpoint of Algorithm 1 is quadratic in the number of
+// series. For a single clause built only from member and LCA
+// primitives the correlated-relation is an equality of key vectors —
+// member equality and shared hierarchy prefixes are transitive, and a
+// group formed by key equality has a meet that preserves exactly those
+// levels — so grouping reduces to hashing each series' key and
+// unioning buckets: O(n) instead of O(n²) per pass.
+//
+// The restriction to a single grouping clause matters: with several
+// OR'ed clauses Algorithm 1 is genuinely order-dependent, because a
+// merge through clause A can lower a group's meet below what clause B
+// needs for a later merge (e.g. a Temperature-member clause absorbing
+// a series whose full location path a Location-0 clause would have
+// matched). The transitive closure the union-find would compute is a
+// different, coarser result, so those configurations — like distance
+// clauses, whose group meets shrink as groups grow (see
+// TestGroupDistanceShrinksWithGroupSize) — take the faithful fixpoint.
+
+// bucketable reports whether the clause's correlated-relation is an
+// equality relation.
+func (c *Clause) bucketable() bool {
+	if c.HasDistance || len(c.Sources) > 0 {
+		return false
+	}
+	return len(c.Members) > 0 || len(c.LCAs) > 0
+}
+
+// allBucketable reports whether the bucketed fast path applies: at
+// most one grouping clause, and it is an equality relation (zero
+// grouping clauses trivially yield singleton groups). Scaling-only
+// clauses have no grouping effect and are ignored.
+func (p *Partitioner) allBucketable() bool {
+	grouping := 0
+	for i := range p.clauses {
+		c := &p.clauses[i]
+		if c.empty() {
+			continue
+		}
+		if !c.bucketable() {
+			return false
+		}
+		grouping++
+	}
+	return grouping <= 1
+}
+
+// clauseKey renders the equality key of a series under a bucketable
+// clause; ok is false when the series does not satisfy the clause's
+// member predicates (and so can never merge through this clause).
+func (p *Partitioner) clauseKey(c *Clause, ts *core.TimeSeries) (string, bool) {
+	var sb strings.Builder
+	// Definition 8: only series with equal sampling intervals group.
+	fmt.Fprintf(&sb, "%d\x00", ts.SI)
+	for _, m := range c.Members {
+		if ts.Member(m.Dimension, m.Level) != m.Member {
+			return "", false
+		}
+	}
+	for _, l := range c.LCAs {
+		d, ok := p.schema.Dimension(l.Dimension)
+		if !ok {
+			return "", false
+		}
+		required := l.Level
+		if required <= 0 {
+			required = d.Height() + required
+		}
+		path := ts.Members[l.Dimension]
+		if required > len(path) {
+			return "", false
+		}
+		for _, member := range path[:required] {
+			sb.WriteString(member)
+			sb.WriteByte('\x00')
+		}
+		sb.WriteByte('\x01')
+	}
+	return sb.String(), true
+}
+
+// unionFind is a standard disjoint-set over series indices.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(i int) int {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]] // path halving
+		i = u.parent[i]
+	}
+	return i
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// groupBucketed is the fast path: per clause, series with equal keys
+// merge; clauses are OR'ed by applying them all to one union-find.
+func (p *Partitioner) groupBucketed(series []*core.TimeSeries) [][]core.Tid {
+	u := newUnionFind(len(series))
+	for ci := range p.clauses {
+		c := &p.clauses[ci]
+		if c.empty() || !c.bucketable() {
+			continue
+		}
+		first := make(map[string]int)
+		for i, ts := range series {
+			key, ok := p.clauseKey(c, ts)
+			if !ok {
+				continue
+			}
+			if j, seen := first[key]; seen {
+				u.union(i, j)
+			} else {
+				first[key] = i
+			}
+		}
+	}
+	byRoot := make(map[int][]core.Tid)
+	for i, ts := range series {
+		root := u.find(i)
+		byRoot[root] = append(byRoot[root], ts.Tid)
+	}
+	out := make([][]core.Tid, 0, len(byRoot))
+	for _, tids := range byRoot {
+		out = append(out, sortTids(tids))
+	}
+	return sortGroups(out)
+}

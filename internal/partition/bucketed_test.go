@@ -1,0 +1,225 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modelardb/internal/core"
+	"modelardb/internal/dims"
+)
+
+// randomFleet builds a random fleet over the wind schema.
+func randomFleet(rng *rand.Rand, n int) []*core.TimeSeries {
+	parks := []string{"Aalborg", "Farsø", "Thisted"}
+	categories := []string{"Temperature", "Production"}
+	fleet := make([]*core.TimeSeries, n)
+	for i := range fleet {
+		park := parks[rng.Intn(len(parks))]
+		fleet[i] = &core.TimeSeries{
+			Tid: core.Tid(i + 1),
+			SI:  int64(100 * (rng.Intn(2) + 1)), // two SIs in the mix
+			Members: map[string][]string{
+				"Location": {"Denmark", "Nordjylland", park, fmt.Sprintf("T%d", rng.Intn(6))},
+				"Measure":  {categories[rng.Intn(len(categories))], fmt.Sprintf("C%d", rng.Intn(3))},
+			},
+		}
+	}
+	return fleet
+}
+
+// randomBucketableClause builds one random member/LCA clause.
+func randomBucketableClause(t testing.TB, schema *dims.Schema, rng *rand.Rand) Clause {
+	t.Helper()
+	texts := []string{
+		"Location 2",
+		"Location 3",
+		"Location 0",
+		"Location -1",
+		"Measure 1",
+		"Measure 0",
+		"Measure 1 Temperature",
+		"Measure 1 Production",
+		"Location 3, Measure 1 Temperature",
+		"Location 2, Measure 0",
+	}
+	c, err := ParseClause(schema, texts[rng.Intn(len(texts))])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBucketedMatchesFixpoint proves the O(n) bucketed fast path
+// computes the same groups as Algorithm 1's pairwise fixpoint for
+// every single member/LCA clause.
+func TestBucketedMatchesFixpoint(t *testing.T) {
+	schema := windSchema(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fleet := randomFleet(rng, rng.Intn(30)+2)
+		p := New(schema, randomBucketableClause(t, schema, rng))
+		if !p.allBucketable() {
+			return false
+		}
+		fast := p.groupBucketed(fleet)
+		slow, err := p.GroupFixpoint(fleet)
+		if err != nil {
+			return false
+		}
+		return groupsEqual(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultipleClausesUseFixpoint documents why the fast path is
+// restricted to one clause: with several OR'ed clauses Algorithm 1's
+// group-level checks are order-dependent and generally coarser than
+// the pairwise transitive closure, so the implementation must keep the
+// paper's semantics.
+func TestMultipleClausesUseFixpoint(t *testing.T) {
+	schema := windSchema(t)
+	clauses, err := ParseAll(schema, "Measure 1 Temperature", "Location 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(schema, clauses...)
+	if p.allBucketable() {
+		t.Fatal("two grouping clauses must force the fixpoint path")
+	}
+}
+
+func TestGroupUsesBucketedPath(t *testing.T) {
+	schema := windSchema(t)
+	clauses, err := ParseAll(schema, "Measure 1 Temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(schema, clauses...)
+	if !p.allBucketable() {
+		t.Fatal("member clause must be bucketable")
+	}
+	// Large fleet: the bucketed path must stay fast (quadratic would
+	// take noticeably long at 20k series but we just check correctness
+	// at a size the fixpoint could never finish quickly in CI).
+	rng := rand.New(rand.NewSource(1))
+	fleet := randomFleet(rng, 20000)
+	groups, err := p.Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != len(fleet) {
+		t.Fatalf("groups cover %d series, want %d", total, len(fleet))
+	}
+}
+
+func TestDistanceClauseDisablesBucketing(t *testing.T) {
+	schema := windSchema(t)
+	clauses, err := ParseAll(schema, "Measure 1 Temperature", "0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(schema, clauses...)
+	if p.allBucketable() {
+		t.Fatal("distance clause must force the fixpoint path")
+	}
+}
+
+func TestSourcesClauseDisablesBucketing(t *testing.T) {
+	schema := windSchema(t)
+	clauses, err := ParseAll(schema, "a.gz b.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if New(schema, clauses...).allBucketable() {
+		t.Fatal("source clause must force the fixpoint path")
+	}
+}
+
+func TestScalingOnlyClauseIsBucketable(t *testing.T) {
+	schema := windSchema(t)
+	clauses, err := ParseAll(schema, "a.gz 4.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(schema, clauses...)
+	if !p.allBucketable() {
+		t.Fatal("scaling-only clauses have no grouping effect and must not force the fixpoint")
+	}
+	// And the result is singleton groups.
+	fleet := randomFleet(rand.New(rand.NewSource(2)), 5)
+	groups, err := p.Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 5 {
+		t.Fatalf("groups = %d, want 5 singletons", len(groups))
+	}
+}
+
+func TestBucketedRespectsSamplingInterval(t *testing.T) {
+	schema := windSchema(t)
+	clauses, err := ParseAll(schema, "Location 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []*core.TimeSeries{
+		makeSeries(1, "Aalborg", "T1", "Temperature", "C"),
+		makeSeries(2, "Aalborg", "T2", "Temperature", "C"),
+	}
+	fleet[1].SI = 999
+	groups, err := New(schema, clauses...).Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want SIs kept apart", groups)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := newUnionFind(6)
+	u.union(0, 1)
+	u.union(2, 3)
+	u.union(1, 3)
+	if u.find(0) != u.find(2) {
+		t.Fatal("0 and 2 must share a root after transitive unions")
+	}
+	if u.find(4) == u.find(0) || u.find(4) == u.find(5) {
+		t.Fatal("4 must stay alone")
+	}
+	u.union(4, 4) // self-union is a no-op
+	if u.find(4) != 4 {
+		t.Fatal("self union changed the root")
+	}
+}
+
+func BenchmarkGroupBucketed(b *testing.B) {
+	schema, err := dims.NewSchema(
+		dims.Dimension{Name: "Location", Levels: []string{"Country", "Region", "Park", "Turbine"}},
+		dims.Dimension{Name: "Measure", Levels: []string{"Category", "Concrete"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clauses, err := ParseAll(schema, "Location 3, Measure 1 Temperature")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := New(schema, clauses...)
+	fleet := randomFleet(rand.New(rand.NewSource(3)), 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Group(fleet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package partition implements §4.1 of the paper: user-hint-driven
+// partitioning of dimensional time series into groups of correlated
+// series that are compressed together. Correlation is described with a
+// small set of primitives — explicit sources, member triples, LCA
+// level pairs and dimension distances with optional weights — combined
+// into clauses (AND within a clause, OR across clauses) and evaluated
+// by the fixpoint grouping of Algorithm 1 with the distance function
+// of Algorithm 2.
+package partition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"modelardb/internal/dims"
+)
+
+// MemberPredicate requires all series to share the given member at the
+// given 1-based level of a dimension, e.g. "Measure 1 Temperature".
+type MemberPredicate struct {
+	Dimension string
+	Level     int
+	Member    string
+}
+
+// LCARequirement requires the Lowest Common Ancestor level of the
+// groups' member paths in a dimension to be at least Level, e.g.
+// "Location 2". Level 0 requires all levels equal; a negative level -n
+// requires all but the lowest n levels equal (§4.1).
+type LCARequirement struct {
+	Dimension string
+	Level     int
+}
+
+// ScalingRule assigns a scaling constant to every series sharing a
+// member, the 4-tuple primitive of §4.1.
+type ScalingRule struct {
+	Dimension string
+	Level     int
+	Member    string
+	Factor    float64
+}
+
+// Clause is one modelardb.correlation clause: the conjunction of its
+// primitives. A series pair is considered correlated when any clause
+// of the partitioner holds (clauses are OR'ed).
+type Clause struct {
+	// Sources lists time series locations that are correlated with each
+	// other.
+	Sources []string
+	// Members are member-equality primitives.
+	Members []MemberPredicate
+	// LCAs are minimum-LCA-level primitives.
+	LCAs []LCARequirement
+	// Distance is the maximum normalized dimension distance [0, 1] for
+	// two groups to be correlated, used when HasDistance is set.
+	Distance    float64
+	HasDistance bool
+	// Weights scales each dimension's contribution to the distance; the
+	// default weight is 1 (§4.1).
+	Weights map[string]float64
+	// ScalingBySource assigns scaling constants to single series.
+	ScalingBySource map[string]float64
+	// ScalingByMember assigns scaling constants to series by member.
+	ScalingByMember []ScalingRule
+}
+
+// empty reports whether the clause has no grouping primitives.
+func (c *Clause) empty() bool {
+	return len(c.Sources) == 0 && len(c.Members) == 0 && len(c.LCAs) == 0 && !c.HasDistance
+}
+
+// ParseClause parses the textual form of one clause: primitives
+// separated by commas, each primitive a list of space-separated
+// tokens. Using the paper's examples:
+//
+//	turbine9a.gz turbine9b.gz         two correlated sources
+//	turbine9a.gz 4.75                 source with a scaling constant
+//	Measure 1 Temperature             member primitive
+//	Measure 1 ProductionMWh 4.75      member scaling 4-tuple
+//	Location 2                        LCA level primitive
+//	0.25                              distance primitive
+//	0.25 Location 2.0                 distance with a dimension weight
+//
+// Dimension names are resolved against the schema; a first token that
+// is not a dimension name or a number is treated as a source.
+func ParseClause(schema *dims.Schema, text string) (Clause, error) {
+	clause := Clause{
+		Weights:         map[string]float64{},
+		ScalingBySource: map[string]float64{},
+	}
+	// "auto" infers the distance threshold from the schema using the
+	// rule of thumb of §4.1 — the parameter inference the paper lists
+	// as future work (§9 iii).
+	if strings.EqualFold(strings.TrimSpace(text), "auto") {
+		clause.Distance = LowestDistance(schema)
+		clause.HasDistance = true
+		return clause, nil
+	}
+	for _, prim := range strings.Split(text, ",") {
+		tokens := strings.Fields(prim)
+		if len(tokens) == 0 {
+			continue
+		}
+		if err := parsePrimitive(schema, &clause, tokens); err != nil {
+			return Clause{}, fmt.Errorf("partition: primitive %q: %w", strings.TrimSpace(prim), err)
+		}
+	}
+	if clause.empty() && len(clause.ScalingBySource) == 0 && len(clause.ScalingByMember) == 0 {
+		return Clause{}, fmt.Errorf("partition: clause %q has no primitives", text)
+	}
+	return clause, nil
+}
+
+func parsePrimitive(schema *dims.Schema, clause *Clause, tokens []string) error {
+	if d, ok := schema.Dimension(tokens[0]); ok {
+		return parseDimensionPrimitive(d, clause, tokens)
+	}
+	if v, err := strconv.ParseFloat(tokens[0], 64); err == nil {
+		return parseDistancePrimitive(schema, clause, v, tokens[1:])
+	}
+	return parseSourcePrimitive(clause, tokens)
+}
+
+func parseDimensionPrimitive(d dims.Dimension, clause *Clause, tokens []string) error {
+	if len(tokens) < 2 {
+		return fmt.Errorf("dimension primitive needs a level")
+	}
+	level, err := strconv.Atoi(tokens[1])
+	if err != nil {
+		return fmt.Errorf("level %q is not an integer", tokens[1])
+	}
+	switch len(tokens) {
+	case 2:
+		if level > d.Height() || level < -d.Height() {
+			return fmt.Errorf("level %d outside dimension %s of height %d", level, d.Name, d.Height())
+		}
+		clause.LCAs = append(clause.LCAs, LCARequirement{Dimension: d.Name, Level: level})
+	case 3:
+		if level < 1 || level > d.Height() {
+			return fmt.Errorf("member level %d outside dimension %s of height %d", level, d.Name, d.Height())
+		}
+		clause.Members = append(clause.Members, MemberPredicate{Dimension: d.Name, Level: level, Member: tokens[2]})
+	case 4:
+		if level < 1 || level > d.Height() {
+			return fmt.Errorf("member level %d outside dimension %s of height %d", level, d.Name, d.Height())
+		}
+		factor, err := strconv.ParseFloat(tokens[3], 64)
+		if err != nil || factor == 0 {
+			return fmt.Errorf("scaling constant %q is not a non-zero number", tokens[3])
+		}
+		clause.ScalingByMember = append(clause.ScalingByMember, ScalingRule{
+			Dimension: d.Name, Level: level, Member: tokens[2], Factor: factor,
+		})
+	default:
+		return fmt.Errorf("dimension primitive has %d tokens, want 2-4", len(tokens))
+	}
+	return nil
+}
+
+func parseDistancePrimitive(schema *dims.Schema, clause *Clause, distance float64, rest []string) error {
+	if distance < 0 || distance > 1 {
+		return fmt.Errorf("distance %g outside [0, 1]", distance)
+	}
+	if clause.HasDistance {
+		return fmt.Errorf("clause has more than one distance")
+	}
+	clause.Distance = distance
+	clause.HasDistance = true
+	if len(rest)%2 != 0 {
+		return fmt.Errorf("dimension weights must be name value pairs")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		if _, ok := schema.Dimension(rest[i]); !ok {
+			return fmt.Errorf("unknown dimension %q in weight", rest[i])
+		}
+		w, err := strconv.ParseFloat(rest[i+1], 64)
+		if err != nil || w < 0 {
+			return fmt.Errorf("weight %q is not a non-negative number", rest[i+1])
+		}
+		clause.Weights[rest[i]] = w
+	}
+	return nil
+}
+
+func parseSourcePrimitive(clause *Clause, tokens []string) error {
+	// A source followed by a number is a per-series scaling constant;
+	// otherwise every token is a correlated source.
+	if len(tokens) == 2 {
+		if factor, err := strconv.ParseFloat(tokens[1], 64); err == nil {
+			if factor == 0 {
+				return fmt.Errorf("scaling constant must be non-zero")
+			}
+			clause.ScalingBySource[tokens[0]] = factor
+			return nil
+		}
+	}
+	for _, tok := range tokens {
+		if _, err := strconv.ParseFloat(tok, 64); err == nil {
+			return fmt.Errorf("unexpected number %q in source list", tok)
+		}
+	}
+	clause.Sources = append(clause.Sources, tokens...)
+	return nil
+}
+
+// LowestDistance returns the paper's rule of thumb for the smallest
+// meaningful non-zero distance of a schema:
+// (1/max(Levels))/|Dimensions| (§4.1).
+func LowestDistance(schema *dims.Schema) float64 {
+	maxLevels := 0
+	for _, d := range schema.Dimensions() {
+		if d.Height() > maxLevels {
+			maxLevels = d.Height()
+		}
+	}
+	n := len(schema.Dimensions())
+	if maxLevels == 0 || n == 0 {
+		return 0
+	}
+	return (1.0 / float64(maxLevels)) / float64(n)
+}

@@ -1,0 +1,454 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"modelardb/internal/core"
+	"modelardb/internal/dims"
+)
+
+func windSchema(t *testing.T) *dims.Schema {
+	t.Helper()
+	s, err := dims.NewSchema(
+		dims.Dimension{Name: "Location", Levels: []string{"Country", "Region", "Park", "Turbine"}},
+		dims.Dimension{Name: "Measure", Levels: []string{"Category", "Concrete"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// makeSeries builds a series with the standard test schema.
+func makeSeries(tid core.Tid, park, turbine, category, concrete string) *core.TimeSeries {
+	return &core.TimeSeries{
+		Tid:    tid,
+		SI:     100,
+		Source: fmt.Sprintf("s%d.gz", tid),
+		Members: map[string][]string{
+			"Location": {"Denmark", "Nordjylland", park, turbine},
+			"Measure":  {category, concrete},
+		},
+	}
+}
+
+func testFleet() []*core.TimeSeries {
+	return []*core.TimeSeries{
+		makeSeries(1, "Aalborg", "9572", "Temperature", "NacelleTemp"),
+		makeSeries(2, "Aalborg", "9572", "Production", "ProductionMWh"),
+		makeSeries(3, "Aalborg", "9632", "Temperature", "NacelleTemp"),
+		makeSeries(4, "Aalborg", "9632", "Production", "ProductionMWh"),
+		makeSeries(5, "Farsø", "9634", "Temperature", "NacelleTemp"),
+		makeSeries(6, "Farsø", "9634", "Production", "ProductionMWh"),
+	}
+}
+
+func groupsEqual(got [][]core.Tid, want [][]core.Tid) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestNoClausesSingletonGroups(t *testing.T) {
+	p := New(windSchema(t))
+	groups, err := p.Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 6 {
+		t.Fatalf("groups = %d, want 6 singletons (ModelarDBv1 behaviour)", len(groups))
+	}
+}
+
+func TestMemberPrimitive(t *testing.T) {
+	s := windSchema(t)
+	clauses, err := ParseAll(s, "Measure 1 Temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All temperature series group together; others stay singletons.
+	want := [][]core.Tid{{1, 3, 5}, {2}, {4}, {6}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestLCAPrimitive(t *testing.T) {
+	s := windSchema(t)
+	// Location 3: LCA at least at the Park level.
+	clauses, err := ParseAll(s, "Location 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]core.Tid{{1, 2, 3, 4}, {5, 6}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestLCAZeroMeansAllLevels(t *testing.T) {
+	s := windSchema(t)
+	clauses, err := ParseAll(s, "Location 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only series on the same turbine share all four levels.
+	want := [][]core.Tid{{1, 2}, {3, 4}, {5, 6}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestLCANegativeLevel(t *testing.T) {
+	s := windSchema(t)
+	// -1: all but the lowest level (Turbine) must match, i.e. same park.
+	clauses, err := ParseAll(s, "Location -1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]core.Tid{{1, 2, 3, 4}, {5, 6}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestAndWithinClause(t *testing.T) {
+	s := windSchema(t)
+	// Paper's EP configuration shape: same park AND production measure.
+	clauses, err := ParseAll(s, "Location 3, Measure 1 Production")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]core.Tid{{1}, {2, 4}, {3}, {5}, {6}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestOrAcrossClauses(t *testing.T) {
+	s := windSchema(t)
+	clauses, err := ParseAll(s, "Measure 1 Temperature", "Measure 1 Production")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]core.Tid{{1, 3, 5}, {2, 4, 6}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestSourcesPrimitive(t *testing.T) {
+	s := windSchema(t)
+	clauses, err := ParseAll(s, "s1.gz s3.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]core.Tid{{1, 3}, {2}, {4}, {5}, {6}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestDistancePaperExample(t *testing.T) {
+	s, err := dims.NewSchema(
+		dims.Dimension{Name: "Location", Levels: []string{"Country", "Region", "Park", "Turbine"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(s)
+	// §4.1: turbines 9632 and 9634 in the same park have distance
+	// 1.0 * ((4-3)/4) = 0.25.
+	m1 := map[string][]string{"Location": {"Denmark", "Nordjylland", "Aalborg", "9632"}}
+	m2 := map[string][]string{"Location": {"Denmark", "Nordjylland", "Aalborg", "9634"}}
+	if got := p.Distance(nil, m1, m2); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Distance = %g, want 0.25", got)
+	}
+}
+
+func TestDistanceGrouping(t *testing.T) {
+	s := windSchema(t)
+	// Lowest meaningful distance: (1/4)/2 = 0.125 groups series whose
+	// only difference is the most detailed level of one dimension.
+	clauses, err := ParseAll(s, "0.125")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []*core.TimeSeries{
+		makeSeries(1, "Aalborg", "9572", "Temperature", "NacelleTemp"),
+		makeSeries(2, "Aalborg", "9632", "Temperature", "NacelleTemp"), // differs only at Turbine
+		makeSeries(3, "Farsø", "9634", "Temperature", "NacelleTemp"),   // differs at Park too
+	}
+	groups, err := New(s, clauses...).Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]core.Tid{{1, 2}, {3}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestDistanceWeights(t *testing.T) {
+	s := windSchema(t)
+	// With Measure weighted to 2, a Measure mismatch contributes twice:
+	// two series on the same turbine with different concrete measures
+	// have distance ((0) + 2*(1/2))/2 = 0.5 > 0.3 — not grouped. With
+	// the default weight it is ((0) + 1/2)/2 = 0.25 <= 0.3 — grouped.
+	fleet := []*core.TimeSeries{
+		makeSeries(1, "Aalborg", "9572", "Temperature", "NacelleTemp"),
+		makeSeries(2, "Aalborg", "9572", "Temperature", "GearTemp"),
+	}
+	unweighted, err := ParseAll(s, "0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, unweighted...).Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("unweighted groups = %v, want one group", groups)
+	}
+	weighted, err := ParseAll(s, "0.3 Measure 2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err = New(s, weighted...).Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("weighted groups = %v, want two groups", groups)
+	}
+}
+
+func TestDistanceOneGroupsEverything(t *testing.T) {
+	s := windSchema(t)
+	clauses, err := ParseAll(s, "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(testFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 6 {
+		t.Fatalf("groups = %v, want one group of six", groups)
+	}
+}
+
+func TestDifferentSIsNeverGrouped(t *testing.T) {
+	s := windSchema(t)
+	clauses, err := ParseAll(s, "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := testFleet()
+	fleet[0].SI = 999
+	groups, err := New(s, clauses...).Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want the odd-SI series separated", groups)
+	}
+}
+
+func TestGroupValidatesMembers(t *testing.T) {
+	s := windSchema(t)
+	bad := &core.TimeSeries{Tid: 1, SI: 100, Members: map[string][]string{}}
+	if _, err := New(s).Group([]*core.TimeSeries{bad}); err == nil {
+		t.Fatal("series without dimension members must fail validation")
+	}
+}
+
+func TestLowestDistanceRuleOfThumb(t *testing.T) {
+	s := windSchema(t)
+	// (1/max(4,2))/2 = 0.125.
+	if got := LowestDistance(s); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("LowestDistance = %g, want 0.125", got)
+	}
+	// EH's schema (3 and 2 levels): (1/3)/2 = 0.1666... as in §7.3.
+	eh, err := dims.NewSchema(
+		dims.Dimension{Name: "Location", Levels: []string{"Country", "Park", "Entity"}},
+		dims.Dimension{Name: "Measure", Levels: []string{"Category", "Concrete"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LowestDistance(eh); math.Abs(got-1.0/6) > 1e-9 {
+		t.Fatalf("LowestDistance EH = %g, want 0.1667", got)
+	}
+}
+
+func TestScalings(t *testing.T) {
+	s := windSchema(t)
+	clauses, err := ParseAll(s,
+		"Measure 1 Production, Measure 2 ProductionMWh 4.75",
+		"s1.gz 2.5",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(s, clauses...)
+	scalings := p.Scalings(testFleet())
+	if scalings[2] != 4.75 || scalings[4] != 4.75 || scalings[6] != 4.75 {
+		t.Fatalf("member scaling = %v, want 4.75 for production series", scalings)
+	}
+	if scalings[1] != 2.5 {
+		t.Fatalf("source scaling = %g, want 2.5", scalings[1])
+	}
+	if scalings[3] != 1 || scalings[5] != 1 {
+		t.Fatalf("default scaling = %v, want 1", scalings)
+	}
+}
+
+func TestGroupMergeTransitivity(t *testing.T) {
+	// A-B correlated and B-C correlated but A-C not directly: group
+	// LCA semantics mean the merged {A,B} group's meet must still be
+	// checked against C; with member equality this is transitive, so
+	// all three group together.
+	s := windSchema(t)
+	clauses, err := ParseAll(s, "Measure 1 Temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []*core.TimeSeries{
+		makeSeries(1, "A", "1", "Temperature", "T1"),
+		makeSeries(2, "B", "2", "Temperature", "T2"),
+		makeSeries(3, "C", "3", "Temperature", "T3"),
+	}
+	groups, err := New(s, clauses...).Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("groups = %v, want one group of three", groups)
+	}
+}
+
+func TestGroupDistanceShrinksWithGroupSize(t *testing.T) {
+	// Group meets shrink as groups grow: merging A (park Aalborg) into
+	// a group with park Farsø lowers the group's Location meet to the
+	// Region level, so a third Aalborg series may no longer be within
+	// distance of the merged group. This is Algorithm 2 semantics
+	// (group-level LCA), not pairwise closure.
+	s, err := dims.NewSchema(
+		dims.Dimension{Name: "Location", Levels: []string{"Country", "Region", "Park", "Turbine"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	make1 := func(tid core.Tid, region, park, turbine string) *core.TimeSeries {
+		return &core.TimeSeries{
+			Tid: tid, SI: 100,
+			Members: map[string][]string{"Location": {"Denmark", region, park, turbine}},
+		}
+	}
+	fleet := []*core.TimeSeries{
+		make1(1, "Nordjylland", "Aalborg", "1"),
+		make1(2, "Nordjylland", "Aalborg", "2"),
+		make1(3, "Nordjylland", "Farsø", "9"),
+	}
+	clauses, err := ParseAll(s, "0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := New(s, clauses...).Group(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 and 2 merge (distance 0.25); group {1,2} has meet at Park, and
+	// 3's distance to it is (4-2)/4 = 0.5 > 0.25, so 3 stays alone.
+	want := [][]core.Tid{{1, 2}, {3}}
+	if !groupsEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestParseClauseErrors(t *testing.T) {
+	s := windSchema(t)
+	bad := []string{
+		"",
+		"Location",             // level missing
+		"Location x",           // level not an integer
+		"Location 9",           // level above height
+		"Location 1 a b c",     // too many tokens
+		"2.0",                  // distance above 1
+		"0.25, 0.5",            // two distances
+		"0.25 Location",        // weight without value
+		"0.25 Nope 1.0",        // weight for unknown dimension
+		"0.25 Location -1",     // negative weight
+		"Measure 0 Temp 1.5",   // member scaling level below 1
+		"src.gz 0",             // zero scaling
+		"a.gz 1.5 extra",       // number inside source list
+		"Measure 1 ProdMWh xx", // scaling constant not a number
+	}
+	for _, text := range bad {
+		if _, err := ParseClause(s, text); err == nil {
+			t.Errorf("ParseClause(%q) unexpectedly succeeded", text)
+		}
+	}
+}
+
+func TestParseClauseAccepts(t *testing.T) {
+	s := windSchema(t)
+	good := []string{
+		"Measure 1 Temperature",
+		"Location 2",
+		"Location -2",
+		"Location 0",
+		"0.25",
+		"0.25 Location 2.0 Measure 0.5",
+		"a.gz b.gz c.gz",
+		"a.gz 4.75",
+		"Location 3, Measure 1 Production, Measure 2 ProductionMWh 4.75",
+	}
+	for _, text := range good {
+		if _, err := ParseClause(s, text); err != nil {
+			t.Errorf("ParseClause(%q) failed: %v", text, err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package query implements ModelarDB+ query processing (§6): the
+// Segment View and Data Point View, rewriting of Tids and dimension
+// members to Gids for predicate push-down, simple aggregates executed
+// directly on models (Algorithm 5) and multi-dimensional aggregates in
+// the time dimension computed from segment start and end times alone
+// (Algorithm 6). Aggregate computation is split into mergeable partial
+// states so the same code path serves single-node and distributed
+// execution (initialize/iterate/merge/finalize).
+package query
+
+import (
+	"math"
+	"time"
+
+	"modelardb/internal/sqlparse"
+)
+
+// ScalarState is the partial state of one distributive or algebraic
+// aggregate [Gray et al.]: COUNT, MIN, MAX, SUM and AVG all finalize
+// from these four fields, and two states merge by addition, so worker
+// results combine exactly (§6.2's initialize/iterate/finalize split).
+type ScalarState struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// NewScalarState returns an empty state.
+func NewScalarState() ScalarState {
+	return ScalarState{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// AddPoint folds one value into the state.
+func (s *ScalarState) AddPoint(v float64) {
+	s.Count++
+	s.Sum += v
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+}
+
+// AddRange folds a pre-aggregated range (count points with the given
+// sum, min and max), the segment fast path of Algorithm 5.
+func (s *ScalarState) AddRange(count int64, sum, mn, mx float64) {
+	s.Count += count
+	s.Sum += sum
+	if mn < s.Min {
+		s.Min = mn
+	}
+	if mx > s.Max {
+		s.Max = mx
+	}
+}
+
+// Merge folds another state into s (the master-side merge of §6.2).
+func (s *ScalarState) Merge(o ScalarState) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Finalize computes the aggregate's value. ok is false for an empty
+// state (SQL semantics: no rows).
+func (s *ScalarState) Finalize(kind sqlparse.AggKind) (v float64, ok bool) {
+	if s.Count == 0 {
+		return 0, false
+	}
+	switch kind {
+	case sqlparse.AggCount:
+		return float64(s.Count), true
+	case sqlparse.AggSum:
+		return s.Sum, true
+	case sqlparse.AggAvg:
+		return s.Sum / float64(s.Count), true
+	case sqlparse.AggMin:
+		return s.Min, true
+	case sqlparse.AggMax:
+		return s.Max, true
+	default:
+		return 0, false
+	}
+}
+
+// CubeState is the partial state of a CUBE_* roll-up: one scalar state
+// per time bucket.
+type CubeState map[int64]ScalarState
+
+// Add folds a pre-aggregated range into a bucket.
+func (c CubeState) Add(bucket int64, count int64, sum, mn, mx float64) {
+	s, ok := c[bucket]
+	if !ok {
+		s = NewScalarState()
+	}
+	s.AddRange(count, sum, mn, mx)
+	c[bucket] = s
+}
+
+// Merge folds another cube state into c.
+func (c CubeState) Merge(o CubeState) {
+	for bucket, os := range o {
+		s, ok := c[bucket]
+		if !ok {
+			s = NewScalarState()
+		}
+		s.Merge(os)
+		c[bucket] = s
+	}
+}
+
+// bucketOf maps a timestamp to its bucket key at the given level and
+// returns the first timestamp of the next bucket, the boundary
+// Algorithm 6 iterates to. Absolute levels use the bucket's start time
+// in Unix milliseconds as the key; cyclic levels (HourOfDay, ...) use
+// the cycle index. All calendar math is UTC.
+func bucketOf(level sqlparse.TimeLevel, ts int64) (key int64, nextBoundary int64) {
+	t := time.UnixMilli(ts).UTC()
+	switch level {
+	case sqlparse.LevelMinute:
+		start := t.Truncate(time.Minute)
+		return start.UnixMilli(), start.Add(time.Minute).UnixMilli()
+	case sqlparse.LevelHour:
+		start := t.Truncate(time.Hour)
+		return start.UnixMilli(), start.Add(time.Hour).UnixMilli()
+	case sqlparse.LevelDay:
+		start := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		return start.UnixMilli(), start.AddDate(0, 0, 1).UnixMilli()
+	case sqlparse.LevelMonth:
+		start := time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+		return start.UnixMilli(), start.AddDate(0, 1, 0).UnixMilli()
+	case sqlparse.LevelYear:
+		start := time.Date(t.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+		return start.UnixMilli(), start.AddDate(1, 0, 0).UnixMilli()
+	case sqlparse.LevelHourOfDay:
+		start := t.Truncate(time.Hour)
+		return int64(t.Hour()), start.Add(time.Hour).UnixMilli()
+	case sqlparse.LevelDayOfMonth:
+		start := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		return int64(t.Day()), start.AddDate(0, 0, 1).UnixMilli()
+	case sqlparse.LevelDayOfWeek:
+		start := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		return int64(t.Weekday()), start.AddDate(0, 0, 1).UnixMilli()
+	case sqlparse.LevelMonthOfYear:
+		start := time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+		return int64(t.Month()), start.AddDate(0, 1, 0).UnixMilli()
+	default:
+		return 0, math.MaxInt64
+	}
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"container/list"
+	"hash/crc32"
+	"sync"
+
+	"modelardb/internal/core"
+	"modelardb/internal/models"
+)
+
+// viewCache is the main-memory segment cache of the architecture
+// (Fig. 4): recently decoded model views are kept so repeated queries
+// over the same segments skip parameter decoding — which matters most
+// for Gorilla segments, whose views hold the decoded value grid. The
+// cache is a plain LRU keyed by the segment's identity.
+type viewCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[viewKey]*list.Element
+	lru     *list.List // front = most recent
+
+	hits, misses int64
+}
+
+// viewKey identifies one stored segment's parameters. Gid+EndTime+gap
+// count is the store's primary key (§3.3); the params checksum guards
+// against reuse across re-ingestions in the same process.
+type viewKey struct {
+	gid      core.Gid
+	endTime  int64
+	gapCount int
+	mid      models.MID
+	crc      uint32
+}
+
+type viewEntry struct {
+	key  viewKey
+	view models.AggView
+}
+
+func newViewCache(capacity int) *viewCache {
+	return &viewCache{
+		cap:     capacity,
+		entries: make(map[viewKey]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+func keyOf(seg *core.Segment) viewKey {
+	return viewKey{
+		gid:      seg.Gid,
+		endTime:  seg.EndTime,
+		gapCount: len(seg.GapTids),
+		mid:      seg.MID,
+		crc:      crc32.ChecksumIEEE(seg.Params),
+	}
+}
+
+func (c *viewCache) get(key viewKey) (models.AggView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*viewEntry).view, true
+}
+
+func (c *viewCache) put(key viewKey, view models.AggView) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*viewEntry).view = view
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&viewEntry{key: key, view: view})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*viewEntry).key)
+	}
+}
+
+// Stats returns cache hits and misses.
+func (c *viewCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// EnableViewCache turns on the segment cache with the given capacity
+// (decoded segments kept); capacity <= 0 disables it.
+func (e *Engine) EnableViewCache(capacity int) {
+	if capacity <= 0 {
+		e.cache = nil
+		return
+	}
+	e.cache = newViewCache(capacity)
+}
+
+// CacheStats reports the segment cache's hits and misses; zeros when
+// the cache is disabled.
+func (e *Engine) CacheStats() (hits, misses int64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.Stats()
+}
+
+// view decodes a segment's parameters, consulting the cache.
+func (e *Engine) view(seg *core.Segment, nseries int) (models.AggView, error) {
+	if e.cache == nil {
+		return e.reg.View(seg.MID, seg.Params, nseries, seg.Length())
+	}
+	key := keyOf(seg)
+	if v, ok := e.cache.get(key); ok {
+		return v, nil
+	}
+	v, err := e.reg.View(seg.MID, seg.Params, nseries, seg.Length())
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(key, v)
+	return v, nil
+}

@@ -1,0 +1,847 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modelardb/internal/core"
+	"modelardb/internal/dims"
+	"modelardb/internal/models"
+	"modelardb/internal/sqlparse"
+	"modelardb/internal/storage"
+)
+
+// Engine executes SQL queries against a segment store using the
+// metadata cache for query rewriting (§6.2) and the model registry for
+// reconstruction and segment-level aggregation.
+type Engine struct {
+	store  storage.SegmentStore
+	meta   *core.MetadataCache
+	reg    *models.Registry
+	schema *dims.Schema
+	cache  *viewCache
+}
+
+// NewEngine returns an engine over the given store and metadata.
+func NewEngine(store storage.SegmentStore, meta *core.MetadataCache, reg *models.Registry, schema *dims.Schema) *Engine {
+	return &Engine{store: store, meta: meta, reg: reg, schema: schema}
+}
+
+// Result is a finished query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// GroupState is the mergeable per-group aggregate state exchanged
+// between workers and the master (§6.2: iterate on workers, merge and
+// finalize on the master).
+type GroupState struct {
+	Key     []any
+	Scalars []ScalarState
+	Cubes   []CubeState
+}
+
+// PartialResult is one node's contribution to a query.
+type PartialResult struct {
+	Columns     []string
+	IsAggregate bool
+	Groups      map[string]*GroupState
+	Rows        [][]any
+}
+
+// Execute parses, plans, runs and finalizes a query on this node.
+func (e *Engine) Execute(sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteQuery(q)
+}
+
+// ExecuteQuery runs a parsed query on this node.
+func (e *Engine) ExecuteQuery(q *sqlparse.Query) (*Result, error) {
+	partial, err := e.ExecutePartial(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Finalize(q, []*PartialResult{partial})
+}
+
+// ExecutePartial runs the worker-side part of a query: scan, iterate
+// and per-group partial aggregation (Algorithm 5 lines 9-13).
+func (e *Engine) ExecutePartial(q *sqlparse.Query) (*PartialResult, error) {
+	p, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if p.isAggregate {
+		return e.runAggregate(p)
+	}
+	return e.runSelect(p)
+}
+
+// plan is a compiled query.
+type plan struct {
+	q           *sqlparse.Query
+	push        pushdown
+	residual    sqlparse.Expr
+	isAggregate bool
+	cubeLevel   sqlparse.TimeLevel
+	groupRefs   []columnRef
+	items       []planItem
+	nScalars    int
+	nCubes      int
+	outColumns  []string
+}
+
+type planItem struct {
+	sel       sqlparse.SelectItem
+	ref       columnRef // resolved plain column or aggregate argument
+	groupIdx  int       // index into groupRefs for plain columns
+	scalarIdx int       // index into GroupState.Scalars, or -1
+	cubeIdx   int       // index into GroupState.Cubes, or -1
+}
+
+func (e *Engine) compile(q *sqlparse.Query) (*plan, error) {
+	p := &plan{q: q, cubeLevel: sqlparse.LevelNone}
+	for _, item := range q.Select {
+		if item.Agg != sqlparse.AggNone {
+			p.isAggregate = true
+		}
+	}
+	// Resolve GROUP BY columns.
+	for _, col := range q.GroupBy {
+		ref, err := resolveColumn(e.schema, col)
+		if err != nil {
+			return nil, err
+		}
+		if ref.kind == colTS || ref.kind == colValue {
+			if q.From == sqlparse.TableSegment {
+				return nil, fmt.Errorf("query: cannot GROUP BY %s on the Segment view", ref.name)
+			}
+		}
+		p.groupRefs = append(p.groupRefs, ref)
+	}
+	if len(q.GroupBy) > 0 && !p.isAggregate {
+		return nil, fmt.Errorf("query: GROUP BY requires aggregate functions")
+	}
+	// Expand and validate select items.
+	var items []sqlparse.SelectItem
+	for _, item := range q.Select {
+		if item.Agg == sqlparse.AggNone && item.Column == "*" {
+			if p.isAggregate {
+				return nil, fmt.Errorf("query: SELECT * cannot be mixed with aggregates")
+			}
+			items = append(items, e.expandStar(q.From)...)
+			continue
+		}
+		items = append(items, item)
+	}
+	for _, item := range items {
+		pi := planItem{sel: item, groupIdx: -1, scalarIdx: -1, cubeIdx: -1}
+		if item.Agg == sqlparse.AggNone {
+			ref, err := resolveColumn(e.schema, item.Column)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.checkColumnTable(ref, q.From); err != nil {
+				return nil, err
+			}
+			pi.ref = ref
+			if p.isAggregate {
+				for gi, gref := range p.groupRefs {
+					if gref == ref {
+						pi.groupIdx = gi
+						break
+					}
+				}
+				if pi.groupIdx < 0 {
+					return nil, fmt.Errorf("query: column %s must appear in GROUP BY", ref.name)
+				}
+			}
+		} else {
+			if err := e.checkAggregate(item, q.From); err != nil {
+				return nil, err
+			}
+			if item.CubeLevel != sqlparse.LevelNone {
+				if p.cubeLevel != sqlparse.LevelNone && p.cubeLevel != item.CubeLevel {
+					return nil, fmt.Errorf("query: mixed roll-up levels in one query")
+				}
+				p.cubeLevel = item.CubeLevel
+				pi.cubeIdx = p.nCubes
+				p.nCubes++
+			} else {
+				pi.scalarIdx = p.nScalars
+				p.nScalars++
+			}
+		}
+		p.items = append(p.items, pi)
+	}
+	if p.nCubes > 0 && p.nScalars > 0 {
+		return nil, fmt.Errorf("query: CUBE_* roll-ups cannot be mixed with simple aggregates")
+	}
+	if len(p.items) == 0 {
+		return nil, fmt.Errorf("query: empty select list")
+	}
+	// Push-down and residual.
+	push, err := e.analyzeWhere(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	p.push = push
+	p.residual = q.Where
+	if q.From == sqlparse.TableSegment {
+		residual, err := e.splitSegmentTS(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		p.residual = residual
+	}
+	// Output column labels: the bucket column precedes the first cube
+	// aggregate (Fig. 12 keys results by the roll-up bucket).
+	bucketEmitted := false
+	for _, pi := range p.items {
+		if pi.cubeIdx >= 0 && !bucketEmitted {
+			p.outColumns = append(p.outColumns, p.cubeLevel.String())
+			bucketEmitted = true
+		}
+		if pi.sel.Agg == sqlparse.AggNone {
+			p.outColumns = append(p.outColumns, pi.ref.name)
+		} else {
+			p.outColumns = append(p.outColumns, pi.sel.Label())
+		}
+	}
+	return p, nil
+}
+
+// expandStar returns the view's column list (Fig. 6 schemas).
+func (e *Engine) expandStar(table sqlparse.Table) []sqlparse.SelectItem {
+	var cols []string
+	if table == sqlparse.TableSegment {
+		cols = []string{"Tid", "StartTime", "EndTime", "SI", "Mid", "Gaps"}
+	} else {
+		cols = []string{"Tid", "TS", "Value"}
+	}
+	for _, d := range e.schema.Dimensions() {
+		cols = append(cols, d.Levels...)
+	}
+	items := make([]sqlparse.SelectItem, len(cols))
+	for i, c := range cols {
+		items[i] = sqlparse.SelectItem{Column: c}
+	}
+	return items
+}
+
+func (e *Engine) checkColumnTable(ref columnRef, table sqlparse.Table) error {
+	switch ref.kind {
+	case colTS, colValue:
+		if table == sqlparse.TableSegment {
+			return fmt.Errorf("query: column %s is only available on the DataPoint view", ref.name)
+		}
+	case colStartTime, colEndTime, colMid, colGaps:
+		if table == sqlparse.TableDataPoint {
+			return fmt.Errorf("query: column %s is only available on the Segment view", ref.name)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) checkAggregate(item sqlparse.SelectItem, table sqlparse.Table) error {
+	if item.OnSegment && table != sqlparse.TableSegment {
+		return fmt.Errorf("query: %s runs on the Segment view", item.Label())
+	}
+	if !item.OnSegment && table != sqlparse.TableDataPoint {
+		return fmt.Errorf("query: %s runs on the DataPoint view; use %s_S on segments", item.Label(), item.Agg)
+	}
+	if item.Column != "*" && !strings.EqualFold(item.Column, "Value") {
+		return fmt.Errorf("query: aggregates apply to * or Value, not %s", item.Column)
+	}
+	return nil
+}
+
+// splitSegmentTS validates TS usage for Segment-view queries: TS
+// predicates must be top-level conjuncts (consumed by the time-range
+// clamp); anywhere else they cannot be evaluated per row.
+func (e *Engine) splitSegmentTS(expr sqlparse.Expr) (sqlparse.Expr, error) {
+	if expr == nil {
+		return nil, nil
+	}
+	conjuncts := collectConjuncts(expr)
+	var rest []sqlparse.Expr
+	for _, c := range conjuncts {
+		isTS, err := e.isTSPredicate(c)
+		if err != nil {
+			return nil, err
+		}
+		if isTS {
+			continue // consumed by the push-down clamp
+		}
+		if e.referencesTS(c) {
+			return nil, fmt.Errorf("query: TS predicates on the Segment view must be simple AND conditions")
+		}
+		rest = append(rest, c)
+	}
+	return joinConjuncts(rest), nil
+}
+
+func collectConjuncts(expr sqlparse.Expr) []sqlparse.Expr {
+	if be, ok := expr.(*sqlparse.BinaryExpr); ok && be.Op == "AND" {
+		return append(collectConjuncts(be.L), collectConjuncts(be.R)...)
+	}
+	return []sqlparse.Expr{expr}
+}
+
+func joinConjuncts(exprs []sqlparse.Expr) sqlparse.Expr {
+	if len(exprs) == 0 {
+		return nil
+	}
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		out = &sqlparse.BinaryExpr{Op: "AND", L: out, R: e}
+	}
+	return out
+}
+
+// isTSPredicate reports whether the expression is a clampable TS
+// comparison.
+func (e *Engine) isTSPredicate(expr sqlparse.Expr) (bool, error) {
+	switch x := expr.(type) {
+	case *sqlparse.BinaryExpr:
+		ident, ok := x.L.(*sqlparse.Ident)
+		if !ok {
+			return false, nil
+		}
+		ref, err := resolveColumn(e.schema, ident.Name)
+		if err != nil {
+			return false, err
+		}
+		if ref.kind != colTS {
+			return false, nil
+		}
+		switch x.Op {
+		case "=", "<", "<=", ">", ">=":
+			return true, nil
+		}
+		return false, fmt.Errorf("query: operator %s is not supported for TS on the Segment view", x.Op)
+	case *sqlparse.BetweenExpr:
+		ref, err := resolveColumn(e.schema, x.Column)
+		if err != nil {
+			return false, err
+		}
+		return ref.kind == colTS, nil
+	default:
+		return false, nil
+	}
+}
+
+func (e *Engine) referencesTS(expr sqlparse.Expr) bool {
+	switch x := expr.(type) {
+	case *sqlparse.BinaryExpr:
+		if ident, ok := x.L.(*sqlparse.Ident); ok {
+			if ref, err := resolveColumn(e.schema, ident.Name); err == nil && ref.kind == colTS {
+				return true
+			}
+		}
+		return e.referencesTS(x.L) || e.referencesTS(x.R)
+	case *sqlparse.InExpr:
+		ref, err := resolveColumn(e.schema, x.Column)
+		return err == nil && ref.kind == colTS
+	case *sqlparse.BetweenExpr:
+		ref, err := resolveColumn(e.schema, x.Column)
+		return err == nil && ref.kind == colTS
+	default:
+		return false
+	}
+}
+
+// logicalRow is one per-series row of either view during evaluation.
+type logicalRow struct {
+	ts      *core.TimeSeries
+	seg     *core.Segment
+	pointTS int64
+	value   float64
+	isPoint bool
+}
+
+func (e *Engine) accessor(r *logicalRow) rowAccessor {
+	return func(ref columnRef) (any, bool) {
+		switch ref.kind {
+		case colTid:
+			return int64(r.ts.Tid), true
+		case colGid:
+			return int64(r.ts.Gid), true
+		case colSI:
+			return r.ts.SI, true
+		case colMember:
+			return r.ts.Member(ref.dimension, ref.level), true
+		case colStartTime:
+			if r.seg != nil && !r.isPoint {
+				return r.seg.StartTime, true
+			}
+		case colEndTime:
+			if r.seg != nil && !r.isPoint {
+				return r.seg.EndTime, true
+			}
+		case colMid:
+			if r.seg != nil {
+				return int64(r.seg.MID), true
+			}
+		case colGaps:
+			if r.seg != nil && !r.isPoint {
+				return fmt.Sprint(r.seg.GapTids), true
+			}
+		case colTS:
+			if r.isPoint {
+				return r.pointTS, true
+			}
+		case colValue:
+			if r.isPoint {
+				return r.value, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// groupKey renders the GROUP BY key of a row.
+func (p *plan) groupKey(row rowAccessor) (string, []any, error) {
+	if len(p.groupRefs) == 0 {
+		return "", nil, nil
+	}
+	var sb strings.Builder
+	vals := make([]any, len(p.groupRefs))
+	for i, ref := range p.groupRefs {
+		v, ok := row(ref)
+		if !ok {
+			return "", nil, fmt.Errorf("query: cannot GROUP BY %s here", ref.name)
+		}
+		vals[i] = v
+		fmt.Fprintf(&sb, "%v\x00", v)
+	}
+	return sb.String(), vals, nil
+}
+
+// scanFilter converts a push-down to a store filter.
+func (p *plan) scanFilter() storage.Filter {
+	return storage.Filter{Gids: p.push.gids, From: p.push.trange.from, To: p.push.trange.to}
+}
+
+// runAggregate executes an aggregate query (Algorithms 5 and 6).
+func (e *Engine) runAggregate(p *plan) (*PartialResult, error) {
+	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
+	err := e.store.Scan(p.scanFilter(), func(seg *core.Segment) error {
+		return e.aggregateSegment(p, seg, out.Groups)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Engine) aggregateSegment(p *plan, seg *core.Segment, groups map[string]*GroupState) error {
+	members := e.meta.TidsOf(seg.Gid)
+	active := activeTids(members, seg.GapTids)
+	i0, i1, ok := seg.IndexRange(p.push.trange.from, p.push.trange.to)
+	if !ok {
+		return nil
+	}
+	var view models.AggView
+	needView := p.q.From == sqlparse.TableDataPoint || p.needsValues()
+	for pos, tid := range active {
+		ts, err := e.meta.Series(tid)
+		if err != nil {
+			return err
+		}
+		row := &logicalRow{ts: ts, seg: seg, isPoint: p.q.From == sqlparse.TableDataPoint}
+		acc := e.accessor(row)
+		if p.q.From == sqlparse.TableSegment {
+			match, err := e.evalResidual(p.residual, acc)
+			if err != nil {
+				return err
+			}
+			if !match {
+				continue
+			}
+		}
+		if view == nil && needView {
+			v, err := e.view(seg, len(active))
+			if err != nil {
+				return fmt.Errorf("query: segment (gid=%d, end=%d): %w", seg.Gid, seg.EndTime, err)
+			}
+			view = v
+		}
+		if p.q.From == sqlparse.TableSegment {
+			if err := e.aggregateSeries(p, seg, view, pos, ts, acc, i0, i1, groups); err != nil {
+				return err
+			}
+		} else {
+			if err := e.aggregatePoints(p, seg, view, pos, ts, row, i0, i1, groups); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// needsValues reports whether any aggregate needs reconstructed
+// values; COUNT-only queries run on metadata alone.
+func (p *plan) needsValues() bool {
+	for _, pi := range p.items {
+		if pi.sel.Agg != sqlparse.AggNone && pi.sel.Agg != sqlparse.AggCount {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *plan) group(groups map[string]*GroupState, key string, vals []any) *GroupState {
+	g, ok := groups[key]
+	if !ok {
+		g = &GroupState{Key: vals, Scalars: make([]ScalarState, p.nScalars), Cubes: make([]CubeState, p.nCubes)}
+		for i := range g.Scalars {
+			g.Scalars[i] = NewScalarState()
+		}
+		for i := range g.Cubes {
+			g.Cubes[i] = CubeState{}
+		}
+		groups[key] = g
+	}
+	return g
+}
+
+// aggregateSeries is the Segment-view fast path: one AddRange per
+// (segment, series) using the model's constant-time aggregates where
+// the model supports them (Algorithm 5's iterate).
+func (e *Engine) aggregateSeries(p *plan, seg *core.Segment, view models.AggView, pos int, ts *core.TimeSeries, acc rowAccessor, i0, i1 int, groups map[string]*GroupState) error {
+	key, vals, err := p.groupKey(acc)
+	if err != nil {
+		return err
+	}
+	g := p.group(groups, key, vals)
+	scale := float64(ts.Scaling)
+	count := int64(i1 - i0 + 1)
+	for _, pi := range p.items {
+		switch {
+		case pi.scalarIdx >= 0:
+			if pi.sel.Agg == sqlparse.AggCount {
+				g.Scalars[pi.scalarIdx].AddRange(count, 0, 0, 0)
+				continue
+			}
+			sum := view.SumRange(pos, i0, i1) / scale
+			mn := view.MinRange(pos, i0, i1) / scale
+			mx := view.MaxRange(pos, i0, i1) / scale
+			g.Scalars[pi.scalarIdx].AddRange(count, sum, mn, mx)
+		case pi.cubeIdx >= 0:
+			// Algorithm 6: walk the segment interval one time-hierarchy
+			// bucket at a time, aggregating each sub-range on the model.
+			idx := i0
+			for idx <= i1 {
+				bucket, boundary := bucketOf(p.cubeLevel, seg.TimestampAt(idx))
+				// Last grid index strictly before the next bucket boundary;
+				// TimestampAt(idx) < boundary guarantees progress.
+				last := i1
+				if boundary <= seg.EndTime {
+					if lastInBucket := int((boundary - 1 - seg.StartTime) / seg.SI); lastInBucket < last {
+						last = lastInBucket
+					}
+				}
+				n := int64(last - idx + 1)
+				if pi.sel.Agg == sqlparse.AggCount {
+					g.Cubes[pi.cubeIdx].Add(bucket, n, 0, 0, 0)
+				} else {
+					sum := view.SumRange(pos, idx, last) / scale
+					mn := view.MinRange(pos, idx, last) / scale
+					mx := view.MaxRange(pos, idx, last) / scale
+					g.Cubes[pi.cubeIdx].Add(bucket, n, sum, mn, mx)
+				}
+				idx = last + 1
+			}
+		}
+	}
+	return nil
+}
+
+// aggregatePoints feeds reconstructed data points into scalar states
+// (Data Point View aggregation: the slow path the paper compares
+// against).
+func (e *Engine) aggregatePoints(p *plan, seg *core.Segment, view models.AggView, pos int, ts *core.TimeSeries, row *logicalRow, i0, i1 int, groups map[string]*GroupState) error {
+	scale := float64(ts.Scaling)
+	acc := e.accessor(row)
+	for i := i0; i <= i1; i++ {
+		row.pointTS = seg.TimestampAt(i)
+		row.value = float64(view.ValueAt(pos, i)) / scale
+		match, err := e.evalResidual(p.residual, acc)
+		if err != nil {
+			return err
+		}
+		if !match {
+			continue
+		}
+		key, vals, err := p.groupKey(acc)
+		if err != nil {
+			return err
+		}
+		g := p.group(groups, key, vals)
+		for _, pi := range p.items {
+			if pi.scalarIdx >= 0 {
+				g.Scalars[pi.scalarIdx].AddPoint(row.value)
+			}
+		}
+	}
+	return nil
+}
+
+// runSelect executes a non-aggregate query, returning raw rows.
+func (e *Engine) runSelect(p *plan) (*PartialResult, error) {
+	out := &PartialResult{Columns: p.outColumns}
+	err := e.store.Scan(p.scanFilter(), func(seg *core.Segment) error {
+		members := e.meta.TidsOf(seg.Gid)
+		active := activeTids(members, seg.GapTids)
+		i0, i1, ok := seg.IndexRange(p.push.trange.from, p.push.trange.to)
+		if !ok {
+			return nil
+		}
+		var view models.AggView
+		for pos, tid := range active {
+			ts, err := e.meta.Series(tid)
+			if err != nil {
+				return err
+			}
+			if p.q.From == sqlparse.TableSegment {
+				row := &logicalRow{ts: ts, seg: seg}
+				acc := e.accessor(row)
+				match, err := e.evalResidual(p.residual, acc)
+				if err != nil {
+					return err
+				}
+				if !match {
+					continue
+				}
+				out.Rows = append(out.Rows, p.projectRow(acc))
+				continue
+			}
+			if view == nil {
+				v, err := e.view(seg, len(active))
+				if err != nil {
+					return err
+				}
+				view = v
+			}
+			row := &logicalRow{ts: ts, seg: seg, isPoint: true}
+			acc := e.accessor(row)
+			scale := float64(ts.Scaling)
+			for i := i0; i <= i1; i++ {
+				row.pointTS = seg.TimestampAt(i)
+				row.value = float64(view.ValueAt(pos, i)) / scale
+				match, err := e.evalResidual(p.residual, acc)
+				if err != nil {
+					return err
+				}
+				if !match {
+					continue
+				}
+				out.Rows = append(out.Rows, p.projectRow(acc))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *plan) projectRow(acc rowAccessor) []any {
+	row := make([]any, 0, len(p.items))
+	for _, pi := range p.items {
+		v, ok := acc(pi.ref)
+		if !ok {
+			v = nil
+		}
+		row = append(row, v)
+	}
+	return row
+}
+
+// Finalize merges partial results from all nodes and produces the
+// final rows (Algorithm 5 lines 14-15).
+func (e *Engine) Finalize(q *sqlparse.Query, partials []*PartialResult) (*Result, error) {
+	p, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: p.outColumns}
+	if !p.isAggregate {
+		for _, part := range partials {
+			res.Rows = append(res.Rows, part.Rows...)
+		}
+	} else {
+		merged := map[string]*GroupState{}
+		var order []string
+		for _, part := range partials {
+			for key, g := range part.Groups {
+				m, ok := merged[key]
+				if !ok {
+					copied := &GroupState{Key: g.Key, Scalars: append([]ScalarState(nil), g.Scalars...), Cubes: make([]CubeState, len(g.Cubes))}
+					for i, c := range g.Cubes {
+						copied.Cubes[i] = CubeState{}
+						copied.Cubes[i].Merge(c)
+					}
+					merged[key] = copied
+					order = append(order, key)
+					continue
+				}
+				for i := range g.Scalars {
+					m.Scalars[i].Merge(g.Scalars[i])
+				}
+				for i := range g.Cubes {
+					m.Cubes[i].Merge(g.Cubes[i])
+				}
+			}
+		}
+		sort.Strings(order)
+		for _, key := range order {
+			res.Rows = append(res.Rows, p.finalizeGroup(merged[key])...)
+		}
+	}
+	if err := sortRows(res, q.OrderBy); err != nil {
+		return nil, err
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// finalizeGroup renders a group's output rows: one row for scalar
+// aggregates, one row per time bucket for roll-ups.
+func (p *plan) finalizeGroup(g *GroupState) [][]any {
+	if p.nCubes == 0 {
+		row := make([]any, 0, len(p.items))
+		for _, pi := range p.items {
+			switch {
+			case pi.groupIdx >= 0:
+				row = append(row, g.Key[pi.groupIdx])
+			case pi.scalarIdx >= 0:
+				v, ok := g.Scalars[pi.scalarIdx].Finalize(pi.sel.Agg)
+				if !ok {
+					row = append(row, nil)
+				} else {
+					row = append(row, v)
+				}
+			}
+		}
+		return [][]any{row}
+	}
+	// Collect the union of buckets across the group's cube states.
+	bucketSet := map[int64]bool{}
+	for _, c := range g.Cubes {
+		for b := range c {
+			bucketSet[b] = true
+		}
+	}
+	buckets := make([]int64, 0, len(bucketSet))
+	for b := range bucketSet {
+		buckets = append(buckets, b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+	rows := make([][]any, 0, len(buckets))
+	for _, b := range buckets {
+		row := make([]any, 0, len(p.items)+1)
+		bucketEmitted := false
+		for _, pi := range p.items {
+			if pi.cubeIdx >= 0 && !bucketEmitted {
+				row = append(row, b)
+				bucketEmitted = true
+			}
+			switch {
+			case pi.groupIdx >= 0:
+				row = append(row, g.Key[pi.groupIdx])
+			case pi.cubeIdx >= 0:
+				if s, ok := g.Cubes[pi.cubeIdx][b]; ok {
+					if v, ok := s.Finalize(pi.sel.Agg); ok {
+						row = append(row, v)
+						continue
+					}
+				}
+				row = append(row, nil)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// sortRows orders the result by the ORDER BY columns (resolved against
+// the output column labels).
+func sortRows(res *Result, orderBy []sqlparse.OrderItem) error {
+	if len(orderBy) == 0 {
+		return nil
+	}
+	idx := make([]int, len(orderBy))
+	for i, o := range orderBy {
+		idx[i] = -1
+		for c, name := range res.Columns {
+			if strings.EqualFold(name, o.Column) {
+				idx[i] = c
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return fmt.Errorf("query: ORDER BY column %q not in result", o.Column)
+		}
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, o := range orderBy {
+			cmp := compareAny(res.Rows[a][idx[i]], res.Rows[b][idx[i]])
+			if cmp == 0 {
+				continue
+			}
+			if o.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return nil
+}
+
+func compareAny(a, b any) int {
+	switch av := a.(type) {
+	case int64:
+		if bv, ok := b.(int64); ok {
+			return cmpInt64(av, bv)
+		}
+	case float64:
+		if bv, ok := b.(float64); ok {
+			return cmpFloat(av, bv)
+		}
+	case string:
+		if bv, ok := b.(string); ok {
+			return strings.Compare(av, bv)
+		}
+	}
+	return 0
+}
+
+// activeTids returns members minus gaps, both sorted.
+func activeTids(members, gaps []core.Tid) []core.Tid {
+	if len(gaps) == 0 {
+		return members
+	}
+	out := make([]core.Tid, 0, len(members)-len(gaps))
+	j := 0
+	for _, t := range members {
+		for j < len(gaps) && gaps[j] < t {
+			j++
+		}
+		if j < len(gaps) && gaps[j] == t {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

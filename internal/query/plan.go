@@ -1,0 +1,491 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"modelardb/internal/core"
+	"modelardb/internal/dims"
+	"modelardb/internal/sqlparse"
+)
+
+// columnKind classifies the columns the views expose.
+type columnKind int
+
+const (
+	colUnknown columnKind = iota
+	colTid
+	colGid
+	colTS        // Data Point View only
+	colValue     // Data Point View only
+	colStartTime // Segment View only
+	colEndTime   // Segment View only
+	colSI
+	colMid
+	colGaps   // Segment View only: the segment's gap Tids
+	colMember // a dimension level column
+)
+
+// columnRef resolves a referenced column name.
+type columnRef struct {
+	kind      columnKind
+	dimension string // for colMember
+	level     int    // for colMember
+	name      string // canonical output name
+}
+
+// resolveColumn maps a (possibly qualified) column name to a view
+// column. Dimension level columns are referenced by level name, e.g.
+// Park, or qualified as Location.Park.
+func resolveColumn(schema *dims.Schema, name string) (columnRef, error) {
+	switch strings.ToUpper(name) {
+	case "TID":
+		return columnRef{kind: colTid, name: "Tid"}, nil
+	case "GID":
+		return columnRef{kind: colGid, name: "Gid"}, nil
+	case "TS", "TIMESTAMP":
+		return columnRef{kind: colTS, name: "TS"}, nil
+	case "VALUE":
+		return columnRef{kind: colValue, name: "Value"}, nil
+	case "STARTTIME":
+		return columnRef{kind: colStartTime, name: "StartTime"}, nil
+	case "ENDTIME":
+		return columnRef{kind: colEndTime, name: "EndTime"}, nil
+	case "SI":
+		return columnRef{kind: colSI, name: "SI"}, nil
+	case "MID":
+		return columnRef{kind: colMid, name: "Mid"}, nil
+	case "GAPS":
+		return columnRef{kind: colGaps, name: "Gaps"}, nil
+	}
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		d, ok := schema.Dimension(name[:dot])
+		if !ok {
+			return columnRef{}, fmt.Errorf("query: unknown dimension %q", name[:dot])
+		}
+		level := d.LevelOf(name[dot+1:])
+		if level == 0 {
+			return columnRef{}, fmt.Errorf("query: unknown level %q in dimension %s", name[dot+1:], d.Name)
+		}
+		return columnRef{kind: colMember, dimension: d.Name, level: level, name: d.Levels[level-1]}, nil
+	}
+	// Unqualified level name: search all dimensions; must be unique.
+	var found columnRef
+	for _, d := range schema.Dimensions() {
+		if level := d.LevelOf(name); level != 0 {
+			if found.kind == colMember {
+				return columnRef{}, fmt.Errorf("query: ambiguous column %q; qualify as Dimension.Level", name)
+			}
+			found = columnRef{kind: colMember, dimension: d.Name, level: level, name: d.Levels[level-1]}
+		}
+	}
+	if found.kind == colMember {
+		return found, nil
+	}
+	return columnRef{}, fmt.Errorf("query: unknown column %q", name)
+}
+
+// timeRange is an inclusive timestamp interval.
+type timeRange struct{ from, to int64 }
+
+func allTime() timeRange { return timeRange{from: math.MinInt64 / 4, to: math.MaxInt64 / 4} }
+
+func (r timeRange) intersect(o timeRange) timeRange {
+	if o.from > r.from {
+		r.from = o.from
+	}
+	if o.to < r.to {
+		r.to = o.to
+	}
+	return r
+}
+
+func (r timeRange) union(o timeRange) timeRange {
+	if o.from < r.from {
+		r.from = o.from
+	}
+	if o.to > r.to {
+		r.to = o.to
+	}
+	return r
+}
+
+// gidSet is nil for "unknown / all groups" or an explicit sorted set.
+type gidSet []core.Gid
+
+func (s gidSet) intersect(o gidSet) gidSet {
+	if s == nil {
+		return o
+	}
+	if o == nil {
+		return s
+	}
+	out := gidSet{}
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] < o[j]:
+			i++
+		case s[i] > o[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (s gidSet) union(o gidSet) gidSet {
+	if s == nil || o == nil {
+		return nil
+	}
+	out := gidSet{}
+	i, j := 0, 0
+	for i < len(s) || j < len(o) {
+		switch {
+		case j >= len(o) || (i < len(s) && s[i] < o[j]):
+			out = append(out, s[i])
+			i++
+		case i >= len(s) || o[j] < s[i]:
+			out = append(out, o[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// pushdown is what the WHERE clause analysis extracts for the store:
+// the groups to scan (§6.2 query rewriting, Fig. 11) and the time
+// range (§3.3 EndTime push-down).
+type pushdown struct {
+	gids   gidSet
+	trange timeRange
+	// exact reports whether the push-down alone implies the predicate,
+	// so the residual evaluation can be skipped.
+	exact bool
+}
+
+// analyzeWhere rewrites the WHERE clause into a push-down and keeps
+// the full expression for residual evaluation.
+func (e *Engine) analyzeWhere(expr sqlparse.Expr) (pushdown, error) {
+	if expr == nil {
+		return pushdown{gids: nil, trange: allTime(), exact: true}, nil
+	}
+	return e.analyzeExpr(expr)
+}
+
+func (e *Engine) analyzeExpr(expr sqlparse.Expr) (pushdown, error) {
+	switch x := expr.(type) {
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, err := e.analyzeExpr(x.L)
+			if err != nil {
+				return pushdown{}, err
+			}
+			r, err := e.analyzeExpr(x.R)
+			if err != nil {
+				return pushdown{}, err
+			}
+			return pushdown{
+				gids:   l.gids.intersect(r.gids),
+				trange: l.trange.intersect(r.trange),
+				exact:  l.exact && r.exact,
+			}, nil
+		case "OR":
+			l, err := e.analyzeExpr(x.L)
+			if err != nil {
+				return pushdown{}, err
+			}
+			r, err := e.analyzeExpr(x.R)
+			if err != nil {
+				return pushdown{}, err
+			}
+			return pushdown{
+				gids:   l.gids.union(r.gids),
+				trange: l.trange.union(r.trange),
+				exact:  false,
+			}, nil
+		default:
+			return e.analyzeComparison(x)
+		}
+	case *sqlparse.InExpr:
+		ref, err := resolveColumn(e.schema, x.Column)
+		if err != nil {
+			return pushdown{}, err
+		}
+		if ref.kind != colTid {
+			// IN over members or times: no push-down, residual handles it.
+			return pushdown{gids: nil, trange: allTime(), exact: false}, nil
+		}
+		tids := make([]core.Tid, 0, len(x.Values))
+		for _, v := range x.Values {
+			if !v.IsNumber {
+				return pushdown{}, fmt.Errorf("query: Tid IN requires numbers")
+			}
+			tids = append(tids, core.Tid(v.Number))
+		}
+		gids, err := e.meta.GidsForTids(tids)
+		if err != nil {
+			return pushdown{}, err
+		}
+		return pushdown{gids: gidSet(gids), trange: allTime(), exact: false}, nil
+	case *sqlparse.BetweenExpr:
+		ref, err := resolveColumn(e.schema, x.Column)
+		if err != nil {
+			return pushdown{}, err
+		}
+		lo, err := literalTime(x.Lo)
+		if err == nil {
+			if hi, err2 := literalTime(x.Hi); err2 == nil && ref.kind == colTS {
+				return pushdown{gids: nil, trange: timeRange{from: lo, to: hi}, exact: false}, nil
+			}
+		}
+		return pushdown{gids: nil, trange: allTime(), exact: false}, nil
+	default:
+		return pushdown{gids: nil, trange: allTime(), exact: false}, nil
+	}
+}
+
+// analyzeComparison extracts push-down from a single comparison.
+func (e *Engine) analyzeComparison(x *sqlparse.BinaryExpr) (pushdown, error) {
+	ident, ok := x.L.(*sqlparse.Ident)
+	if !ok {
+		return pushdown{gids: nil, trange: allTime(), exact: false}, nil
+	}
+	lit, ok := x.R.(*sqlparse.Literal)
+	if !ok {
+		return pushdown{gids: nil, trange: allTime(), exact: false}, nil
+	}
+	ref, err := resolveColumn(e.schema, ident.Name)
+	if err != nil {
+		return pushdown{}, err
+	}
+	none := pushdown{gids: nil, trange: allTime(), exact: false}
+	switch ref.kind {
+	case colTid:
+		if x.Op != "=" || !lit.IsNumber {
+			return none, nil
+		}
+		gids, err := e.meta.GidsForTids([]core.Tid{core.Tid(lit.Number)})
+		if err != nil {
+			return pushdown{}, err
+		}
+		return pushdown{gids: gidSet(gids), trange: allTime(), exact: false}, nil
+	case colMember:
+		// §6.2: rewrite dimension members in the WHERE clause to the
+		// Gids of groups containing series with that member.
+		if x.Op != "=" || lit.IsNumber {
+			return none, nil
+		}
+		gids := e.meta.GidsForMember(ref.dimension, ref.level, lit.Str)
+		return pushdown{gids: gidSet(gids), trange: allTime(), exact: false}, nil
+	case colTS, colStartTime, colEndTime:
+		ts, err := literalTime(*lit)
+		if err != nil {
+			return pushdown{}, err
+		}
+		r := allTime()
+		switch x.Op {
+		case "=":
+			if ref.kind == colTS {
+				r = timeRange{from: ts, to: ts}
+			}
+		case "<", "<=":
+			// StartTime <= X and TS <= X both imply the interval starts
+			// by X; EndTime <= X implies it too (StartTime <= EndTime).
+			r.to = ts
+		case ">", ">=":
+			r.from = ts
+		}
+		return pushdown{gids: nil, trange: r, exact: false}, nil
+	default:
+		return none, nil
+	}
+}
+
+// literalTime converts a literal to Unix milliseconds; strings are
+// parsed as RFC 3339 or "2006-01-02 15:04:05" or "2006-01-02" in UTC.
+func literalTime(lit sqlparse.Literal) (int64, error) {
+	if lit.IsNumber {
+		return int64(lit.Number), nil
+	}
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+		if t, err := time.ParseInLocation(layout, lit.Str, time.UTC); err == nil {
+			return t.UnixMilli(), nil
+		}
+	}
+	return 0, fmt.Errorf("query: cannot parse %q as a timestamp", lit.Str)
+}
+
+// rowAccessor provides column values of one logical row for residual
+// predicate evaluation.
+type rowAccessor func(ref columnRef) (any, bool)
+
+// evalResidual evaluates the full WHERE expression against a row.
+// Columns the row cannot provide (e.g. TS on a Segment View row whose
+// range was already clamped) evaluate as satisfied, matching the
+// conservative push-down.
+func (e *Engine) evalResidual(expr sqlparse.Expr, row rowAccessor) (bool, error) {
+	if expr == nil {
+		return true, nil
+	}
+	switch x := expr.(type) {
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, err := e.evalResidual(x.L, row)
+			if err != nil || !l {
+				return false, err
+			}
+			return e.evalResidual(x.R, row)
+		case "OR":
+			l, err := e.evalResidual(x.L, row)
+			if err != nil {
+				return false, err
+			}
+			if l {
+				return true, nil
+			}
+			return e.evalResidual(x.R, row)
+		default:
+			return e.evalComparison(x, row)
+		}
+	case *sqlparse.InExpr:
+		ref, err := resolveColumn(e.schema, x.Column)
+		if err != nil {
+			return false, err
+		}
+		v, ok := row(ref)
+		if !ok {
+			return true, nil
+		}
+		for _, lit := range x.Values {
+			match, err := compareValues(v, lit, "=")
+			if err != nil {
+				return false, err
+			}
+			if match {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *sqlparse.BetweenExpr:
+		ref, err := resolveColumn(e.schema, x.Column)
+		if err != nil {
+			return false, err
+		}
+		v, ok := row(ref)
+		if !ok {
+			return true, nil
+		}
+		ge, err := compareValues(v, x.Lo, ">=")
+		if err != nil || !ge {
+			return false, err
+		}
+		return compareValues(v, x.Hi, "<=")
+	default:
+		return false, fmt.Errorf("query: unsupported predicate %T", expr)
+	}
+}
+
+func (e *Engine) evalComparison(x *sqlparse.BinaryExpr, row rowAccessor) (bool, error) {
+	ident, ok := x.L.(*sqlparse.Ident)
+	if !ok {
+		return false, fmt.Errorf("query: comparison must have a column on the left")
+	}
+	lit, ok := x.R.(*sqlparse.Literal)
+	if !ok {
+		return false, fmt.Errorf("query: comparison must have a literal on the right")
+	}
+	ref, err := resolveColumn(e.schema, ident.Name)
+	if err != nil {
+		return false, err
+	}
+	v, ok := row(ref)
+	if !ok {
+		return true, nil
+	}
+	return compareValues(v, *lit, x.Op)
+}
+
+// compareValues applies op between a row value and a literal.
+// Timestamp columns surface as int64 and compare against both numeric
+// and string literals.
+func compareValues(v any, lit sqlparse.Literal, op string) (bool, error) {
+	switch val := v.(type) {
+	case string:
+		if lit.IsNumber {
+			return false, fmt.Errorf("query: cannot compare member %q with a number", val)
+		}
+		return applyOrd(strings.Compare(val, lit.Str), op), nil
+	case int64:
+		var want int64
+		if lit.IsNumber {
+			want = int64(lit.Number)
+		} else {
+			ts, err := literalTime(lit)
+			if err != nil {
+				return false, err
+			}
+			want = ts
+		}
+		return applyOrd(cmpInt64(val, want), op), nil
+	case float64:
+		if !lit.IsNumber {
+			return false, fmt.Errorf("query: cannot compare value with string %q", lit.Str)
+		}
+		return applyOrd(cmpFloat(val, lit.Number), op), nil
+	default:
+		return false, fmt.Errorf("query: unsupported comparison value %T", v)
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func applyOrd(cmp int, op string) bool {
+	switch op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	default:
+		return false
+	}
+}

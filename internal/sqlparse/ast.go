@@ -1,0 +1,224 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table identifies the queried view (§6.1).
+type Table int
+
+// The two views of ModelarDB+.
+const (
+	TableSegment Table = iota
+	TableDataPoint
+)
+
+func (t Table) String() string {
+	if t == TableSegment {
+		return "Segment"
+	}
+	return "DataPoint"
+}
+
+// AggKind is an aggregate function over values.
+type AggKind int
+
+// Supported distributive and algebraic aggregates (§6.1 limits segment
+// aggregation to these classes).
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+	AggSum
+	AggAvg
+)
+
+var aggNames = map[string]AggKind{
+	"COUNT": AggCount, "MIN": AggMin, "MAX": AggMax, "SUM": AggSum, "AVG": AggAvg,
+}
+
+func (a AggKind) String() string {
+	for name, kind := range aggNames {
+		if kind == a {
+			return name
+		}
+	}
+	return "NONE"
+}
+
+// TimeLevel is a level of the implicit time hierarchy used by the
+// CUBE_* functions of §6.3.
+type TimeLevel int
+
+// Time roll-up levels. The *Of* levels are cyclic (e.g. day-of-month
+// aggregates across all months), which the paper notes InfluxDB cannot
+// express natively.
+const (
+	LevelNone TimeLevel = iota
+	LevelMinute
+	LevelHour
+	LevelDay
+	LevelMonth
+	LevelYear
+	LevelHourOfDay
+	LevelDayOfMonth
+	LevelDayOfWeek
+	LevelMonthOfYear
+)
+
+var levelNames = map[string]TimeLevel{
+	"MINUTE": LevelMinute, "HOUR": LevelHour, "DAY": LevelDay,
+	"MONTH": LevelMonth, "YEAR": LevelYear,
+	"HOUROFDAY": LevelHourOfDay, "DAYOFMONTH": LevelDayOfMonth,
+	"DAYOFWEEK": LevelDayOfWeek, "MONTHOFYEAR": LevelMonthOfYear,
+}
+
+func (l TimeLevel) String() string {
+	for name, level := range levelNames {
+		if level == l {
+			return name
+		}
+	}
+	return "NONE"
+}
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	// Column is the selected column for plain items and the aggregate
+	// argument otherwise ("*" or "Value").
+	Column string
+	// Agg is the aggregate kind; AggNone for plain columns.
+	Agg AggKind
+	// OnSegment marks the _S suffixed segment aggregates of §6.1.
+	OnSegment bool
+	// CubeLevel, when not LevelNone, marks a CUBE_<AGG>_<LEVEL> roll-up
+	// in the time dimension (§6.3); these imply OnSegment.
+	CubeLevel TimeLevel
+}
+
+// Label returns the result column name for the item.
+func (s SelectItem) Label() string {
+	switch {
+	case s.CubeLevel != LevelNone:
+		return fmt.Sprintf("CUBE_%s_%s(%s)", s.Agg, s.CubeLevel, s.Column)
+	case s.Agg != AggNone && s.OnSegment:
+		return fmt.Sprintf("%s_S(%s)", s.Agg, s.Column)
+	case s.Agg != AggNone:
+		return fmt.Sprintf("%s(%s)", s.Agg, s.Column)
+	default:
+		return s.Column
+	}
+}
+
+// Expr is a WHERE clause expression.
+type Expr interface {
+	exprString() string
+}
+
+// BinaryExpr applies Op to L and R. Op is one of AND, OR, =, !=, <,
+// <=, >, >=.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *BinaryExpr) exprString() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.exprString(), e.Op, e.R.exprString())
+}
+
+// Ident references a column.
+type Ident struct{ Name string }
+
+func (e *Ident) exprString() string { return e.Name }
+
+// Literal is a number, string or timestamp constant.
+type Literal struct {
+	// Number holds numeric literals when IsNumber.
+	Number   float64
+	Str      string
+	IsNumber bool
+}
+
+func (e *Literal) exprString() string {
+	if e.IsNumber {
+		return fmt.Sprintf("%g", e.Number)
+	}
+	return fmt.Sprintf("'%s'", e.Str)
+}
+
+// InExpr is "Ident IN (lit, lit, ...)".
+type InExpr struct {
+	Column string
+	Values []Literal
+}
+
+func (e *InExpr) exprString() string {
+	parts := make([]string, len(e.Values))
+	for i := range e.Values {
+		parts[i] = e.Values[i].exprString()
+	}
+	return fmt.Sprintf("%s IN (%s)", e.Column, strings.Join(parts, ", "))
+}
+
+// BetweenExpr is "Ident BETWEEN lo AND hi" (inclusive).
+type BetweenExpr struct {
+	Column string
+	Lo, Hi Literal
+}
+
+func (e *BetweenExpr) exprString() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", e.Column, e.Lo.exprString(), e.Hi.exprString())
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Column string
+	Desc   bool
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Select  []SelectItem
+	From    Table
+	Where   Expr // nil when absent
+	GroupBy []string
+	OrderBy []OrderItem
+	// Limit caps the result rows; -1 means no limit.
+	Limit int
+}
+
+// String reassembles a canonical form of the query, used by tests and
+// the CLI's echo.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, item := range q.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(item.Label())
+	}
+	fmt.Fprintf(&sb, " FROM %s", q.From)
+	if q.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", q.Where.exprString())
+	}
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&sb, " GROUP BY %s", strings.Join(q.GroupBy, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		parts := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			parts[i] = o.Column
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		fmt.Fprintf(&sb, " ORDER BY %s", strings.Join(parts, ", "))
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+// Package sqlparse implements the SQL subset ModelarDB+ exposes for
+// its Segment View and Data Point View (§6.1): SELECT with plain and
+// segment aggregate functions (SUM_S, CUBE_SUM_HOUR, ...), WHERE
+// predicates over Tid, TS, StartTime, EndTime and dimension members,
+// GROUP BY, ORDER BY and LIMIT.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = < > <= >= != <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits a query string into tokens.
+type lexer struct {
+	input  string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input eagerly; queries are short.
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.input) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		c := l.input[l.pos]
+		switch {
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.input) && unicode.IsDigit(rune(l.input[l.pos+1]))):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 0x80 || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || unicode.IsDigit(rune(c)) || c == '.'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.input[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.input[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot := false
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) && c != 'e' && c != 'E' &&
+			!(l.pos > start && (c == '+' || c == '-') && (l.input[l.pos-1] == 'e' || l.input[l.pos-1] == 'E')) {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.input[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string at %d", start)
+}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	two := ""
+	if l.pos+2 <= len(l.input) {
+		two = l.input[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: two, pos: start})
+		return nil
+	}
+	switch c := l.input[l.pos]; c {
+	case '(', ')', ',', '*', '=', '<', '>':
+		l.pos++
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	default:
+		return fmt.Errorf("sqlparse: unexpected character %q at %d", c, start)
+	}
+}

@@ -1,0 +1,343 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	tokens, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlparse: trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+
+func (p *parser) next() token {
+	t := p.tokens[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKeyword consumes the next token when it is the keyword.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s at %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sqlparse: expected %q at %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokIdent {
+		return nil, fmt.Errorf("sqlparse: expected table name at %q", tbl.text)
+	}
+	switch strings.ToUpper(tbl.text) {
+	case "SEGMENT":
+		q.From = TableSegment
+	case "DATAPOINT":
+		q.From = TableDataPoint
+	default:
+		return nil, fmt.Errorf("sqlparse: unknown table %q (want Segment or DataPoint)", tbl.text)
+	}
+	if p.acceptKeyword("WHERE") {
+		where, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = where
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("sqlparse: expected column in GROUP BY at %q", t.text)
+			}
+			q.GroupBy = append(q.GroupBy, t.text)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("sqlparse: expected column in ORDER BY at %q", t.text)
+			}
+			o := OrderItem{Column: t.text}
+			if p.acceptKeyword("DESC") {
+				o.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, o)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlparse: expected number after LIMIT at %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.next()
+	switch t.kind {
+	case tokSymbol:
+		if t.text == "*" {
+			return SelectItem{Column: "*"}, nil
+		}
+	case tokIdent:
+		if p.acceptSymbol("(") {
+			return p.parseCall(t.text)
+		}
+		return SelectItem{Column: t.text}, nil
+	}
+	return SelectItem{}, fmt.Errorf("sqlparse: unexpected select item %q", t.text)
+}
+
+// parseCall parses an aggregate call. Names follow §6.1: plain
+// aggregates (SUM), segment aggregates (SUM_S) and time roll-ups
+// (CUBE_SUM_HOUR).
+func (p *parser) parseCall(name string) (SelectItem, error) {
+	item := SelectItem{}
+	upper := strings.ToUpper(name)
+	switch {
+	case strings.HasPrefix(upper, "CUBE_"):
+		rest := upper[len("CUBE_"):]
+		under := strings.IndexByte(rest, '_')
+		if under < 0 {
+			return item, fmt.Errorf("sqlparse: malformed roll-up %q (want CUBE_<AGG>_<LEVEL>)", name)
+		}
+		agg, ok := aggNames[rest[:under]]
+		if !ok {
+			return item, fmt.Errorf("sqlparse: unknown aggregate in %q", name)
+		}
+		level, ok := levelNames[rest[under+1:]]
+		if !ok {
+			return item, fmt.Errorf("sqlparse: unknown time level in %q", name)
+		}
+		item.Agg, item.CubeLevel, item.OnSegment = agg, level, true
+	case strings.HasSuffix(upper, "_S"):
+		agg, ok := aggNames[upper[:len(upper)-2]]
+		if !ok {
+			return item, fmt.Errorf("sqlparse: unknown segment aggregate %q", name)
+		}
+		item.Agg, item.OnSegment = agg, true
+	default:
+		agg, ok := aggNames[upper]
+		if !ok {
+			return item, fmt.Errorf("sqlparse: unknown function %q", name)
+		}
+		item.Agg = agg
+	}
+	arg := p.next()
+	switch {
+	case arg.kind == tokSymbol && arg.text == "*":
+		item.Column = "*"
+	case arg.kind == tokIdent:
+		item.Column = arg.text
+	default:
+		return item, fmt.Errorf("sqlparse: bad aggregate argument %q", arg.text)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return item, err
+	}
+	return item, nil
+}
+
+// parseOr handles OR with lower precedence than AND.
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.acceptSymbol("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	col := p.next()
+	if col.kind != tokIdent {
+		return nil, fmt.Errorf("sqlparse: expected column at %q", col.text)
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{Column: col.text}
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			in.Values = append(in.Values, lit)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Column: col.text, Lo: lo, Hi: hi}, nil
+	}
+	op := p.next()
+	if op.kind != tokSymbol {
+		return nil, fmt.Errorf("sqlparse: expected operator at %q", op.text)
+	}
+	switch op.text {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("sqlparse: unsupported operator %q", op.text)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	opText := op.text
+	if opText == "<>" {
+		opText = "!="
+	}
+	return &BinaryExpr{Op: opText, L: &Ident{Name: col.text}, R: &lit}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("sqlparse: bad number %q", t.text)
+		}
+		return Literal{Number: v, IsNumber: true}, nil
+	case tokString:
+		return Literal{Str: t.text}, nil
+	default:
+		return Literal{}, fmt.Errorf("sqlparse: expected literal at %q", t.text)
+	}
+}

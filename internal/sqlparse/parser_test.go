@@ -1,0 +1,250 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestParsePaperFig11Query(t *testing.T) {
+	q := mustParse(t, "SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid")
+	if q.From != TableSegment {
+		t.Fatalf("From = %v, want Segment", q.From)
+	}
+	if len(q.Select) != 2 {
+		t.Fatalf("select items = %d, want 2", len(q.Select))
+	}
+	if q.Select[0].Column != "Tid" || q.Select[0].Agg != AggNone {
+		t.Fatalf("item 0 = %+v", q.Select[0])
+	}
+	if q.Select[1].Agg != AggSum || !q.Select[1].OnSegment || q.Select[1].Column != "*" {
+		t.Fatalf("item 1 = %+v", q.Select[1])
+	}
+	in, ok := q.Where.(*InExpr)
+	if !ok || in.Column != "Tid" || len(in.Values) != 3 {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "Tid" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestParsePaperFig12Query(t *testing.T) {
+	q := mustParse(t, "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid")
+	item := q.Select[1]
+	if item.Agg != AggSum || item.CubeLevel != LevelHour || !item.OnSegment {
+		t.Fatalf("roll-up item = %+v", item)
+	}
+}
+
+func TestParseDataPointAggregates(t *testing.T) {
+	q := mustParse(t, "SELECT AVG(Value) FROM DataPoint WHERE Tid = 7")
+	if q.From != TableDataPoint {
+		t.Fatalf("From = %v", q.From)
+	}
+	if q.Select[0].Agg != AggAvg || q.Select[0].OnSegment || q.Select[0].Column != "Value" {
+		t.Fatalf("item = %+v", q.Select[0])
+	}
+	be, ok := q.Where.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestParseAllSegmentAggregates(t *testing.T) {
+	for _, fn := range []string{"COUNT_S", "MIN_S", "MAX_S", "SUM_S", "AVG_S"} {
+		q := mustParse(t, "SELECT "+fn+"(*) FROM Segment")
+		if !q.Select[0].OnSegment || q.Select[0].Agg == AggNone {
+			t.Fatalf("%s parsed as %+v", fn, q.Select[0])
+		}
+	}
+}
+
+func TestParseAllCubeLevels(t *testing.T) {
+	for _, lvl := range []string{"MINUTE", "HOUR", "DAY", "MONTH", "YEAR", "HOUROFDAY", "DAYOFMONTH", "DAYOFWEEK", "MONTHOFYEAR"} {
+		q := mustParse(t, "SELECT CUBE_SUM_"+lvl+"(*) FROM Segment")
+		if q.Select[0].CubeLevel == LevelNone {
+			t.Fatalf("level %s not parsed", lvl)
+		}
+	}
+}
+
+func TestParseWhereOperators(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM DataPoint WHERE TS >= 1000 AND TS <= 2000 AND Tid != 3")
+	// ((TS >= 1000 AND TS <= 2000) AND Tid != 3)
+	outer, ok := q.Where.(*BinaryExpr)
+	if !ok || outer.Op != "AND" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	if inner, ok := outer.L.(*BinaryExpr); !ok || inner.Op != "AND" {
+		t.Fatalf("left = %#v", outer.L)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM DataPoint WHERE TS BETWEEN 100 AND 200")
+	b, ok := q.Where.(*BetweenExpr)
+	if !ok || b.Column != "TS" || b.Lo.Number != 100 || b.Hi.Number != 200 {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestParseOrPrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM Segment WHERE Tid = 1 OR Tid = 2 AND Tid = 3")
+	// OR binds looser: (Tid=1 OR (Tid=2 AND Tid=3))
+	or, ok := q.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right = %#v", or.R)
+	}
+}
+
+func TestParseParentheses(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM Segment WHERE (Tid = 1 OR Tid = 2) AND EndTime < 500")
+	and, ok := q.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	if or, ok := and.L.(*BinaryExpr); !ok || or.Op != "OR" {
+		t.Fatalf("left = %#v", and.L)
+	}
+}
+
+func TestParseMemberPredicate(t *testing.T) {
+	q := mustParse(t, "SELECT Category, SUM_S(*) FROM Segment WHERE Category = 'Production' GROUP BY Category")
+	be, ok := q.Where.(*BinaryExpr)
+	if !ok {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	lit, ok := be.R.(*Literal)
+	if !ok || lit.Str != "Production" || lit.IsNumber {
+		t.Fatalf("literal = %#v", be.R)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM Segment WHERE Park = 'O''Brien'")
+	be := q.Where.(*BinaryExpr)
+	if be.R.(*Literal).Str != "O'Brien" {
+		t.Fatalf("literal = %#v", be.R)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	q := mustParse(t, "SELECT Tid, TS, Value FROM DataPoint ORDER BY TS DESC, Tid LIMIT 10")
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseNoLimitIsMinusOne(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM Segment")
+	if q.Limit != -1 {
+		t.Fatalf("limit = %d, want -1", q.Limit)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParse(t, "select Tid from segment where Tid = 1 group by Tid order by Tid limit 5")
+	if q.From != TableSegment || q.Limit != 5 {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM DataPoint WHERE Value < -12.5")
+	be := q.Where.(*BinaryExpr)
+	if be.R.(*Literal).Number != -12.5 {
+		t.Fatalf("literal = %#v", be.R)
+	}
+}
+
+func TestParseScientificNumbers(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM DataPoint WHERE TS > 1.5e3")
+	be := q.Where.(*BinaryExpr)
+	if be.R.(*Literal).Number != 1500 {
+		t.Fatalf("literal = %#v", be.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM Segment",
+		"SELECT * FROM",
+		"SELECT * FROM Nope",
+		"SELECT * FROM Segment WHERE",
+		"SELECT * FROM Segment WHERE Tid",
+		"SELECT * FROM Segment WHERE Tid = ",
+		"SELECT * FROM Segment WHERE Tid LIKE 3",
+		"SELECT * FROM Segment GROUP",
+		"SELECT * FROM Segment GROUP BY",
+		"SELECT * FROM Segment LIMIT x",
+		"SELECT * FROM Segment LIMIT -1",
+		"SELECT BOGUS_S(*) FROM Segment",
+		"SELECT CUBE_SUM(*) FROM Segment",
+		"SELECT CUBE_SUM_FORTNIGHT(*) FROM Segment",
+		"SELECT SUM_S(* FROM Segment",
+		"SELECT * FROM Segment WHERE Tid IN (1, 2",
+		"SELECT * FROM Segment WHERE Tid IN ()",
+		"SELECT * FROM Segment WHERE TS BETWEEN 1",
+		"SELECT * FROM Segment trailing",
+		"SELECT * FROM Segment WHERE Park = 'unterminated",
+		"SELECT * FROM Segment WHERE Tid = 1 ; DROP",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", sql)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid",
+		"SELECT CUBE_AVG_HOUR(*) FROM Segment WHERE Category = 'Production'",
+		"SELECT Tid, TS, Value FROM DataPoint WHERE TS BETWEEN 100 AND 200 ORDER BY TS LIMIT 5",
+		"SELECT MIN(Value) FROM DataPoint WHERE (Tid = 1 OR Tid = 2) AND TS < 1000",
+	}
+	for _, sql := range queries {
+		q1 := mustParse(t, sql)
+		q2 := mustParse(t, q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	tokens, err := lex("SELECT *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens[0].pos != 0 || tokens[1].pos != 7 {
+		t.Fatalf("positions = %d, %d", tokens[0].pos, tokens[1].pos)
+	}
+}
+
+func TestParseIdentifiersWithDots(t *testing.T) {
+	// Dimension columns may be written qualified, e.g. Location.Park.
+	q := mustParse(t, "SELECT * FROM Segment WHERE Location.Park = 'Aalborg'")
+	be := q.Where.(*BinaryExpr)
+	if !strings.Contains(be.L.(*Ident).Name, ".") {
+		t.Fatalf("ident = %#v", be.L)
+	}
+}

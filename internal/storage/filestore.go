@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"modelardb/internal/core"
+)
+
+// DefaultBulkWriteSize matches Table 1's "Bulk Write Size 50,000":
+// inserted segments are buffered and written in bulk.
+const DefaultBulkWriteSize = 50000
+
+// FileStore is a log-structured segment store: segments are appended
+// to a single log file as CRC-framed records and indexed in memory by
+// (Gid, EndTime), mirroring the paper's Cassandra primary key (§3.3).
+// On open the log is scanned and a corrupt or torn tail is truncated,
+// so a crash between Flushes loses only unflushed segments.
+type FileStore struct {
+	mu      sync.RWMutex
+	dir     string
+	file    *os.File
+	offset  int64
+	members MembersFunc
+
+	bulkSize int
+	buffer   []*core.Segment
+
+	// index maps each group to its record locations ordered by EndTime.
+	index map[core.Gid][]recordRef
+	// maxDur tracks each group's longest segment duration for scan
+	// termination, as in MemStore.
+	maxDur map[core.Gid]int64
+	count  int64
+	size   int64
+}
+
+// recordRef locates one segment in the log.
+type recordRef struct {
+	endTime   int64
+	startTime int64
+	offset    int64
+	length    int32
+}
+
+const (
+	logName     = "segments.log"
+	frameHeader = 8 // uint32 payload length + uint32 CRC32
+)
+
+// OpenFileStore opens (creating if needed) the store in dir. bulkSize
+// <= 0 selects DefaultBulkWriteSize.
+func OpenFileStore(dir string, members MembersFunc, bulkSize int) (*FileStore, error) {
+	if bulkSize <= 0 {
+		bulkSize = DefaultBulkWriteSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	path := filepath.Join(dir, logName)
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &FileStore{
+		dir:      dir,
+		file:     file,
+		members:  members,
+		bulkSize: bulkSize,
+		index:    make(map[core.Gid][]recordRef),
+		maxDur:   make(map[core.Gid]int64),
+	}
+	if err := s.recover(); err != nil {
+		file.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the log, rebuilding the index and truncating any
+// corrupt tail left by a crash.
+func (s *FileStore) recover() error {
+	var offset int64
+	header := make([]byte, frameHeader)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(s.file, header); err != nil {
+			break // clean EOF or torn header: truncate here
+		}
+		length := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if length == 0 || length > 1<<30 {
+			break
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(s.file, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record
+		}
+		seg, err := s.decode(payload)
+		if err != nil {
+			break
+		}
+		s.addIndex(seg, offset, int32(frameHeader+len(payload)))
+		offset += int64(frameHeader) + int64(length)
+	}
+	if err := s.file.Truncate(offset); err != nil {
+		return fmt.Errorf("storage: truncate: %w", err)
+	}
+	if _, err := s.file.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: seek: %w", err)
+	}
+	s.offset = offset
+	return nil
+}
+
+func (s *FileStore) decode(payload []byte) (*core.Segment, error) {
+	// Peek the Gid varint to resolve the group's members first.
+	gid, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, errors.New("storage: corrupt record header")
+	}
+	return core.DecodeSegment(payload, s.members(core.Gid(gid)))
+}
+
+func (s *FileStore) addIndex(seg *core.Segment, offset int64, length int32) {
+	refs := s.index[seg.Gid]
+	ref := recordRef{endTime: seg.EndTime, startTime: seg.StartTime, offset: offset, length: length}
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].endTime > seg.EndTime })
+	refs = append(refs, recordRef{})
+	copy(refs[i+1:], refs[i:])
+	refs[i] = ref
+	s.index[seg.Gid] = refs
+	if dur := seg.EndTime - seg.StartTime; dur > s.maxDur[seg.Gid] {
+		s.maxDur[seg.Gid] = dur
+	}
+	s.count++
+	s.size += int64(length - frameHeader)
+}
+
+// Insert implements SegmentStore: the segment is buffered and the
+// buffer written out when it reaches the bulk write size.
+func (s *FileStore) Insert(seg *core.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buffer = append(s.buffer, seg)
+	if len(s.buffer) >= s.bulkSize {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush implements SegmentStore.
+func (s *FileStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *FileStore) flushLocked() error {
+	if len(s.buffer) == 0 {
+		return nil
+	}
+	var out []byte
+	type pending struct {
+		seg    *core.Segment
+		offset int64
+		length int32
+	}
+	pend := make([]pending, 0, len(s.buffer))
+	offset := s.offset
+	for _, seg := range s.buffer {
+		payload := seg.Encode(s.members(seg.Gid))
+		var header [frameHeader]byte
+		binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
+		out = append(out, header[:]...)
+		out = append(out, payload...)
+		pend = append(pend, pending{seg, offset, int32(frameHeader + len(payload))})
+		offset += int64(frameHeader + len(payload))
+	}
+	if _, err := s.file.Write(out); err != nil {
+		return fmt.Errorf("storage: write: %w", err)
+	}
+	s.offset = offset
+	for _, p := range pend {
+		s.addIndex(p.seg, p.offset, p.length)
+	}
+	s.buffer = s.buffer[:0]
+	return nil
+}
+
+// Sync flushes buffered segments and fsyncs the log.
+func (s *FileStore) Sync() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.file.Sync()
+}
+
+// Scan implements SegmentStore with (Gid, EndTime) push-down; matching
+// records are read back from the log. Buffered segments are flushed
+// first so queries during ingestion see all data (online analytics,
+// §3.1).
+func (s *FileStore) Scan(f Filter, fn func(*core.Segment) error) error {
+	s.mu.Lock()
+	if err := s.flushLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	s.mu.RLock()
+	gids := f.Gids
+	if gids == nil {
+		gids = make([]core.Gid, 0, len(s.index))
+		for gid := range s.index {
+			gids = append(gids, gid)
+		}
+		sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	}
+	var refs []recordRef
+	for _, gid := range gids {
+		rs := s.index[gid]
+		stop := int64(0)
+		overflowed := false
+		if f.To > maxTime-s.maxDur[gid] {
+			overflowed = true
+		} else {
+			stop = f.To + s.maxDur[gid]
+		}
+		i := sort.Search(len(rs), func(i int) bool { return rs[i].endTime >= f.From })
+		for ; i < len(rs); i++ {
+			if !overflowed && rs[i].endTime > stop {
+				break
+			}
+			if rs[i].startTime > f.To {
+				continue
+			}
+			refs = append(refs, rs[i])
+		}
+	}
+	s.mu.RUnlock()
+	buf := make([]byte, 0, 4096)
+	for _, ref := range refs {
+		if cap(buf) < int(ref.length) {
+			buf = make([]byte, ref.length)
+		}
+		buf = buf[:ref.length]
+		if _, err := s.file.ReadAt(buf, ref.offset); err != nil {
+			return fmt.Errorf("storage: read: %w", err)
+		}
+		seg, err := s.decode(buf[frameHeader:])
+		if err != nil {
+			return err
+		}
+		if err := fn(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count implements SegmentStore.
+func (s *FileStore) Count() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count + int64(len(s.buffer)), nil
+}
+
+// SizeBytes implements SegmentStore; buffered segments are included so
+// storage accounting does not depend on flush timing.
+func (s *FileStore) SizeBytes() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	size := s.size
+	for _, seg := range s.buffer {
+		size += int64(len(seg.Encode(s.members(seg.Gid))))
+	}
+	return size, nil
+}
+
+// Close implements SegmentStore.
+func (s *FileStore) Close() error {
+	if err := s.Sync(); err != nil {
+		s.file.Close()
+		return err
+	}
+	return s.file.Close()
+}

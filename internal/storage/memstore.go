@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+
+	"modelardb/internal/core"
+)
+
+// MemStore keeps segments in memory, ordered by EndTime per group. It
+// backs the main-memory segment cache of the architecture (Fig. 4) and
+// is the store used by tests and benchmarks that measure pure
+// compression and query cost.
+type MemStore struct {
+	mu      sync.RWMutex
+	byGid   map[core.Gid][]*core.Segment
+	members MembersFunc
+	// maxDur tracks each group's longest segment duration, bounding how
+	// far past a filter's To a scan must look (a segment ending later
+	// than To+maxDur cannot start at or before To).
+	maxDur map[core.Gid]int64
+	count  int64
+	size   int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore(members MembersFunc) *MemStore {
+	return &MemStore{
+		byGid:   make(map[core.Gid][]*core.Segment),
+		maxDur:  make(map[core.Gid]int64),
+		members: members,
+	}
+}
+
+// Insert implements SegmentStore.
+func (s *MemStore) Insert(seg *core.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs := s.byGid[seg.Gid]
+	// Segments usually arrive in EndTime order; keep the slice sorted.
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].EndTime > seg.EndTime })
+	segs = append(segs, nil)
+	copy(segs[i+1:], segs[i:])
+	segs[i] = seg
+	s.byGid[seg.Gid] = segs
+	if dur := seg.EndTime - seg.StartTime; dur > s.maxDur[seg.Gid] {
+		s.maxDur[seg.Gid] = dur
+	}
+	s.count++
+	s.size += int64(seg.StoredSize(s.members(seg.Gid)))
+	return nil
+}
+
+// Flush implements SegmentStore; the memory store has no buffer.
+func (s *MemStore) Flush() error { return nil }
+
+// Scan implements SegmentStore with EndTime push-down per group.
+func (s *MemStore) Scan(f Filter, fn func(*core.Segment) error) error {
+	s.mu.RLock()
+	gids := f.Gids
+	if gids == nil {
+		gids = make([]core.Gid, 0, len(s.byGid))
+		for gid := range s.byGid {
+			gids = append(gids, gid)
+		}
+		sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	}
+	// Snapshot matching segments so fn runs without the lock held.
+	var matched []*core.Segment
+	for _, gid := range gids {
+		segs := s.byGid[gid]
+		// Push-down: skip segments with EndTime < From, stop once
+		// EndTime is so late the segment cannot reach back to To.
+		stop := int64(0)
+		overflowed := false
+		if f.To > maxTime-s.maxDur[gid] {
+			overflowed = true
+		} else {
+			stop = f.To + s.maxDur[gid]
+		}
+		i := sort.Search(len(segs), func(i int) bool { return segs[i].EndTime >= f.From })
+		for ; i < len(segs); i++ {
+			if !overflowed && segs[i].EndTime > stop {
+				break
+			}
+			if segs[i].StartTime > f.To {
+				continue
+			}
+			matched = append(matched, segs[i])
+		}
+	}
+	s.mu.RUnlock()
+	for _, seg := range matched {
+		if err := fn(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count implements SegmentStore.
+func (s *MemStore) Count() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count, nil
+}
+
+// SizeBytes implements SegmentStore.
+func (s *MemStore) SizeBytes() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size, nil
+}
+
+// Close implements SegmentStore.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"modelardb/internal/core"
+	"modelardb/internal/dims"
+)
+
+// MetaFile is the persisted image of the Time Series table and the
+// dimension schema (Fig. 6), written next to the segment log so a
+// file-backed database can be reopened.
+type MetaFile struct {
+	Dimensions []dims.Dimension
+	Series     []SeriesMeta
+	// Correlations preserves the textual correlation clauses the
+	// database was configured with.
+	Correlations []string
+}
+
+// SeriesMeta is one persisted Time Series table row.
+type SeriesMeta struct {
+	Tid     core.Tid
+	SI      int64
+	Gid     core.Gid
+	Scaling float32
+	Source  string
+	Members map[string][]string
+}
+
+const metaName = "timeseries.meta"
+
+// SaveMeta writes the metadata file atomically (write + rename).
+func SaveMeta(dir string, meta *MetaFile) error {
+	tmp := filepath.Join(dir, metaName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(meta); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: encode meta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: sync meta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: close meta: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, metaName))
+}
+
+// LoadMeta reads the metadata file; ok is false when none exists.
+func LoadMeta(dir string) (meta *MetaFile, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, metaName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	meta = &MetaFile{}
+	if err := gob.NewDecoder(f).Decode(meta); err != nil {
+		return nil, false, fmt.Errorf("storage: decode meta: %w", err)
+	}
+	return meta, true, nil
+}

@@ -1,0 +1,61 @@
+// Package storage implements the Segment Group Store of the paper's
+// architecture (Fig. 4): persistent storage of segments keyed by
+// (Gid, EndTime, Gaps) with predicate push-down on group ids and time
+// ranges (§3.3). Two stores are provided: an in-memory store and a
+// log-structured file store with CRC-framed records, crash recovery
+// and the bulk write buffer of Table 1.
+package storage
+
+import (
+	"modelardb/internal/core"
+)
+
+// Filter is the predicate pushed down to the store (§6.2): segments of
+// the given groups overlapping [From, To]. Like the paper's Cassandra
+// schema the store indexes EndTime per group; the derived StartTime is
+// filtered before segments are returned.
+type Filter struct {
+	// Gids restricts the scan to these groups; nil means all groups.
+	Gids []core.Gid
+	// From and To bound the segment interval inclusively. The zero
+	// filter (From=0, To=0) is normalized by NewFilter to all time.
+	From, To int64
+}
+
+// AllTime returns a filter matching every segment of the given groups.
+func AllTime(gids ...core.Gid) Filter {
+	return Filter{Gids: gids, From: minTime, To: maxTime}
+}
+
+// TimeRange returns a filter for the groups restricted to [from, to].
+func TimeRange(from, to int64, gids ...core.Gid) Filter {
+	return Filter{Gids: gids, From: from, To: to}
+}
+
+const (
+	minTime = -1 << 62
+	maxTime = 1<<62 - 1
+)
+
+// SegmentStore stores and retrieves segments. Implementations must be
+// safe for concurrent use by multiple goroutines.
+type SegmentStore interface {
+	// Insert adds a segment. Writes may be buffered until Flush.
+	Insert(seg *core.Segment) error
+	// Flush persists buffered writes.
+	Flush() error
+	// Scan calls fn for every stored segment matching the filter, in
+	// ascending (Gid, EndTime) order. fn errors abort the scan.
+	Scan(f Filter, fn func(*core.Segment) error) error
+	// Count returns the number of stored segments, including buffered.
+	Count() (int64, error)
+	// SizeBytes returns the serialized size of all stored segments,
+	// the quantity the paper's storage experiments compare.
+	SizeBytes() (int64, error)
+	// Close flushes and releases resources.
+	Close() error
+}
+
+// MembersFunc resolves the sorted member Tids of a group; stores use
+// it to encode and decode the per-group gap bitmasks.
+type MembersFunc func(core.Gid) []core.Tid

@@ -1,0 +1,132 @@
+package tsgen
+
+import (
+	"math"
+	"testing"
+
+	"modelardb/internal/core"
+)
+
+func TestEPDeterministic(t *testing.T) {
+	cfg := EPConfig{Entities: 3, Ticks: 100, Seed: 42, GapRate: 0.01}
+	var a, b []core.DataPoint
+	EP(cfg).Points(func(p core.DataPoint) error { a = append(a, p); return nil })
+	EP(cfg).Points(func(p core.DataPoint) error { b = append(b, p); return nil })
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEPShape(t *testing.T) {
+	d := EP(EPConfig{Entities: 5, Ticks: 50, Seed: 1})
+	if len(d.Series) != 5*4 {
+		t.Fatalf("series = %d, want 20", len(d.Series))
+	}
+	if len(d.Dimensions) != 2 {
+		t.Fatalf("dimensions = %d", len(d.Dimensions))
+	}
+	// Members follow the schema.
+	for _, s := range d.Series {
+		if len(s.Members["Production"]) != 2 || len(s.Members["Measure"]) != 2 {
+			t.Fatalf("members = %v", s.Members)
+		}
+	}
+	if d.SI != 60_000 {
+		t.Fatalf("SI = %d, want the paper's 60 s", d.SI)
+	}
+}
+
+func TestEPCategoryCorrelation(t *testing.T) {
+	// The two Production measures of one entity must track each other
+	// closely (they share a latent signal), while different entities
+	// must not.
+	d := EP(EPConfig{Entities: 2, Ticks: 400, Seed: 7})
+	values := map[core.Tid][]float64{}
+	d.Points(func(p core.DataPoint) error {
+		values[p.Tid] = append(values[p.Tid], float64(p.Value))
+		return nil
+	})
+	// Tids 1, 2 are entity 0's production measures; 5 is entity 1's.
+	sameDist := meanAbsDiff(values[1], values[2])
+	otherDist := meanAbsDiff(values[1], values[5])
+	if sameDist >= otherDist/4 {
+		t.Fatalf("same-entity distance %g not clearly below cross-entity %g", sameDist, otherDist)
+	}
+}
+
+func meanAbsDiff(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(n)
+}
+
+func TestGapsOccur(t *testing.T) {
+	d := EP(EPConfig{Entities: 2, Ticks: 2000, Seed: 3, GapRate: 0.01})
+	total := d.TotalPoints()
+	max := int64(len(d.Series) * d.Ticks)
+	if total >= max {
+		t.Fatalf("points = %d, want gaps to remove some of %d", total, max)
+	}
+	if total < max/2 {
+		t.Fatalf("points = %d of %d, gaps removed too much", total, max)
+	}
+}
+
+func TestNoGapsWhenRateZero(t *testing.T) {
+	d := EP(EPConfig{Entities: 2, Ticks: 100, Seed: 3, GapRate: 0})
+	if got, want := d.TotalPoints(), int64(len(d.Series)*100); got != want {
+		t.Fatalf("points = %d, want %d", got, want)
+	}
+}
+
+func TestEHShape(t *testing.T) {
+	d := EH(EHConfig{Series: 16, Ticks: 100, Seed: 9})
+	if len(d.Series) != 16 {
+		t.Fatalf("series = %d", len(d.Series))
+	}
+	if d.SI != 100 {
+		t.Fatalf("SI = %d, want the paper's 100 ms", d.SI)
+	}
+	if len(d.Series[0].Members["Location"]) != 3 {
+		t.Fatalf("EH location path = %v, want 3 levels", d.Series[0].Members["Location"])
+	}
+}
+
+func TestEHWeaklyCorrelated(t *testing.T) {
+	d := EH(EHConfig{Series: 4, Ticks: 500, Seed: 11})
+	values := map[core.Tid][]float64{}
+	d.Points(func(p core.DataPoint) error {
+		values[p.Tid] = append(values[p.Tid], float64(p.Value))
+		return nil
+	})
+	// No pair should track within the tight band EP categories show.
+	if meanAbsDiff(values[1], values[2]) < 1 {
+		t.Fatal("EH series unexpectedly correlated")
+	}
+}
+
+func TestPointsTickMajorOrder(t *testing.T) {
+	d := EP(EPConfig{Entities: 2, Ticks: 30, Seed: 5})
+	lastTS := int64(-1)
+	err := d.Points(func(p core.DataPoint) error {
+		if p.TS < lastTS {
+			t.Fatalf("timestamps regressed: %d after %d", p.TS, lastTS)
+		}
+		lastTS = p.TS
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,476 @@
+// Package modelardb is a model-based time series management system
+// (TSMS) implementing Multi-Model Group Compression (MMGC) from the
+// paper "Scalable Model-Based Management of Correlated Dimensional
+// Time Series in ModelarDB" (Jensen, Pedersen, Thomsen; ICDE 2021).
+//
+// The system ingests groups of correlated time series with
+// user-defined dimensions, compresses each group with an extensible
+// set of models (PMC-Mean, Swing, Gorilla) within a user-defined error
+// bound (possibly zero), stores the resulting segments in memory or in
+// a log-structured file store, and answers SQL aggregate queries
+// directly on the models through a Segment View and a Data Point View.
+//
+// A minimal session:
+//
+//	db, err := modelardb.Open(modelardb.Config{
+//		ErrorBound: modelardb.RelBound(1), // 1 %
+//		Dimensions: []modelardb.Dimension{
+//			{Name: "Location", Levels: []string{"Park", "Turbine"}},
+//		},
+//		Correlations: []string{"Location 1"}, // same park => correlated
+//		Series: []modelardb.SeriesConfig{
+//			{SI: 100, Members: map[string][]string{"Location": {"Aalborg", "T1"}}},
+//			{SI: 100, Members: map[string][]string{"Location": {"Aalborg", "T2"}}},
+//		},
+//	})
+//	...
+//	db.Append(1, ts, 13.37)
+//	db.Flush()
+//	res, err := db.Query("SELECT Turbine, AVG_S(*) FROM Segment GROUP BY Turbine")
+package modelardb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"modelardb/internal/core"
+	"modelardb/internal/dims"
+	"modelardb/internal/models"
+	"modelardb/internal/partition"
+	"modelardb/internal/query"
+	"modelardb/internal/sqlparse"
+	"modelardb/internal/storage"
+)
+
+// Re-exported core types so applications never import internal
+// packages.
+type (
+	// Tid identifies a time series.
+	Tid = core.Tid
+	// Gid identifies a time series group.
+	Gid = core.Gid
+	// DataPoint is one timestamped value of one series.
+	DataPoint = core.DataPoint
+	// Dimension declares one hierarchy of a dimension schema.
+	Dimension = dims.Dimension
+	// ErrorBound bounds the reconstruction error of stored values.
+	ErrorBound = models.ErrorBound
+	// ModelType is the extension interface for user-defined models.
+	ModelType = models.ModelType
+	// Model is a fitting instance created by a ModelType.
+	Model = models.Model
+	// AggView decodes stored model parameters.
+	AggView = models.AggView
+	// MID identifies a model type.
+	MID = models.MID
+	// Result is a finished query result.
+	Result = query.Result
+	// Segment is the stored unit of compressed data.
+	Segment = core.Segment
+	// Schema is a validated dimension schema.
+	Schema = dims.Schema
+)
+
+// RelBound returns a relative (percent) error bound; 0 is lossless.
+func RelBound(percent float64) ErrorBound { return models.RelBound(percent) }
+
+// AbsBound returns an absolute error bound in value units.
+func AbsBound(units float64) ErrorBound { return models.AbsBound(units) }
+
+// SeriesConfig declares one time series before partitioning.
+type SeriesConfig struct {
+	// SI is the sampling interval in milliseconds.
+	SI int64
+	// Source optionally names the series origin (file, socket); the
+	// source-based correlation primitives match against it.
+	Source string
+	// Members holds the dimension member paths, coarsest level first.
+	Members map[string][]string
+}
+
+// Config configures a database.
+type Config struct {
+	// Path is the directory of the file-backed store; empty selects the
+	// in-memory store.
+	Path string
+	// ErrorBound is the user-defined error bound (Table 1 evaluates 0,
+	// 1, 5 and 10 percent). The zero value is lossless.
+	ErrorBound ErrorBound
+	// LengthLimit caps the sampling intervals per model (default 50).
+	LengthLimit int
+	// SplitFraction triggers dynamic group splitting when a segment
+	// compresses SplitFraction times worse than average (default 10).
+	SplitFraction float64
+	// DisableSplitting turns off dynamic group splitting (§4.2).
+	DisableSplitting bool
+	// BulkWriteSize is the file store's write buffer (default 50000).
+	BulkWriteSize int
+	// Dimensions is the dimension schema shared by all series.
+	Dimensions []Dimension
+	// Correlations are modelardb.correlation clauses (§4.1), OR'ed.
+	Correlations []string
+	// Series declares the time series; ignored when reopening an
+	// existing on-disk database.
+	Series []SeriesConfig
+	// Models registers user-defined model types after the builtins.
+	Models []ModelType
+	// SegmentCacheSize is the capacity (in segments) of the main-memory
+	// segment cache that keeps recently decoded models for query
+	// processing (Fig. 4); 0 disables it.
+	SegmentCacheSize int
+}
+
+// DefaultConfig returns the paper's evaluated configuration (Table 1):
+// lossless by default with the bound sweep done per experiment, model
+// length limit 50, dynamic split fraction 10 and bulk write size
+// 50 000, plus a moderate segment cache. Dimensions, correlations and
+// series must still be filled in.
+func DefaultConfig() Config {
+	return Config{
+		ErrorBound:       RelBound(0),
+		LengthLimit:      50,
+		SplitFraction:    10,
+		BulkWriteSize:    50000,
+		SegmentCacheSize: 1024,
+	}
+}
+
+// DB is a ModelarDB instance: ingestion, storage and query processing
+// for one set of dimensional time series.
+type DB struct {
+	cfg    Config
+	schema *dims.Schema
+	meta   *core.MetadataCache
+	reg    *models.Registry
+	store  storage.SegmentStore
+	engine *query.Engine
+	// series indexes the immutable per-series metadata by Tid-1 for the
+	// per-point ingestion fast path.
+	series []*core.TimeSeries
+
+	mu        sync.Mutex
+	ingestors map[Gid]*core.GroupIngestor
+	points    int64
+}
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("modelardb: database is closed")
+
+// Open creates or reopens a database.
+func Open(cfg Config) (*DB, error) {
+	db := &DB{
+		cfg:       cfg,
+		meta:      core.NewMetadataCache(),
+		reg:       models.NewBuiltinRegistry(),
+		ingestors: make(map[Gid]*core.GroupIngestor),
+	}
+	for _, mt := range cfg.Models {
+		if err := db.reg.Register(mt); err != nil {
+			return nil, fmt.Errorf("modelardb: %w", err)
+		}
+	}
+	var persisted *storage.MetaFile
+	if cfg.Path != "" {
+		m, ok, err := storage.LoadMeta(cfg.Path)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			persisted = m
+		}
+	}
+	if persisted != nil {
+		if err := db.restoreMeta(persisted); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := db.initMeta(); err != nil {
+			return nil, err
+		}
+	}
+	members := func(gid Gid) []Tid { return db.meta.TidsOf(gid) }
+	if cfg.Path == "" {
+		db.store = storage.NewMemStore(members)
+	} else {
+		fs, err := storage.OpenFileStore(cfg.Path, members, cfg.BulkWriteSize)
+		if err != nil {
+			return nil, err
+		}
+		db.store = fs
+		if persisted == nil {
+			if err := db.saveMeta(); err != nil {
+				fs.Close()
+				return nil, err
+			}
+		}
+	}
+	db.engine = query.NewEngine(db.store, db.meta, db.reg, db.schema)
+	db.engine.EnableViewCache(cfg.SegmentCacheSize)
+	db.series = db.meta.AllSeries()
+	return db, nil
+}
+
+// initMeta validates the schema, registers the series, runs the
+// Partitioner (Algorithm 1) and assigns groups.
+func (db *DB) initMeta() error {
+	schema, err := dims.NewSchema(db.cfg.Dimensions...)
+	if err != nil {
+		return err
+	}
+	db.schema = schema
+	var series []*core.TimeSeries
+	for i, sc := range db.cfg.Series {
+		ts := &core.TimeSeries{
+			Tid:     Tid(i + 1),
+			SI:      sc.SI,
+			Source:  sc.Source,
+			Members: sc.Members,
+		}
+		if err := db.meta.Add(ts); err != nil {
+			return err
+		}
+		series = append(series, ts)
+	}
+	clauses, err := partition.ParseAll(schema, db.cfg.Correlations...)
+	if err != nil {
+		return err
+	}
+	p := partition.New(schema, clauses...)
+	groups, err := p.Group(series)
+	if err != nil {
+		return err
+	}
+	scalings := p.Scalings(series)
+	for _, ts := range series {
+		f := scalings[ts.Tid]
+		if f <= 0 {
+			return fmt.Errorf("modelardb: series %d has non-positive scaling %g", ts.Tid, f)
+		}
+		ts.Scaling = float32(f)
+	}
+	for gi, tids := range groups {
+		for _, tid := range tids {
+			if err := db.meta.SetGroup(tid, Gid(gi+1)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// restoreMeta rebuilds schema and metadata from a persisted image.
+func (db *DB) restoreMeta(m *storage.MetaFile) error {
+	schema, err := dims.NewSchema(m.Dimensions...)
+	if err != nil {
+		return err
+	}
+	db.schema = schema
+	for _, sm := range m.Series {
+		ts := &core.TimeSeries{
+			Tid: sm.Tid, SI: sm.SI, Scaling: sm.Scaling,
+			Source: sm.Source, Members: sm.Members,
+		}
+		if err := db.meta.Add(ts); err != nil {
+			return err
+		}
+	}
+	for _, sm := range m.Series {
+		if err := db.meta.SetGroup(sm.Tid, sm.Gid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) saveMeta() error {
+	m := &storage.MetaFile{
+		Dimensions:   db.cfg.Dimensions,
+		Correlations: db.cfg.Correlations,
+	}
+	for _, ts := range db.meta.AllSeries() {
+		m.Series = append(m.Series, storage.SeriesMeta{
+			Tid: ts.Tid, SI: ts.SI, Gid: ts.Gid, Scaling: ts.Scaling,
+			Source: ts.Source, Members: ts.Members,
+		})
+	}
+	return storage.SaveMeta(db.cfg.Path, m)
+}
+
+// ingestorFor returns (creating on first use) the group's ingestor.
+func (db *DB) ingestorFor(gid Gid) *core.GroupIngestor {
+	if gi, ok := db.ingestors[gid]; ok {
+		return gi
+	}
+	cfg := core.IngestorConfig{
+		Generator: core.GeneratorConfig{
+			Registry:    db.reg,
+			Bound:       db.cfg.ErrorBound,
+			LengthLimit: db.cfg.LengthLimit,
+			OnSegment:   func(s *core.Segment) error { return db.store.Insert(s) },
+		},
+		SplitFraction:    db.cfg.SplitFraction,
+		DisableSplitting: db.cfg.DisableSplitting,
+	}
+	gi := core.NewGroupIngestor(cfg, gid, db.siOf(gid), db.meta.TidsOf(gid))
+	db.ingestors[gid] = gi
+	return gi
+}
+
+func (db *DB) siOf(gid Gid) int64 {
+	tids := db.meta.TidsOf(gid)
+	ts, _ := db.meta.Series(tids[0])
+	return ts.SI
+}
+
+// Append ingests one data point. Points of one group must arrive in
+// non-decreasing tick order; the value is multiplied by the series'
+// scaling constant before model fitting (§3.3).
+func (db *DB) Append(tid Tid, ts int64, value float32) error {
+	if tid < 1 || int(tid) > len(db.series) {
+		return fmt.Errorf("%w: %d", core.ErrUnknownTid, tid)
+	}
+	series := db.series[tid-1]
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ingestors == nil {
+		return ErrClosed
+	}
+	gi := db.ingestorFor(series.Gid)
+	if err := gi.Append(tid, ts, value*series.Scaling); err != nil {
+		return err
+	}
+	db.points++
+	return nil
+}
+
+// AppendPoint ingests one DataPoint.
+func (db *DB) AppendPoint(p DataPoint) error {
+	return db.Append(p.Tid, p.TS, p.Value)
+}
+
+// Flush finalizes all buffered data points into segments and persists
+// them.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ingestors == nil {
+		return ErrClosed
+	}
+	gids := make([]Gid, 0, len(db.ingestors))
+	for gid := range db.ingestors {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		if err := db.ingestors[gid].Flush(); err != nil {
+			return err
+		}
+	}
+	return db.store.Flush()
+}
+
+// Query parses and executes a SQL query (§6.1).
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.engine.Execute(sql)
+}
+
+// QueryParsed executes an already-parsed query.
+func (db *DB) QueryParsed(q *sqlparse.Query) (*Result, error) {
+	return db.engine.ExecuteQuery(q)
+}
+
+// Engine exposes the query engine for distributed execution (partial
+// execution on workers, merge on the master).
+func (db *DB) Engine() *query.Engine { return db.engine }
+
+// Close flushes and releases the database.
+func (db *DB) Close() error {
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.ingestors = nil
+	db.mu.Unlock()
+	return db.store.Close()
+}
+
+// Stats summarizes the database contents.
+type Stats struct {
+	// Series is the number of registered time series.
+	Series int
+	// Groups is the number of time series groups.
+	Groups int
+	// Segments is the number of stored segments.
+	Segments int64
+	// StorageBytes is the serialized size of all segments.
+	StorageBytes int64
+	// DataPoints is the number of points ingested in this session.
+	DataPoints int64
+}
+
+// Stats returns current statistics.
+func (db *DB) Stats() (Stats, error) {
+	segs, err := db.store.Count()
+	if err != nil {
+		return Stats{}, err
+	}
+	size, err := db.store.SizeBytes()
+	if err != nil {
+		return Stats{}, err
+	}
+	db.mu.Lock()
+	points := db.points
+	db.mu.Unlock()
+	return Stats{
+		Series:       db.meta.NumSeries(),
+		Groups:       len(db.meta.Groups()),
+		Segments:     segs,
+		StorageBytes: size,
+		DataPoints:   points,
+	}, nil
+}
+
+// ModelUsage returns, per model name, the percentage of stored
+// segments using that model — the quantity of the paper's Figures 16
+// and 17.
+func (db *DB) ModelUsage() (map[string]float64, error) {
+	counts := map[MID]int64{}
+	var total int64
+	err := db.store.Scan(storage.AllTime(), func(s *core.Segment) error {
+		counts[s.MID]++
+		total++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(counts))
+	for mid, n := range counts {
+		name := fmt.Sprintf("MID%d", mid)
+		if mt, ok := db.reg.Get(mid); ok {
+			name = mt.Name()
+		}
+		out[name] = 100 * float64(n) / float64(total)
+	}
+	return out, nil
+}
+
+// GroupOf returns the group a series belongs to.
+func (db *DB) GroupOf(tid Tid) (Gid, error) { return db.meta.GidOf(tid) }
+
+// Groups returns all group ids.
+func (db *DB) Groups() []Gid { return db.meta.Groups() }
+
+// GroupMembers returns the sorted member Tids of a group.
+func (db *DB) GroupMembers(gid Gid) []Tid { return db.meta.TidsOf(gid) }
+
+// NumSeries returns the number of registered series.
+func (db *DB) NumSeries() int { return db.meta.NumSeries() }
+
+// Metadata exposes the metadata cache for cluster components.
+func (db *DB) Metadata() *core.MetadataCache { return db.meta }
+
+// Schema returns the validated dimension schema.
+func (db *DB) Schema() *Schema { return db.schema }
