@@ -1,0 +1,36 @@
+# CI and humans run the exact same commands: .github/workflows/ci.yml
+# invokes these targets and nothing else.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check lint test race bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file is not gofmt-formatted, printing the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt-check
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke run: every benchmark executes once so regressions in bench
+# code are caught without paying for stable measurements.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build lint race bench

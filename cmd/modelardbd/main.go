@@ -39,17 +39,19 @@ func main() {
 	dataDir := flag.String("data", "", "storage directory; empty = in-memory")
 	load := flag.String("load", "", "CSV file (tid,ts,value) to bulk load at startup")
 	listen := flag.String("listen", "127.0.0.1:8989", "listen address")
+	parallelism := flag.Int("parallelism", -1,
+		"query scan workers: 0 = all cores, 1 = sequential, -1 = from config file")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *load, *listen); err != nil {
+	if err := run(*configPath, *dataDir, *load, *listen, *parallelism); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(configPath, dataDir, load, listen string) error {
+func run(configPath, dataDir, load, listen string, parallelism int) error {
 	f, err := os.Open(configPath)
 	if err != nil {
 		return err
@@ -60,6 +62,9 @@ func run(configPath, dataDir, load, listen string) error {
 		return err
 	}
 	cfg.Path = dataDir
+	if parallelism >= 0 {
+		cfg.QueryParallelism = parallelism
+	}
 	db, err := modelardb.Open(cfg)
 	if err != nil {
 		return err

@@ -80,6 +80,103 @@ func TestOnlineAnalytics(t *testing.T) {
 	}
 }
 
+// TestConcurrentQueryAppendFlush hammers the parallel query executor
+// (8 scan workers) with simultaneous ingestion, explicit flushes and
+// queries on both views and both store kinds. Its value is under
+// -race: the chunked scan, the worker pool and the view cache must
+// stay sound while the store is mutating underneath them.
+func TestConcurrentQueryAppendFlush(t *testing.T) {
+	for _, backend := range []string{"mem", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := Config{
+				ErrorBound: RelBound(0),
+				Dimensions: []Dimension{{Name: "Location", Levels: []string{"Park"}}},
+				Correlations: []string{
+					"Location 1",
+				},
+				Series: []SeriesConfig{
+					{SI: 10, Members: map[string][]string{"Location": {"A"}}},
+					{SI: 10, Members: map[string][]string{"Location": {"A"}}},
+					{SI: 10, Members: map[string][]string{"Location": {"B"}}},
+					{SI: 10, Members: map[string][]string{"Location": {"B"}}},
+				},
+				SegmentCacheSize: 32,
+				QueryParallelism: 8,
+				BulkWriteSize:    16, // small, so queries race real flushes
+			}
+			if backend == "file" {
+				cfg.Path = t.TempDir()
+			}
+			db, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			const ticks = 3000
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			queries := []string{
+				"SELECT Park, SUM_S(*), COUNT_S(*) FROM Segment GROUP BY Park",
+				"SELECT COUNT(*) FROM DataPoint",
+				"SELECT Tid, StartTime, EndTime FROM Segment WHERE Park = 'A'",
+			}
+			for q := 0; q < 3; q++ {
+				wg.Add(1)
+				go func(sql string) {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						if _, err := db.Query(sql); err != nil {
+							t.Errorf("concurrent query %q: %v", sql, err)
+							return
+						}
+					}
+				}(queries[q])
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					if err := db.Flush(); err != nil {
+						t.Errorf("concurrent flush: %v", err)
+						return
+					}
+				}
+			}()
+			for tick := 0; tick < ticks; tick++ {
+				ts := int64(tick) * 10
+				for tid := Tid(1); tid <= 4; tid++ {
+					if err := db.Append(tid, ts, 7); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			close(done)
+			wg.Wait()
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Query("SELECT COUNT_S(*) FROM Segment")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Rows[0][0].(float64); got != 4*ticks {
+				t.Fatalf("final count = %g, want %d", got, 4*ticks)
+			}
+		})
+	}
+}
+
 // TestParallelQueries runs many simultaneous readers over a static
 // store, exercising the store's and cache's read paths.
 func TestParallelQueries(t *testing.T) {

@@ -1,0 +1,3 @@
+module modelardb
+
+go 1.24

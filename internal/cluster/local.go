@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -36,12 +37,21 @@ type LocalCluster struct {
 // Every worker opens the same configuration (the partitioning is
 // deterministic), so they share Tids, Gids and dimension metadata like
 // the paper's metadata cache replicated to every node.
+//
+// Each worker runs the same parallel segment-scan executor as a
+// single-node database; since scatter queries execute on all workers
+// simultaneously, an unset QueryParallelism is divided across the
+// in-process workers so the cluster as a whole uses the machine's
+// cores without oversubscribing them.
 func NewLocal(cfg modelardb.Config, n int) (*LocalCluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least one worker")
 	}
 	if cfg.Path != "" {
 		return nil, fmt.Errorf("cluster: local cluster workers are memory-backed")
+	}
+	if cfg.QueryParallelism == 0 {
+		cfg.QueryParallelism = max(1, runtime.GOMAXPROCS(0)/n)
 	}
 	c := &LocalCluster{assign: make(map[modelardb.Gid]int)}
 	for i := 0; i < n; i++ {

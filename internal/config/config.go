@@ -9,6 +9,8 @@
 //	length_limit 50
 //	split_fraction 10
 //	bulk_write_size 50000
+//	# query scan workers: 0 = all cores, 1 = sequential
+//	query_parallelism 0
 //	dimension Location Park Turbine
 //	correlation Location 1
 //	series s1.gz 100 Location=Aalborg/T1
@@ -74,6 +76,12 @@ func apply(cfg *modelardb.Config, directive, rest string) error {
 			return fmt.Errorf("bulk_write_size %q is not a positive integer", rest)
 		}
 		cfg.BulkWriteSize = v
+	case "query_parallelism":
+		v, err := strconv.Atoi(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf("query_parallelism %q is not a non-negative integer", rest)
+		}
+		cfg.QueryParallelism = v
 	case "dimension":
 		fields := strings.Fields(rest)
 		if len(fields) < 2 {

@@ -13,6 +13,7 @@ error_bound 5
 length_limit 42
 split_fraction 8
 bulk_write_size 1000
+query_parallelism 4
 dimension Location Park Turbine
 dimension Measure Category
 correlation Location 1, Measure 1 Temperature
@@ -31,6 +32,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.LengthLimit != 42 || cfg.SplitFraction != 8 || cfg.BulkWriteSize != 1000 {
 		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.QueryParallelism != 4 {
+		t.Fatalf("query_parallelism = %d, want 4", cfg.QueryParallelism)
 	}
 	if len(cfg.Dimensions) != 2 || cfg.Dimensions[0].Name != "Location" {
 		t.Fatalf("dimensions = %+v", cfg.Dimensions)
@@ -60,6 +64,8 @@ func TestParseErrors(t *testing.T) {
 		"length_limit 0",
 		"split_fraction 0",
 		"bulk_write_size x",
+		"query_parallelism -1",
+		"query_parallelism x",
 		"dimension OnlyName",
 		"correlation",
 		"series one_field",

@@ -21,6 +21,11 @@ type Engine struct {
 	reg    *models.Registry
 	schema *dims.Schema
 	cache  *viewCache
+	// par is the scan worker count; 0 selects GOMAXPROCS, 1 runs the
+	// sequential path. Set before serving queries (like the view cache).
+	par int
+	// chunk overrides DefaultScanChunk when positive (tests only).
+	chunk int
 }
 
 // NewEngine returns an engine over the given store and metadata.
@@ -428,8 +433,13 @@ func (p *plan) scanFilter() storage.Filter {
 	return storage.Filter{Gids: p.push.gids, From: p.push.trange.from, To: p.push.trange.to}
 }
 
-// runAggregate executes an aggregate query (Algorithms 5 and 6).
+// runAggregate executes an aggregate query (Algorithms 5 and 6),
+// fanning the segment scan out to a worker pool when parallelism
+// allows; one worker falls back to the sequential scan.
 func (e *Engine) runAggregate(p *plan) (*PartialResult, error) {
+	if n := e.workers(); n > 1 {
+		return e.runAggregatePar(p, n)
+	}
 	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
 	err := e.store.Scan(p.scanFilter(), func(seg *core.Segment) error {
 		return e.aggregateSegment(p, seg, out.Groups)
@@ -593,64 +603,74 @@ func (e *Engine) aggregatePoints(p *plan, seg *core.Segment, view models.AggView
 	return nil
 }
 
-// runSelect executes a non-aggregate query, returning raw rows.
+// runSelect executes a non-aggregate query, returning raw rows. Like
+// runAggregate it shards the scan over the worker pool when the engine
+// has parallelism to spend.
 func (e *Engine) runSelect(p *plan) (*PartialResult, error) {
+	if n := e.workers(); n > 1 {
+		return e.runSelectPar(p, n)
+	}
 	out := &PartialResult{Columns: p.outColumns}
 	err := e.store.Scan(p.scanFilter(), func(seg *core.Segment) error {
-		members := e.meta.TidsOf(seg.Gid)
-		active := activeTids(members, seg.GapTids)
-		i0, i1, ok := seg.IndexRange(p.push.trange.from, p.push.trange.to)
-		if !ok {
-			return nil
-		}
-		var view models.AggView
-		for pos, tid := range active {
-			ts, err := e.meta.Series(tid)
-			if err != nil {
-				return err
-			}
-			if p.q.From == sqlparse.TableSegment {
-				row := &logicalRow{ts: ts, seg: seg}
-				acc := e.accessor(row)
-				match, err := e.evalResidual(p.residual, acc)
-				if err != nil {
-					return err
-				}
-				if !match {
-					continue
-				}
-				out.Rows = append(out.Rows, p.projectRow(acc))
-				continue
-			}
-			if view == nil {
-				v, err := e.view(seg, len(active))
-				if err != nil {
-					return err
-				}
-				view = v
-			}
-			row := &logicalRow{ts: ts, seg: seg, isPoint: true}
-			acc := e.accessor(row)
-			scale := float64(ts.Scaling)
-			for i := i0; i <= i1; i++ {
-				row.pointTS = seg.TimestampAt(i)
-				row.value = float64(view.ValueAt(pos, i)) / scale
-				match, err := e.evalResidual(p.residual, acc)
-				if err != nil {
-					return err
-				}
-				if !match {
-					continue
-				}
-				out.Rows = append(out.Rows, p.projectRow(acc))
-			}
-		}
-		return nil
+		return e.selectSegment(p, seg, &out.Rows)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// selectSegment appends one segment's projected rows to rows.
+func (e *Engine) selectSegment(p *plan, seg *core.Segment, rows *[][]any) error {
+	members := e.meta.TidsOf(seg.Gid)
+	active := activeTids(members, seg.GapTids)
+	i0, i1, ok := seg.IndexRange(p.push.trange.from, p.push.trange.to)
+	if !ok {
+		return nil
+	}
+	var view models.AggView
+	for pos, tid := range active {
+		ts, err := e.meta.Series(tid)
+		if err != nil {
+			return err
+		}
+		if p.q.From == sqlparse.TableSegment {
+			row := &logicalRow{ts: ts, seg: seg}
+			acc := e.accessor(row)
+			match, err := e.evalResidual(p.residual, acc)
+			if err != nil {
+				return err
+			}
+			if !match {
+				continue
+			}
+			*rows = append(*rows, p.projectRow(acc))
+			continue
+		}
+		if view == nil {
+			v, err := e.view(seg, len(active))
+			if err != nil {
+				return err
+			}
+			view = v
+		}
+		row := &logicalRow{ts: ts, seg: seg, isPoint: true}
+		acc := e.accessor(row)
+		scale := float64(ts.Scaling)
+		for i := i0; i <= i1; i++ {
+			row.pointTS = seg.TimestampAt(i)
+			row.value = float64(view.ValueAt(pos, i)) / scale
+			match, err := e.evalResidual(p.residual, acc)
+			if err != nil {
+				return err
+			}
+			if !match {
+				continue
+			}
+			*rows = append(*rows, p.projectRow(acc))
+		}
+	}
+	return nil
 }
 
 func (p *plan) projectRow(acc rowAccessor) []any {

@@ -1,0 +1,230 @@
+package query
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"modelardb/internal/core"
+	"modelardb/internal/storage"
+)
+
+// The parallel segment-scan executor: the store shards the filtered
+// segment stream into chunks (storage.SegmentStore.ScanChunks), a pool
+// of workers materializes and processes the chunks concurrently, and
+// the per-chunk partial states merge in scan order. Workers reuse
+// ExecutePartial's per-segment aggregation, so the local-parallel and
+// cluster paths share one mergeable partial-aggregation contract
+// (§6.2: iterate on workers, merge and finalize on the master — here
+// the "workers" are goroutines instead of cluster nodes).
+//
+// Determinism: chunks are numbered in scan order and their results are
+// combined in that order, so a parallel run is reproducible regardless
+// of goroutine scheduling, and non-aggregate queries return rows in
+// exactly the sequential scan order. Aggregate results can differ from
+// the sequential path only in floating-point association order.
+
+// DefaultScanChunk is the number of segments per unit of parallel scan
+// work: small enough to balance load across workers, large enough to
+// amortize channel traffic over many segments.
+const DefaultScanChunk = 32
+
+// SetParallelism sets the scan worker count used by Execute,
+// ExecuteQuery and ExecutePartial: n == 1 forces the sequential
+// executor (whose results parallel runs are tested against), n > 1
+// uses that many workers and n <= 0 restores the default, GOMAXPROCS.
+// Configure before serving queries, like EnableViewCache.
+func (e *Engine) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.par = n
+}
+
+// workers resolves the configured parallelism.
+func (e *Engine) workers() int {
+	if e.par > 0 {
+		return e.par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// scanChunkSize resolves the chunk size; tests shrink it to force many
+// chunks through the pool.
+func (e *Engine) scanChunkSize() int {
+	if e.chunk > 0 {
+		return e.chunk
+	}
+	return DefaultScanChunk
+}
+
+// errScanAborted tells ScanChunks to stop early because a worker
+// already failed; it never escapes to callers.
+var errScanAborted = errors.New("query: parallel scan aborted")
+
+// chunkJob is one numbered unit of scan work.
+type chunkJob struct {
+	seq   int
+	chunk storage.Chunk
+}
+
+// chunkResult carries one chunk's partial state back to the collector.
+type chunkResult struct {
+	seq int
+	val any
+	err error
+}
+
+// scanParallel runs fn over every chunk of the plan's filtered segment
+// stream on n workers and feeds the per-chunk results to consume in
+// scan order, merging incrementally so only out-of-order results are
+// retained (bounded by the pool, not the scan). fn runs concurrently
+// from multiple goroutines and must only touch its own chunk's state;
+// consume runs on the calling goroutine.
+func (e *Engine) scanParallel(p *plan, n int, fn func([]*core.Segment) (any, error), consume func(any)) error {
+	jobs := make(chan chunkJob, n)
+	results := make(chan chunkResult, n)
+	done := make(chan struct{})
+	prodErr := make(chan error, 1)
+
+	// Producer: enumerate chunks in scan order. ScanChunks only walks
+	// the store's index; segment decoding happens on the workers.
+	go func() {
+		seq := 0
+		err := e.store.ScanChunks(p.scanFilter(), e.scanChunkSize(), func(c storage.Chunk) error {
+			select {
+			case jobs <- chunkJob{seq: seq, chunk: c}:
+				seq++
+				return nil
+			case <-done:
+				return errScanAborted
+			}
+		})
+		if errors.Is(err, errScanAborted) {
+			err = nil
+		}
+		prodErr <- err
+		close(jobs)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				select {
+				case <-done:
+					return // aborted: skip chunks already queued
+				default:
+				}
+				segs, err := job.chunk.Segments()
+				var val any
+				if err == nil {
+					val, err = fn(segs)
+				}
+				select {
+				case results <- chunkResult{seq: job.seq, val: val, err: err}:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := map[int]any{}
+	next := 0
+	var firstErr error
+	abort := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(done)
+		}
+	}
+	for r := range results {
+		if r.err != nil {
+			abort(r.err)
+			continue
+		}
+		if firstErr != nil {
+			continue // drain only
+		}
+		pending[r.seq] = r.val
+		for val, ok := pending[next]; ok; val, ok = pending[next] {
+			delete(pending, next)
+			next++
+			consume(val)
+		}
+	}
+	if err := <-prodErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// runAggregatePar is the parallel counterpart of runAggregate: each
+// chunk aggregates into its own GroupState map (ExecutePartial's
+// iterate step), and the chunk partials merge in scan order exactly
+// like cluster partials merge in Finalize.
+func (e *Engine) runAggregatePar(p *plan, n int) (*PartialResult, error) {
+	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
+	err := e.scanParallel(p, n, func(segs []*core.Segment) (any, error) {
+		groups := map[string]*GroupState{}
+		for _, seg := range segs {
+			if err := e.aggregateSegment(p, seg, groups); err != nil {
+				return nil, err
+			}
+		}
+		return groups, nil
+	}, func(part any) {
+		mergeGroups(out.Groups, part.(map[string]*GroupState))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mergeGroups folds src into dst. The chunk-local states are
+// exclusively owned by this query, so they merge in place.
+func mergeGroups(dst, src map[string]*GroupState) {
+	for key, g := range src {
+		m, ok := dst[key]
+		if !ok {
+			dst[key] = g
+			continue
+		}
+		for i := range g.Scalars {
+			m.Scalars[i].Merge(g.Scalars[i])
+		}
+		for i := range g.Cubes {
+			m.Cubes[i].Merge(g.Cubes[i])
+		}
+	}
+}
+
+// runSelectPar is the parallel counterpart of runSelect: each chunk
+// projects its rows independently and the per-chunk row slices
+// concatenate in scan order, reproducing the sequential row order.
+func (e *Engine) runSelectPar(p *plan, n int) (*PartialResult, error) {
+	out := &PartialResult{Columns: p.outColumns}
+	err := e.scanParallel(p, n, func(segs []*core.Segment) (any, error) {
+		var rows [][]any
+		for _, seg := range segs {
+			if err := e.selectSegment(p, seg, &rows); err != nil {
+				return nil, err
+			}
+		}
+		return rows, nil
+	}, func(part any) {
+		out.Rows = append(out.Rows, part.([][]any)...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -222,22 +222,37 @@ func (e *Engine) analyzeExpr(expr sqlparse.Expr) (pushdown, error) {
 		if err != nil {
 			return pushdown{}, err
 		}
-		if ref.kind != colTid {
-			// IN over members or times: no push-down, residual handles it.
+		switch ref.kind {
+		case colTid:
+			tids := make([]core.Tid, 0, len(x.Values))
+			for _, v := range x.Values {
+				if !v.IsNumber {
+					return pushdown{}, fmt.Errorf("query: Tid IN requires numbers")
+				}
+				tids = append(tids, core.Tid(v.Number))
+			}
+			gids, err := e.meta.GidsForTids(tids)
+			if err != nil {
+				return pushdown{}, err
+			}
+			return pushdown{gids: gidSet(gids), trange: allTime(), exact: false}, nil
+		case colMember:
+			// Dimension-predicate pruning: a member IN list rewrites to
+			// the union of the per-member Gid sets (§6.2 generalized from
+			// equality), so the scan skips groups without any listed
+			// member instead of filtering them row by row.
+			gids := gidSet{}
+			for _, v := range x.Values {
+				if v.IsNumber {
+					return pushdown{}, fmt.Errorf("query: %s IN requires strings", ref.name)
+				}
+				gids = gids.union(gidSet(e.meta.GidsForMember(ref.dimension, ref.level, v.Str)))
+			}
+			return pushdown{gids: gids, trange: allTime(), exact: false}, nil
+		default:
+			// IN over times: no push-down, residual handles it.
 			return pushdown{gids: nil, trange: allTime(), exact: false}, nil
 		}
-		tids := make([]core.Tid, 0, len(x.Values))
-		for _, v := range x.Values {
-			if !v.IsNumber {
-				return pushdown{}, fmt.Errorf("query: Tid IN requires numbers")
-			}
-			tids = append(tids, core.Tid(v.Number))
-		}
-		gids, err := e.meta.GidsForTids(tids)
-		if err != nil {
-			return pushdown{}, err
-		}
-		return pushdown{gids: gidSet(gids), trange: allTime(), exact: false}, nil
 	case *sqlparse.BetweenExpr:
 		ref, err := resolveColumn(e.schema, x.Column)
 		if err != nil {

@@ -38,8 +38,12 @@ type FileStore struct {
 	// maxDur tracks each group's longest segment duration for scan
 	// termination, as in MemStore.
 	maxDur map[core.Gid]int64
-	count  int64
-	size   int64
+	// minStart is the per-group time-range index: together with the last
+	// record's endTime it bounds the group's coverage so scans skip
+	// groups entirely outside the filter window.
+	minStart map[core.Gid]int64
+	count    int64
+	size     int64
 }
 
 // recordRef locates one segment in the log.
@@ -76,6 +80,7 @@ func OpenFileStore(dir string, members MembersFunc, bulkSize int) (*FileStore, e
 		bulkSize: bulkSize,
 		index:    make(map[core.Gid][]recordRef),
 		maxDur:   make(map[core.Gid]int64),
+		minStart: make(map[core.Gid]int64),
 	}
 	if err := s.recover(); err != nil {
 		file.Close()
@@ -146,6 +151,9 @@ func (s *FileStore) addIndex(seg *core.Segment, offset int64, length int32) {
 	if dur := seg.EndTime - seg.StartTime; dur > s.maxDur[seg.Gid] {
 		s.maxDur[seg.Gid] = dur
 	}
+	if ms, ok := s.minStart[seg.Gid]; !ok || seg.StartTime < ms {
+		s.minStart[seg.Gid] = seg.StartTime
+	}
 	s.count++
 	s.size += int64(length - frameHeader)
 }
@@ -212,18 +220,18 @@ func (s *FileStore) Sync() error {
 	return s.file.Sync()
 }
 
-// Scan implements SegmentStore with (Gid, EndTime) push-down; matching
-// records are read back from the log. Buffered segments are flushed
-// first so queries during ingestion see all data (online analytics,
-// §3.1).
-func (s *FileStore) Scan(f Filter, fn func(*core.Segment) error) error {
+// collectRefs flushes the write buffer, then snapshots the record
+// locations matching the filter in ascending (Gid, EndTime) order.
+// Records are read back and decoded without any lock held.
+func (s *FileStore) collectRefs(f Filter) ([]recordRef, error) {
 	s.mu.Lock()
 	if err := s.flushLocked(); err != nil {
 		s.mu.Unlock()
-		return err
+		return nil, err
 	}
 	s.mu.Unlock()
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	gids := f.Gids
 	if gids == nil {
 		gids = make([]core.Gid, 0, len(s.index))
@@ -235,6 +243,11 @@ func (s *FileStore) Scan(f Filter, fn func(*core.Segment) error) error {
 	var refs []recordRef
 	for _, gid := range gids {
 		rs := s.index[gid]
+		// Per-group time-range index: skip groups whose whole coverage
+		// [minStart, last endTime] misses the filter window.
+		if len(rs) == 0 || s.minStart[gid] > f.To || rs[len(rs)-1].endTime < f.From {
+			continue
+		}
 		stop := int64(0)
 		overflowed := false
 		if f.To > maxTime-s.maxDur[gid] {
@@ -253,23 +266,89 @@ func (s *FileStore) Scan(f Filter, fn func(*core.Segment) error) error {
 			refs = append(refs, rs[i])
 		}
 	}
-	s.mu.RUnlock()
+	return refs, nil
+}
+
+// readRef reads and decodes one record from the log, growing buf as
+// needed. ReadAt is positional, so concurrent readers never interfere
+// with appends.
+func (s *FileStore) readRef(ref recordRef, buf []byte) (*core.Segment, []byte, error) {
+	if cap(buf) < int(ref.length) {
+		buf = make([]byte, ref.length)
+	}
+	buf = buf[:ref.length]
+	if _, err := s.file.ReadAt(buf, ref.offset); err != nil {
+		return nil, buf, fmt.Errorf("storage: read: %w", err)
+	}
+	seg, err := s.decode(buf[frameHeader:])
+	return seg, buf, err
+}
+
+// readRefs reads and decodes a batch of records from the log.
+func (s *FileStore) readRefs(refs []recordRef) ([]*core.Segment, error) {
+	segs := make([]*core.Segment, 0, len(refs))
 	buf := make([]byte, 0, 4096)
 	for _, ref := range refs {
-		if cap(buf) < int(ref.length) {
-			buf = make([]byte, ref.length)
+		var seg *core.Segment
+		var err error
+		seg, buf, err = s.readRef(ref, buf)
+		if err != nil {
+			return nil, err
 		}
-		buf = buf[:ref.length]
-		if _, err := s.file.ReadAt(buf, ref.offset); err != nil {
-			return fmt.Errorf("storage: read: %w", err)
-		}
-		seg, err := s.decode(buf[frameHeader:])
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+// Scan implements SegmentStore with (Gid, EndTime) push-down; matching
+// records are read back from the log. Buffered segments are flushed
+// first so queries during ingestion see all data (online analytics,
+// §3.1).
+func (s *FileStore) Scan(f Filter, fn func(*core.Segment) error) error {
+	refs, err := s.collectRefs(f)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 4096)
+	for _, ref := range refs {
+		var seg *core.Segment
+		seg, buf, err = s.readRef(ref, buf)
 		if err != nil {
 			return err
 		}
 		if err := fn(seg); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// fileChunk defers record reads and decoding to the consumer, so a
+// parallel scan spreads the deserialization cost across its workers.
+type fileChunk struct {
+	store *FileStore
+	refs  []recordRef
+}
+
+// Segments implements Chunk.
+func (c fileChunk) Segments() ([]*core.Segment, error) { return c.store.readRefs(c.refs) }
+
+// ScanChunks implements SegmentStore. Only the index is consulted up
+// front; each chunk holds record locations and reads the log lazily.
+func (s *FileStore) ScanChunks(f Filter, chunkSize int, emit func(Chunk) error) error {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	refs, err := s.collectRefs(f)
+	if err != nil {
+		return err
+	}
+	for len(refs) > 0 {
+		n := min(chunkSize, len(refs))
+		if err := emit(fileChunk{store: s, refs: refs[:n:n]}); err != nil {
+			return err
+		}
+		refs = refs[n:]
 	}
 	return nil
 }

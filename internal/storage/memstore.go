@@ -19,16 +19,21 @@ type MemStore struct {
 	// far past a filter's To a scan must look (a segment ending later
 	// than To+maxDur cannot start at or before To).
 	maxDur map[core.Gid]int64
-	count  int64
-	size   int64
+	// minStart tracks each group's earliest segment start; together with
+	// the last segment's EndTime it forms a per-group time-range index
+	// that lets scans skip whole groups outside the filter's window.
+	minStart map[core.Gid]int64
+	count    int64
+	size     int64
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore(members MembersFunc) *MemStore {
 	return &MemStore{
-		byGid:   make(map[core.Gid][]*core.Segment),
-		maxDur:  make(map[core.Gid]int64),
-		members: members,
+		byGid:    make(map[core.Gid][]*core.Segment),
+		maxDur:   make(map[core.Gid]int64),
+		minStart: make(map[core.Gid]int64),
+		members:  members,
 	}
 }
 
@@ -46,6 +51,9 @@ func (s *MemStore) Insert(seg *core.Segment) error {
 	if dur := seg.EndTime - seg.StartTime; dur > s.maxDur[seg.Gid] {
 		s.maxDur[seg.Gid] = dur
 	}
+	if ms, ok := s.minStart[seg.Gid]; !ok || seg.StartTime < ms {
+		s.minStart[seg.Gid] = seg.StartTime
+	}
 	s.count++
 	s.size += int64(seg.StoredSize(s.members(seg.Gid)))
 	return nil
@@ -54,9 +62,10 @@ func (s *MemStore) Insert(seg *core.Segment) error {
 // Flush implements SegmentStore; the memory store has no buffer.
 func (s *MemStore) Flush() error { return nil }
 
-// Scan implements SegmentStore with EndTime push-down per group.
-func (s *MemStore) Scan(f Filter, fn func(*core.Segment) error) error {
-	s.mu.RLock()
+// collect snapshots the segments matching the filter in ascending
+// (Gid, EndTime) order. The caller must hold at least a read lock;
+// callbacks then run on the snapshot without any lock held.
+func (s *MemStore) collect(f Filter) []*core.Segment {
 	gids := f.Gids
 	if gids == nil {
 		gids = make([]core.Gid, 0, len(s.byGid))
@@ -65,10 +74,14 @@ func (s *MemStore) Scan(f Filter, fn func(*core.Segment) error) error {
 		}
 		sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 	}
-	// Snapshot matching segments so fn runs without the lock held.
 	var matched []*core.Segment
 	for _, gid := range gids {
 		segs := s.byGid[gid]
+		// Per-group time-range index: the group's segments span
+		// [minStart, last EndTime]; skip groups outside the window.
+		if len(segs) == 0 || s.minStart[gid] > f.To || segs[len(segs)-1].EndTime < f.From {
+			continue
+		}
 		// Push-down: skip segments with EndTime < From, stop once
 		// EndTime is so late the segment cannot reach back to To.
 		stop := int64(0)
@@ -89,11 +102,43 @@ func (s *MemStore) Scan(f Filter, fn func(*core.Segment) error) error {
 			matched = append(matched, segs[i])
 		}
 	}
+	return matched
+}
+
+// Scan implements SegmentStore with EndTime push-down per group.
+func (s *MemStore) Scan(f Filter, fn func(*core.Segment) error) error {
+	s.mu.RLock()
+	matched := s.collect(f)
 	s.mu.RUnlock()
 	for _, seg := range matched {
 		if err := fn(seg); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// memChunk is a slice of already-decoded segments.
+type memChunk []*core.Segment
+
+// Segments implements Chunk.
+func (c memChunk) Segments() ([]*core.Segment, error) { return c, nil }
+
+// ScanChunks implements SegmentStore. Memory segments are already
+// decoded, so chunks are plain sub-slices of the matched snapshot.
+func (s *MemStore) ScanChunks(f Filter, chunkSize int, emit func(Chunk) error) error {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	s.mu.RLock()
+	matched := s.collect(f)
+	s.mu.RUnlock()
+	for len(matched) > 0 {
+		n := min(chunkSize, len(matched))
+		if err := emit(memChunk(matched[:n:n])); err != nil {
+			return err
+		}
+		matched = matched[n:]
 	}
 	return nil
 }

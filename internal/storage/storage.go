@@ -37,6 +37,17 @@ const (
 	maxTime = 1<<62 - 1
 )
 
+// Chunk is one unit of parallel scan work: a batch of consecutive
+// matching segments that materializes lazily, so the expensive part of
+// a scan (deserializing segments from disk) runs on the goroutine that
+// consumes the chunk rather than on the goroutine enumerating them.
+type Chunk interface {
+	// Segments decodes and returns the chunk's segments in scan order.
+	// It is safe to call from any goroutine, concurrently with calls on
+	// other chunks of the same scan.
+	Segments() ([]*core.Segment, error)
+}
+
 // SegmentStore stores and retrieves segments. Implementations must be
 // safe for concurrent use by multiple goroutines.
 type SegmentStore interface {
@@ -47,6 +58,14 @@ type SegmentStore interface {
 	// Scan calls fn for every stored segment matching the filter, in
 	// ascending (Gid, EndTime) order. fn errors abort the scan.
 	Scan(f Filter, fn func(*core.Segment) error) error
+	// ScanChunks shards the segments matching the filter into chunks of
+	// at most chunkSize segments, calling emit for each chunk in
+	// ascending (Gid, EndTime) order. Chunk boundaries never split the
+	// match order, so concatenating all chunks reproduces Scan exactly.
+	// The chunks stay valid after ScanChunks returns and may be
+	// materialized concurrently from multiple goroutines; emit errors
+	// abort the enumeration.
+	ScanChunks(f Filter, chunkSize int, emit func(Chunk) error) error
 	// Count returns the number of stored segments, including buffered.
 	Count() (int64, error)
 	// SizeBytes returns the serialized size of all stored segments,

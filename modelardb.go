@@ -120,6 +120,9 @@ type Config struct {
 	// segment cache that keeps recently decoded models for query
 	// processing (Fig. 4); 0 disables it.
 	SegmentCacheSize int
+	// QueryParallelism is the number of segment-scan workers per query:
+	// 0 uses all cores (GOMAXPROCS), 1 forces the sequential executor.
+	QueryParallelism int
 }
 
 // DefaultConfig returns the paper's evaluated configuration (Table 1):
@@ -208,6 +211,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.engine = query.NewEngine(db.store, db.meta, db.reg, db.schema)
 	db.engine.EnableViewCache(cfg.SegmentCacheSize)
+	db.engine.SetParallelism(cfg.QueryParallelism)
 	db.series = db.meta.AllSeries()
 	return db, nil
 }
