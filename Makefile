@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race bench ci
+.PHONY: all build vet fmt-check lint vuln test race bench ci
 
 all: build test
 
@@ -22,6 +22,11 @@ fmt-check:
 
 lint: vet fmt-check
 
+# Scans the module against the Go vulnerability database. Needs
+# network access; CI runs it, local runs may skip it offline.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
 test:
 	$(GO) test ./...
 
@@ -33,4 +38,4 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build lint race bench
+ci: build lint vuln race bench

@@ -20,10 +20,9 @@ package main
 
 import (
 	"bufio"
-	"encoding/csv"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"os"
@@ -92,49 +91,28 @@ func run(configPath, dataDir, load, listen string, parallelism int) error {
 	}
 }
 
-// loadCSV ingests a tid,ts,value file.
+// loadCSV ingests a tid,ts,value file through the group-sharded batch
+// path and flushes the result.
 func loadCSV(db *modelardb.DB, path string) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	r := csv.NewReader(bufio.NewReaderSize(f, 1<<20))
-	r.ReuseRecord = true
-	var n int64
-	for {
-		rec, err := r.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return n, err
-		}
-		if len(rec) != 3 {
-			return n, fmt.Errorf("row %d has %d fields, want tid,ts,value", n+1, len(rec))
-		}
-		tid, err := strconv.Atoi(rec[0])
-		if err != nil {
-			continue // header row
-		}
-		ts, err := strconv.ParseInt(rec[1], 10, 64)
-		if err != nil {
-			return n, err
-		}
-		v, err := strconv.ParseFloat(rec[2], 32)
-		if err != nil {
-			return n, err
-		}
-		if err := db.Append(modelardb.Tid(tid), ts, float32(v)); err != nil {
-			return n, err
-		}
-		n++
+	n, err := db.LoadCSVContext(context.Background(), f)
+	if err != nil {
+		return n, err
 	}
 	return n, db.Flush()
 }
 
 func serve(db *modelardb.DB, conn net.Conn) {
 	defer conn.Close()
+	// The connection context bounds every query issued on it: when the
+	// client goes away the in-flight scan is cancelled and the executor
+	// pool drained instead of running the query to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	w := bufio.NewWriter(conn)
@@ -146,29 +124,46 @@ func serve(db *modelardb.DB, conn net.Conn) {
 		if strings.EqualFold(line, "QUIT") {
 			return
 		}
-		handle(db, w, line)
+		handle(ctx, db, w, line)
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-func handle(db *modelardb.DB, w *bufio.Writer, line string) {
+func handle(ctx context.Context, db *modelardb.DB, w *bufio.Writer, line string) {
 	verb := strings.ToUpper(strings.Fields(line)[0])
 	switch verb {
 	case "SELECT":
-		res, err := db.Query(line)
+		// Stream the result: rows reach the client as the scan produces
+		// them, so a huge export does not materialize server-side first.
+		rows, err := db.QueryRows(ctx, line)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return
 		}
-		fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
-		for _, row := range res.Rows {
+		defer rows.Close()
+		fmt.Fprintln(w, strings.Join(rows.Columns(), "\t"))
+		n := 0
+		for rows.Next() {
+			row := rows.Row()
 			cells := make([]string, len(row))
 			for i, v := range row {
 				cells[i] = fmt.Sprint(v)
 			}
 			fmt.Fprintln(w, strings.Join(cells, "\t"))
+			// Flush periodically so a disconnected client surfaces as a
+			// write error here and the deferred Close cancels the scan,
+			// instead of streaming the whole result into a dead socket.
+			if n++; n%512 == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		if err := rows.Err(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
 		}
 		fmt.Fprintln(w, ".")
 	case "APPEND":

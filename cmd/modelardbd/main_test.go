@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func send(t *testing.T, db *modelardb.DB, line string) string {
 	t.Helper()
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	handle(db, w, line)
+	handle(context.Background(), db, w, line)
 	w.Flush()
 	return buf.String()
 }

@@ -2,11 +2,17 @@ package modelardb
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
 )
+
+// csvBatchSize is the number of parsed points LoadCSV hands to
+// AppendBatch at a time: large enough to amortize a group's shard lock
+// over many points, small enough to keep the parse buffer cache-sized.
+const csvBatchSize = 4096
 
 // LoadCSV ingests data points from a CSV stream with rows of
 // tid,timestamp-ms,value (a header row is skipped if present). Points
@@ -14,39 +20,63 @@ import (
 // It returns the number of points ingested; the caller should Flush
 // when the load is complete.
 func (db *DB) LoadCSV(r io.Reader) (int64, error) {
+	return db.LoadCSVContext(context.Background(), r)
+}
+
+// LoadCSVContext is LoadCSV under a context: points are ingested in
+// batches through the group-sharded AppendBatch path and cancellation
+// is honored between batches. Points of batches already ingested stay
+// in the database, as with a failed Append.
+func (db *DB) LoadCSVContext(ctx context.Context, r io.Reader) (int64, error) {
 	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
 	cr.ReuseRecord = true
 	var n int64
+	batch := make([]DataPoint, 0, csvBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := db.AppendBatch(ctx, batch); err != nil {
+			return err
+		}
+		n += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	var rows int64
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return n, nil
+			return n, flush()
 		}
 		if err != nil {
 			return n, fmt.Errorf("modelardb: csv: %w", err)
 		}
 		if len(rec) != 3 {
-			return n, fmt.Errorf("modelardb: csv row %d has %d fields, want tid,ts,value", n+1, len(rec))
+			return n, fmt.Errorf("modelardb: csv row %d has %d fields, want tid,ts,value", rows+1, len(rec))
 		}
 		tid, err := strconv.Atoi(rec[0])
 		if err != nil {
-			if n == 0 {
+			if rows == 0 {
 				continue // header row
 			}
-			return n, fmt.Errorf("modelardb: csv row %d: bad tid %q", n+1, rec[0])
+			return n, fmt.Errorf("modelardb: csv row %d: bad tid %q", rows+1, rec[0])
 		}
 		ts, err := strconv.ParseInt(rec[1], 10, 64)
 		if err != nil {
-			return n, fmt.Errorf("modelardb: csv row %d: bad timestamp %q", n+1, rec[1])
+			return n, fmt.Errorf("modelardb: csv row %d: bad timestamp %q", rows+1, rec[1])
 		}
 		v, err := strconv.ParseFloat(rec[2], 32)
 		if err != nil {
-			return n, fmt.Errorf("modelardb: csv row %d: bad value %q", n+1, rec[2])
+			return n, fmt.Errorf("modelardb: csv row %d: bad value %q", rows+1, rec[2])
 		}
-		if err := db.Append(Tid(tid), ts, float32(v)); err != nil {
-			return n, err
+		rows++
+		batch = append(batch, DataPoint{Tid: Tid(tid), TS: ts, Value: float32(v)})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return n, err
+			}
 		}
-		n++
 	}
 }
 
@@ -55,6 +85,14 @@ func (db *DB) LoadCSV(r io.Reader) (int64, error) {
 // store's (Gid, EndTime) scan order. It is the export counterpart of
 // LoadCSV.
 func (db *DB) WriteCSV(w io.Writer, tids ...Tid) (int64, error) {
+	return db.WriteCSVContext(context.Background(), w, tids...)
+}
+
+// WriteCSVContext is WriteCSV under a context. The export streams
+// through a QueryRows cursor, so rows are written as the scan
+// produces them instead of materializing the whole result first, and
+// cancelling ctx stops the scan within one chunk of work.
+func (db *DB) WriteCSVContext(ctx context.Context, w io.Writer, tids ...Tid) (int64, error) {
 	sql := "SELECT Tid, TS, Value FROM DataPoint"
 	if len(tids) > 0 {
 		sql += " WHERE Tid IN ("
@@ -66,17 +104,22 @@ func (db *DB) WriteCSV(w io.Writer, tids ...Tid) (int64, error) {
 		}
 		sql += ")"
 	}
-	res, err := db.Query(sql)
+	rows, err := db.QueryRows(ctx, sql)
 	if err != nil {
 		return 0, err
 	}
+	defer rows.Close()
 	bw := bufio.NewWriter(w)
 	var n int64
-	for _, row := range res.Rows {
+	for rows.Next() {
+		row := rows.Row()
 		if _, err := fmt.Fprintf(bw, "%d,%d,%g\n", row[0].(int64), row[1].(int64), row[2].(float64)); err != nil {
 			return n, err
 		}
 		n++
+	}
+	if err := rows.Err(); err != nil {
+		return n, err
 	}
 	return n, bw.Flush()
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +19,10 @@ import (
 )
 
 func main() {
+	// The context bounds the cluster's lifetime: cancelling it aborts
+	// every in-flight scatter query on all workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	dataset := tsgen.EP(tsgen.EPConfig{Entities: 12, Ticks: 720, Seed: 3})
 	cfg := modelardb.Config{
 		ErrorBound: modelardb.RelBound(5),
@@ -33,7 +38,7 @@ func main() {
 		})
 	}
 
-	c, err := cluster.NewLocal(cfg, 4)
+	c, err := cluster.NewLocal(ctx, cfg, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,13 +46,25 @@ func main() {
 	fmt.Printf("cluster with %d workers\n", c.NumWorkers())
 
 	// Ingestion is routed by group: a group's series always land on the
-	// same worker.
+	// same worker. Points travel in batches through AppendBatch, which
+	// takes each destination group's shard lock once per batch.
 	start := time.Now()
 	var points int64
+	batch := make([]modelardb.DataPoint, 0, 1024)
 	err = dataset.Points(func(p core.DataPoint) error {
 		points++
-		return c.Append(p.Tid, p.TS, p.Value)
+		batch = append(batch, p)
+		if len(batch) == cap(batch) {
+			if err := c.AppendBatch(ctx, batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+		return nil
 	})
+	if err == nil {
+		err = c.AppendBatch(ctx, batch)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +78,7 @@ func main() {
 		fmt.Printf("series %d is owned by worker %d\n", tid, w)
 	}
 
-	res, times, err := c.QueryWithStats(
+	res, times, err := c.QueryWithStats(ctx,
 		"SELECT Category, SUM_S(*), COUNT_S(*) FROM Segment GROUP BY Category ORDER BY Category")
 	if err != nil {
 		log.Fatal(err)

@@ -1,9 +1,11 @@
 // Quickstart: open an in-memory ModelarDB, ingest two correlated
-// sensors, and run aggregate queries on models through the Segment
-// View.
+// sensors through the batched v2 API, and query the models through
+// the Segment View — materialized (QueryContext), prepared (Prepare)
+// and streamed (QueryRows).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -32,16 +34,21 @@ func main() {
 	}
 	defer db.Close()
 
-	// Ingest one hour of 1 Hz temperature-like data for both turbines.
+	// Ingest one hour of 1 Hz temperature-like data for both turbines,
+	// batched: AppendBatch takes each group's shard lock once per batch
+	// and concurrent writers to different groups never serialize.
+	ctx := context.Background()
+	batch := make([]modelardb.DataPoint, 0, 2*3600)
 	for tick := 0; tick < 3600; tick++ {
 		ts := int64(tick) * 1000
 		base := 20 + 5*math.Sin(float64(tick)/600)
-		if err := db.Append(1, ts, float32(base)); err != nil {
-			log.Fatal(err)
-		}
-		if err := db.Append(2, ts, float32(base+0.1)); err != nil {
-			log.Fatal(err)
-		}
+		batch = append(batch,
+			modelardb.DataPoint{Tid: 1, TS: ts, Value: float32(base)},
+			modelardb.DataPoint{Tid: 2, TS: ts, Value: float32(base + 0.1)},
+		)
+	}
+	if err := db.AppendBatch(ctx, batch); err != nil {
+		log.Fatal(err)
 	}
 	if err := db.Flush(); err != nil {
 		log.Fatal(err)
@@ -58,9 +65,8 @@ func main() {
 	for _, sql := range []string{
 		"SELECT Tid, MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
 		"SELECT Turbine, CUBE_SUM_MINUTE(*) FROM Segment GROUP BY Turbine ORDER BY Turbine LIMIT 4",
-		"SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS BETWEEN 5000 AND 8000",
 	} {
-		res, err := db.Query(sql)
+		res, err := db.QueryContext(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,5 +75,41 @@ func main() {
 		for _, row := range res.Rows {
 			fmt.Println(row)
 		}
+	}
+
+	// A point query served as a streaming cursor: rows arrive as the
+	// scan produces them, and Close would stop the scan early.
+	sql := "SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS BETWEEN 5000 AND 8000"
+	rows, err := db.QueryRows(ctx, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	fmt.Printf("\n%s\n", sql)
+	fmt.Println(rows.Columns())
+	for rows.Next() {
+		var ts int64
+		var v float64
+		if err := rows.Scan(&ts, &v); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ts, v)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A prepared statement parses once and executes many times.
+	stmt, err := db.Prepare("SELECT Turbine, AVG_S(*) FROM Segment GROUP BY Turbine ORDER BY Turbine")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 2; i++ {
+		res, err := stmt.Query(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nprepared run %d: %v %v\n", i+1, res.Columns, res.Rows)
 	}
 }

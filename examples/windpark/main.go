@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,9 +41,24 @@ func main() {
 	}
 	defer db.Close()
 
-	if err := dataset.Points(func(p core.DataPoint) error {
-		return db.Append(p.Tid, p.TS, p.Value)
-	}); err != nil {
+	// Ingest in batches through the group-sharded batch path: one shard
+	// lock acquisition per group per batch instead of one per point.
+	ctx := context.Background()
+	batch := make([]modelardb.DataPoint, 0, 4096)
+	err = dataset.Points(func(p core.DataPoint) error {
+		batch = append(batch, p)
+		if len(batch) == cap(batch) {
+			if err := db.AppendBatch(ctx, batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+		return nil
+	})
+	if err == nil {
+		err = db.AppendBatch(ctx, batch)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := db.Flush(); err != nil {
@@ -68,7 +84,7 @@ func main() {
 			"SELECT Mid, COUNT_S(*) FROM Segment GROUP BY Mid ORDER BY Mid"},
 	}
 	for _, q := range queries {
-		res, err := db.Query(q.sql)
+		res, err := db.QueryContext(ctx, q.sql)
 		if err != nil {
 			log.Fatal(err)
 		}

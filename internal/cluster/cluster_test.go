@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -83,7 +84,7 @@ func TestLocalClusterMatchesSingleNode(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err := NewLocal(fleetConfig(), 3)
+	c, err := NewLocal(context.Background(), fleetConfig(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestLocalClusterMatchesSingleNode(t *testing.T) {
 }
 
 func TestLocalClusterRouting(t *testing.T) {
-	c, err := NewLocal(fleetConfig(), 4)
+	c, err := NewLocal(context.Background(), fleetConfig(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestLocalClusterRouting(t *testing.T) {
 }
 
 func TestLocalClusterStats(t *testing.T) {
-	c, err := NewLocal(fleetConfig(), 2)
+	c, err := NewLocal(context.Background(), fleetConfig(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +170,14 @@ func TestLocalClusterStats(t *testing.T) {
 }
 
 func TestQueryWithStatsReportsWorkers(t *testing.T) {
-	c, err := NewLocal(fleetConfig(), 3)
+	c, err := NewLocal(context.Background(), fleetConfig(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	fillCluster(t, c.Append, 8, 50)
 	c.Flush()
-	_, times, err := c.QueryWithStats("SELECT SUM_S(*) FROM Segment")
+	_, times, err := c.QueryWithStats(context.Background(), "SELECT SUM_S(*) FROM Segment")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,12 +254,12 @@ func TestRPCQueryErrorPropagates(t *testing.T) {
 }
 
 func TestNewLocalValidations(t *testing.T) {
-	if _, err := NewLocal(fleetConfig(), 0); err == nil {
+	if _, err := NewLocal(context.Background(), fleetConfig(), 0); err == nil {
 		t.Fatal("zero workers must fail")
 	}
 	cfg := fleetConfig()
 	cfg.Path = "/tmp/x"
-	if _, err := NewLocal(cfg, 1); err == nil {
+	if _, err := NewLocal(context.Background(), cfg, 1); err == nil {
 		t.Fatal("file-backed local cluster must fail")
 	}
 }

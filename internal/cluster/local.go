@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -31,6 +32,9 @@ type LocalCluster struct {
 	workers []*modelardb.DB
 	// assign maps each group to its worker index.
 	assign map[modelardb.Gid]int
+	// base bounds the cluster's lifetime: every scatter inherits from
+	// it, so cancelling it aborts all in-flight queries at once.
+	base context.Context
 }
 
 // NewLocal creates a cluster of n workers from one database config.
@@ -38,12 +42,17 @@ type LocalCluster struct {
 // deterministic), so they share Tids, Gids and dimension metadata like
 // the paper's metadata cache replicated to every node.
 //
+// ctx bounds the cluster's lifetime: queries issued through the
+// compatibility Query wrapper run under it, and QueryContext contexts
+// are combined with it, so cancelling ctx cancels every in-flight
+// scatter across all workers.
+//
 // Each worker runs the same parallel segment-scan executor as a
 // single-node database; since scatter queries execute on all workers
 // simultaneously, an unset QueryParallelism is divided across the
 // in-process workers so the cluster as a whole uses the machine's
 // cores without oversubscribing them.
-func NewLocal(cfg modelardb.Config, n int) (*LocalCluster, error) {
+func NewLocal(ctx context.Context, cfg modelardb.Config, n int) (*LocalCluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least one worker")
 	}
@@ -53,7 +62,10 @@ func NewLocal(cfg modelardb.Config, n int) (*LocalCluster, error) {
 	if cfg.QueryParallelism == 0 {
 		cfg.QueryParallelism = max(1, runtime.GOMAXPROCS(0)/n)
 	}
-	c := &LocalCluster{assign: make(map[modelardb.Gid]int)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := &LocalCluster{assign: make(map[modelardb.Gid]int), base: ctx}
 	for i := 0; i < n; i++ {
 		db, err := modelardb.Open(cfg)
 		if err != nil {
@@ -123,6 +135,29 @@ func (c *LocalCluster) Append(tid modelardb.Tid, ts int64, value float32) error 
 	return c.workers[w].Append(tid, ts, value)
 }
 
+// AppendBatch routes a batch of data points to their owning workers
+// and ingests each worker's share through its group-sharded batch
+// path, so one call takes each destination group's lock once.
+func (c *LocalCluster) AppendBatch(ctx context.Context, points []modelardb.DataPoint) error {
+	byWorker := make([][]modelardb.DataPoint, len(c.workers))
+	for _, p := range points {
+		w, err := c.WorkerOf(p.Tid)
+		if err != nil {
+			return err
+		}
+		byWorker[w] = append(byWorker[w], p)
+	}
+	for w, batch := range byWorker {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := c.workers[w].AppendBatch(ctx, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Flush flushes every worker.
 func (c *LocalCluster) Flush() error {
 	for _, w := range c.workers {
@@ -134,20 +169,31 @@ func (c *LocalCluster) Flush() error {
 }
 
 // Query scatters the query to all workers in parallel and merges their
-// partial results on the master.
+// partial results on the master. It is the compatibility wrapper over
+// QueryContext with the cluster's base context.
 func (c *LocalCluster) Query(sql string) (*modelardb.Result, error) {
-	res, _, err := c.QueryWithStats(sql)
+	return c.QueryContext(c.base, sql)
+}
+
+// QueryContext scatters the query to all workers in parallel and
+// merges their partial results on the master. Cancelling ctx (or the
+// cluster's base context) aborts every worker's scan.
+func (c *LocalCluster) QueryContext(ctx context.Context, sql string) (*modelardb.Result, error) {
+	res, _, err := c.QueryWithStats(ctx, sql)
 	return res, err
 }
 
 // QueryWithStats additionally reports each worker's execution time,
 // which the scale-out experiment (Fig. 20) uses: with shuffle-free
 // placement the cluster's latency is the slowest worker's latency.
-func (c *LocalCluster) QueryWithStats(sql string) (*modelardb.Result, []time.Duration, error) {
+func (c *LocalCluster) QueryWithStats(ctx context.Context, sql string) (*modelardb.Result, []time.Duration, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Combine the per-query context with the cluster's lifetime.
+	ctx, cancel := mergeContexts(ctx, c.base)
+	defer cancel()
 	partials := make([]*query.PartialResult, len(c.workers))
 	times := make([]time.Duration, len(c.workers))
 	errs := make([]error, len(c.workers))
@@ -157,7 +203,7 @@ func (c *LocalCluster) QueryWithStats(sql string) (*modelardb.Result, []time.Dur
 		go func(i int, w *modelardb.DB) {
 			defer wg.Done()
 			start := time.Now()
-			partials[i], errs[i] = w.Engine().ExecutePartial(q)
+			partials[i], errs[i] = w.Engine().ExecutePartial(ctx, q)
 			times[i] = time.Since(start)
 		}(i, w)
 	}
@@ -172,6 +218,22 @@ func (c *LocalCluster) QueryWithStats(sql string) (*modelardb.Result, []time.Dur
 		return nil, nil, err
 	}
 	return res, times, nil
+}
+
+// mergeContexts derives a context that is cancelled when either parent
+// is, so a scatter obeys both the per-query context and the cluster's
+// lifetime context. The returned cancel must be called to release the
+// linkage.
+func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
+	if a == nil {
+		a = context.Background()
+	}
+	if b == nil || b == context.Background() || a == b {
+		return context.WithCancel(a)
+	}
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
 }
 
 // Stats aggregates worker statistics.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -35,14 +36,10 @@ type AppendArgs struct {
 	Points []core.DataPoint
 }
 
-// Append ingests a batch of data points.
+// Append ingests a batch of data points through the group-sharded
+// batch path, so one RPC takes each destination group's lock once.
 func (s *Server) Append(args *AppendArgs, _ *struct{}) error {
-	for _, p := range args.Points {
-		if err := s.db.Append(p.Tid, p.TS, p.Value); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.db.AppendBatch(context.Background(), args.Points)
 }
 
 // Flush finalizes buffered data points into segments.
@@ -63,7 +60,9 @@ func (s *Server) ExecutePartial(args *QueryArgs, reply *query.PartialResult) err
 	if err != nil {
 		return err
 	}
-	partial, err := s.db.Engine().ExecutePartial(q)
+	// net/rpc carries no caller context; the worker-side scan runs
+	// under the background context and is bounded by the scan itself.
+	partial, err := s.db.Engine().ExecutePartial(context.Background(), q)
 	if err != nil {
 		return err
 	}

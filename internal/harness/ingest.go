@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -66,7 +67,7 @@ func Fig13(scale Scale) (*Table, error) {
 		if online {
 			scenario = "O-6"
 		}
-		c, err := cluster.NewLocal(mdbConfig(d, modelardb.RelBound(5), epClauses()), 6)
+		c, err := cluster.NewLocal(context.Background(), mdbConfig(d, modelardb.RelBound(5), epClauses()), 6)
 		if err != nil {
 			return nil, err
 		}

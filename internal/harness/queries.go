@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -142,7 +143,7 @@ func Fig20(scale Scale) (*Table, error) {
 				for rep := 0; rep < 3; rep++ {
 					dur, err := timed(func() error {
 						var err error
-						partials[w], err = db.Engine().ExecutePartial(q)
+						partials[w], err = db.Engine().ExecutePartial(context.Background(), q)
 						return err
 					})
 					if err != nil {

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,7 +25,8 @@ type Engine struct {
 	// par is the scan worker count; 0 selects GOMAXPROCS, 1 runs the
 	// sequential path. Set before serving queries (like the view cache).
 	par int
-	// chunk overrides DefaultScanChunk when positive (tests only).
+	// chunk pins a fixed scan chunk size when positive (tests only);
+	// otherwise the store sizes chunks adaptively by byte budget.
 	chunk int
 }
 
@@ -57,34 +59,45 @@ type PartialResult struct {
 }
 
 // Execute parses, plans, runs and finalizes a query on this node.
-func (e *Engine) Execute(sql string) (*Result, error) {
+// Cancelling ctx aborts the scan between segments (sequential path) or
+// chunks (parallel path) and returns ctx.Err().
+func (e *Engine) Execute(ctx context.Context, sql string) (*Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteQuery(q)
+	return e.ExecuteQuery(ctx, q)
 }
 
 // ExecuteQuery runs a parsed query on this node.
-func (e *Engine) ExecuteQuery(q *sqlparse.Query) (*Result, error) {
-	partial, err := e.ExecutePartial(q)
-	if err != nil {
-		return nil, err
-	}
-	return e.Finalize(q, []*PartialResult{partial})
-}
-
-// ExecutePartial runs the worker-side part of a query: scan, iterate
-// and per-group partial aggregation (Algorithm 5 lines 9-13).
-func (e *Engine) ExecutePartial(q *sqlparse.Query) (*PartialResult, error) {
+func (e *Engine) ExecuteQuery(ctx context.Context, q *sqlparse.Query) (*Result, error) {
 	p, err := e.compile(q)
 	if err != nil {
 		return nil, err
 	}
-	if p.isAggregate {
-		return e.runAggregate(p)
+	partial, err := e.runPlan(ctx, p)
+	if err != nil {
+		return nil, err
 	}
-	return e.runSelect(p)
+	return e.finalizePlan(p, []*PartialResult{partial})
+}
+
+// ExecutePartial runs the worker-side part of a query: scan, iterate
+// and per-group partial aggregation (Algorithm 5 lines 9-13).
+func (e *Engine) ExecutePartial(ctx context.Context, q *sqlparse.Query) (*PartialResult, error) {
+	p, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.runPlan(ctx, p)
+}
+
+// runPlan executes a compiled plan's worker-side part.
+func (e *Engine) runPlan(ctx context.Context, p *plan) (*PartialResult, error) {
+	if p.isAggregate {
+		return e.runAggregate(ctx, p)
+	}
+	return e.runSelect(ctx, p)
 }
 
 // plan is a compiled query.
@@ -436,12 +449,12 @@ func (p *plan) scanFilter() storage.Filter {
 // runAggregate executes an aggregate query (Algorithms 5 and 6),
 // fanning the segment scan out to a worker pool when parallelism
 // allows; one worker falls back to the sequential scan.
-func (e *Engine) runAggregate(p *plan) (*PartialResult, error) {
+func (e *Engine) runAggregate(ctx context.Context, p *plan) (*PartialResult, error) {
 	if n := e.workers(); n > 1 {
-		return e.runAggregatePar(p, n)
+		return e.runAggregatePar(ctx, p, n)
 	}
 	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
-	err := e.store.Scan(p.scanFilter(), func(seg *core.Segment) error {
+	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
 		return e.aggregateSegment(p, seg, out.Groups)
 	})
 	if err != nil {
@@ -606,12 +619,12 @@ func (e *Engine) aggregatePoints(p *plan, seg *core.Segment, view models.AggView
 // runSelect executes a non-aggregate query, returning raw rows. Like
 // runAggregate it shards the scan over the worker pool when the engine
 // has parallelism to spend.
-func (e *Engine) runSelect(p *plan) (*PartialResult, error) {
+func (e *Engine) runSelect(ctx context.Context, p *plan) (*PartialResult, error) {
 	if n := e.workers(); n > 1 {
-		return e.runSelectPar(p, n)
+		return e.runSelectPar(ctx, p, n)
 	}
 	out := &PartialResult{Columns: p.outColumns}
-	err := e.store.Scan(p.scanFilter(), func(seg *core.Segment) error {
+	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
 		return e.selectSegment(p, seg, &out.Rows)
 	})
 	if err != nil {
@@ -692,6 +705,13 @@ func (e *Engine) Finalize(q *sqlparse.Query, partials []*PartialResult) (*Result
 	if err != nil {
 		return nil, err
 	}
+	return e.finalizePlan(p, partials)
+}
+
+// finalizePlan is Finalize over an already-compiled plan, so callers
+// that hold one (ExecuteQuery, QueryRows) compile only once.
+func (e *Engine) finalizePlan(p *plan, partials []*PartialResult) (*Result, error) {
+	q := p.q
 	res := &Result{Columns: p.outColumns}
 	if !p.isAggregate {
 		for _, part := range partials {

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -108,7 +109,7 @@ func newFixture(t *testing.T) *fixture {
 
 func mustQuery(t *testing.T, f *fixture, sql string) *Result {
 	t.Helper()
-	res, err := f.eng.Execute(sql)
+	res, err := f.eng.Execute(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("Execute(%q): %v", sql, err)
 	}
@@ -339,7 +340,7 @@ func TestGapsColumn(t *testing.T) {
 		t.Fatalf("Gaps = %q, want [] for a gapless segment", got)
 	}
 	// Gaps is a Segment-view column only.
-	if _, err := f.eng.Execute("SELECT Gaps FROM DataPoint"); err == nil {
+	if _, err := f.eng.Execute(context.Background(), "SELECT Gaps FROM DataPoint"); err == nil {
 		t.Fatal("Gaps on the DataPoint view must fail")
 	}
 }
@@ -404,7 +405,7 @@ func TestGapsExcludedFromAggregates(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(store, meta, models.NewBuiltinRegistry(), schema)
-	res, err := eng.Execute("SELECT Tid, COUNT_S(*), SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+	res, err := eng.Execute(context.Background(), "SELECT Tid, COUNT_S(*), SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestDistributedMergeMatchesSingleNode(t *testing.T) {
 	memberFn := func(gid core.Gid) []core.Tid { return f.meta.TidsOf(gid) }
 	w1 := storage.NewMemStore(memberFn)
 	w2 := storage.NewMemStore(memberFn)
-	f.store.Scan(storage.Filter{From: math.MinInt64 / 4, To: math.MaxInt64 / 4}, func(s *core.Segment) error {
+	f.store.Scan(context.Background(), storage.Filter{From: math.MinInt64 / 4, To: math.MaxInt64 / 4}, func(s *core.Segment) error {
 		if s.Gid == 1 {
 			return w1.Insert(s)
 		}
@@ -437,11 +438,11 @@ func TestDistributedMergeMatchesSingleNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, err := e1.ExecutePartial(q)
+	p1, err := e1.ExecutePartial(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := e2.ExecutePartial(q)
+	p2, err := e2.ExecutePartial(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +486,7 @@ func TestQueryErrors(t *testing.T) {
 		"SELECT Entity FROM Segment WHERE Category = 5",         // member compared to number
 	}
 	for _, sql := range bad {
-		if _, err := f.eng.Execute(sql); err == nil {
+		if _, err := f.eng.Execute(context.Background(), sql); err == nil {
 			t.Errorf("Execute(%q) unexpectedly succeeded", sql)
 		}
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -23,11 +24,11 @@ import (
 // of goroutine scheduling, and non-aggregate queries return rows in
 // exactly the sequential scan order. Aggregate results can differ from
 // the sequential path only in floating-point association order.
-
-// DefaultScanChunk is the number of segments per unit of parallel scan
-// work: small enough to balance load across workers, large enough to
-// amortize channel traffic over many segments.
-const DefaultScanChunk = 32
+//
+// Cancellation: the producer checks the context between chunks (inside
+// ScanChunks) and every worker checks it before materializing a chunk,
+// so a cancelled query stops within one chunk of work per goroutine
+// and the pool drains before scanParallel returns.
 
 // SetParallelism sets the scan worker count used by Execute,
 // ExecuteQuery and ExecutePartial: n == 1 forces the sequential
@@ -49,13 +50,15 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// scanChunkSize resolves the chunk size; tests shrink it to force many
-// chunks through the pool.
+// scanChunkSize resolves the chunk size: tests pin a small fixed size
+// to force many chunks through the pool; by default the store sizes
+// chunks adaptively toward its byte budget (storage.ChunkByteBudget),
+// so tiny segments coalesce instead of becoming degenerate chunks.
 func (e *Engine) scanChunkSize() int {
 	if e.chunk > 0 {
 		return e.chunk
 	}
-	return DefaultScanChunk
+	return 0
 }
 
 // errScanAborted tells ScanChunks to stop early because a worker
@@ -80,18 +83,20 @@ type chunkResult struct {
 // scan order, merging incrementally so only out-of-order results are
 // retained (bounded by the pool, not the scan). fn runs concurrently
 // from multiple goroutines and must only touch its own chunk's state;
-// consume runs on the calling goroutine.
-func (e *Engine) scanParallel(p *plan, n int, fn func([]*core.Segment) (any, error), consume func(any)) error {
+// consume runs on the calling goroutine, and a non-nil error from it
+// aborts the scan (the pool drains before scanParallel returns).
+func (e *Engine) scanParallel(ctx context.Context, p *plan, n int, fn func([]*core.Segment) (any, error), consume func(any) error) error {
 	jobs := make(chan chunkJob, n)
 	results := make(chan chunkResult, n)
 	done := make(chan struct{})
 	prodErr := make(chan error, 1)
 
 	// Producer: enumerate chunks in scan order. ScanChunks only walks
-	// the store's index; segment decoding happens on the workers.
+	// the store's index (checking ctx between chunks); segment decoding
+	// happens on the workers.
 	go func() {
 		seq := 0
-		err := e.store.ScanChunks(p.scanFilter(), e.scanChunkSize(), func(c storage.Chunk) error {
+		err := e.store.ScanChunks(ctx, p.scanFilter(), e.scanChunkSize(), func(c storage.Chunk) error {
 			select {
 			case jobs <- chunkJob{seq: seq, chunk: c}:
 				seq++
@@ -118,10 +123,14 @@ func (e *Engine) scanParallel(p *plan, n int, fn func([]*core.Segment) (any, err
 					return // aborted: skip chunks already queued
 				default:
 				}
-				segs, err := job.chunk.Segments()
+				err := ctx.Err()
 				var val any
 				if err == nil {
-					val, err = fn(segs)
+					var segs []*core.Segment
+					segs, err = job.chunk.Segments()
+					if err == nil {
+						val, err = fn(segs)
+					}
 				}
 				select {
 				case results <- chunkResult{seq: job.seq, val: val, err: err}:
@@ -157,7 +166,10 @@ func (e *Engine) scanParallel(p *plan, n int, fn func([]*core.Segment) (any, err
 		for val, ok := pending[next]; ok; val, ok = pending[next] {
 			delete(pending, next)
 			next++
-			consume(val)
+			if err := consume(val); err != nil {
+				abort(err)
+				break
+			}
 		}
 	}
 	if err := <-prodErr; err != nil && firstErr == nil {
@@ -170,9 +182,9 @@ func (e *Engine) scanParallel(p *plan, n int, fn func([]*core.Segment) (any, err
 // chunk aggregates into its own GroupState map (ExecutePartial's
 // iterate step), and the chunk partials merge in scan order exactly
 // like cluster partials merge in Finalize.
-func (e *Engine) runAggregatePar(p *plan, n int) (*PartialResult, error) {
+func (e *Engine) runAggregatePar(ctx context.Context, p *plan, n int) (*PartialResult, error) {
 	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
-	err := e.scanParallel(p, n, func(segs []*core.Segment) (any, error) {
+	err := e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
 		groups := map[string]*GroupState{}
 		for _, seg := range segs {
 			if err := e.aggregateSegment(p, seg, groups); err != nil {
@@ -180,8 +192,9 @@ func (e *Engine) runAggregatePar(p *plan, n int) (*PartialResult, error) {
 			}
 		}
 		return groups, nil
-	}, func(part any) {
+	}, func(part any) error {
 		mergeGroups(out.Groups, part.(map[string]*GroupState))
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -210,9 +223,9 @@ func mergeGroups(dst, src map[string]*GroupState) {
 // runSelectPar is the parallel counterpart of runSelect: each chunk
 // projects its rows independently and the per-chunk row slices
 // concatenate in scan order, reproducing the sequential row order.
-func (e *Engine) runSelectPar(p *plan, n int) (*PartialResult, error) {
+func (e *Engine) runSelectPar(ctx context.Context, p *plan, n int) (*PartialResult, error) {
 	out := &PartialResult{Columns: p.outColumns}
-	err := e.scanParallel(p, n, func(segs []*core.Segment) (any, error) {
+	err := e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
 		var rows [][]any
 		for _, seg := range segs {
 			if err := e.selectSegment(p, seg, &rows); err != nil {
@@ -220,8 +233,9 @@ func (e *Engine) runSelectPar(p *plan, n int) (*PartialResult, error) {
 			}
 		}
 		return rows, nil
-	}, func(part any) {
+	}, func(part any) error {
 		out.Rows = append(out.Rows, part.([][]any)...)
+		return nil
 	})
 	if err != nil {
 		return nil, err

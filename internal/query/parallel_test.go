@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -143,13 +144,13 @@ func TestPropertyParallelEqualsSequential(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			sql := randomSQL(rng, eng.meta.NumSeries())
 			eng.SetParallelism(1)
-			seq, err := eng.Execute(sql)
+			seq, err := eng.Execute(context.Background(), sql)
 			if err != nil {
 				t.Logf("sequential %q: %v", sql, err)
 				return false
 			}
 			eng.SetParallelism(n)
-			par, err := eng.Execute(sql)
+			par, err := eng.Execute(context.Background(), sql)
 			if err != nil {
 				t.Logf("parallel %q: %v", sql, err)
 				return false
@@ -177,12 +178,12 @@ func TestPropertyParallelWithinBoundOnNoisyData(t *testing.T) {
 		}
 		sql := "SELECT Tid, COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid ORDER BY Tid"
 		eng.SetParallelism(1)
-		seq, err := eng.Execute(sql)
+		seq, err := eng.Execute(context.Background(), sql)
 		if err != nil {
 			return false
 		}
 		eng.SetParallelism(4)
-		par, err := eng.Execute(sql)
+		par, err := eng.Execute(context.Background(), sql)
 		if err != nil {
 			return false
 		}
@@ -218,12 +219,12 @@ func TestParallelDeterministic(t *testing.T) {
 	}
 	eng.SetParallelism(8)
 	sql := "SELECT Park, SUM_S(*), COUNT_S(*) FROM Segment GROUP BY Park ORDER BY Park"
-	first, err := eng.Execute(sql)
+	first, err := eng.Execute(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		res, err := eng.Execute(sql)
+		res, err := eng.Execute(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,9 +247,9 @@ func (errChunk) Segments() ([]*core.Segment, error) {
 	return nil, fmt.Errorf("synthetic chunk failure")
 }
 
-func (s *errStore) ScanChunks(f storage.Filter, chunkSize int, emit func(storage.Chunk) error) error {
+func (s *errStore) ScanChunks(ctx context.Context, f storage.Filter, chunkSize int, emit func(storage.Chunk) error) error {
 	n := 0
-	return s.SegmentStore.ScanChunks(f, chunkSize, func(c storage.Chunk) error {
+	return s.SegmentStore.ScanChunks(ctx, f, chunkSize, func(c storage.Chunk) error {
 		if n >= s.failAfter {
 			return emit(errChunk{})
 		}
@@ -262,8 +263,9 @@ func (s *errStore) ScanChunks(f storage.Filter, chunkSize int, emit func(storage
 func TestParallelScanErrorPropagates(t *testing.T) {
 	eng := intDB(t, 2)
 	eng.store = &errStore{SegmentStore: eng.store, failAfter: 1}
+	eng.chunk = 2 // force several chunks so one past failAfter exists
 	eng.SetParallelism(4)
-	if _, err := eng.Execute("SELECT SUM_S(*) FROM Segment"); err == nil {
+	if _, err := eng.Execute(context.Background(), "SELECT SUM_S(*) FROM Segment"); err == nil {
 		t.Fatal("expected synthetic chunk failure to propagate")
 	}
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -90,11 +91,11 @@ func TestPropertySegmentViewEqualsDataPointView(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		seg, err := eng.Execute("SELECT Tid, COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+		seg, err := eng.Execute(context.Background(), "SELECT Tid, COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 		if err != nil {
 			return false
 		}
-		dp, err := eng.Execute("SELECT Tid, COUNT(*), SUM(Value), MIN(Value), MAX(Value) FROM DataPoint GROUP BY Tid ORDER BY Tid")
+		dp, err := eng.Execute(context.Background(), "SELECT Tid, COUNT(*), SUM(Value), MIN(Value), MAX(Value) FROM DataPoint GROUP BY Tid ORDER BY Tid")
 		if err != nil {
 			return false
 		}
@@ -134,7 +135,7 @@ func TestPropertyAggregatesWithinBound(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := eng.Execute("SELECT Tid, COUNT_S(*), SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+		res, err := eng.Execute(context.Background(), "SELECT Tid, COUNT_S(*), SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 		if err != nil {
 			return false
 		}
@@ -175,7 +176,7 @@ func TestPropertyRollupBucketsSumToTotal(t *testing.T) {
 			return false
 		}
 		level := levels[int(levelIdx)%len(levels)]
-		total, err := eng.Execute("SELECT SUM_S(*) FROM Segment")
+		total, err := eng.Execute(context.Background(), "SELECT SUM_S(*) FROM Segment")
 		if err != nil {
 			return false
 		}
@@ -183,7 +184,7 @@ func TestPropertyRollupBucketsSumToTotal(t *testing.T) {
 			return true
 		}
 		want := total.Rows[0][0].(float64)
-		buckets, err := eng.Execute(fmt.Sprintf("SELECT CUBE_SUM_%s(*) FROM Segment", level))
+		buckets, err := eng.Execute(context.Background(), fmt.Sprintf("SELECT CUBE_SUM_%s(*) FROM Segment", level))
 		if err != nil {
 			return false
 		}
@@ -209,7 +210,7 @@ func TestPropertyPointQueriesMatchTruth(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := eng.Execute("SELECT Tid, TS, Value FROM DataPoint")
+		res, err := eng.Execute(context.Background(), "SELECT Tid, TS, Value FROM DataPoint")
 		if err != nil {
 			return false
 		}
@@ -256,15 +257,15 @@ func TestPropertyCacheTransparent(t *testing.T) {
 			"SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
 			"SELECT Park, CUBE_SUM_MINUTE(*) FROM Segment GROUP BY Park ORDER BY Park",
 		} {
-			a, err := engA.Execute(sql)
+			a, err := engA.Execute(context.Background(), sql)
 			if err != nil {
 				return false
 			}
 			// Run twice so the second pass hits the cache.
-			if _, err := engB.Execute(sql); err != nil {
+			if _, err := engB.Execute(context.Background(), sql); err != nil {
 				return false
 			}
-			b, err := engB.Execute(sql)
+			b, err := engB.Execute(context.Background(), sql)
 			if err != nil {
 				return false
 			}

@@ -1,0 +1,257 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"modelardb/internal/core"
+	"modelardb/internal/sqlparse"
+)
+
+// Rows is a database/sql-style streaming cursor over a query's result.
+// Non-aggregate queries without ORDER BY stream rows incrementally from
+// the scan — the parallel executor's in-order merge feeds the cursor
+// chunk by chunk, so the first row is available long before the scan
+// completes and an early Close (or a cancelled context) stops the scan
+// and drains the worker pool within one chunk of work per goroutine.
+// Aggregate and ORDER BY queries cannot produce a row before the whole
+// scan finishes; for those the cursor materializes the result first
+// and then iterates it, so the API is uniform across query shapes.
+//
+// A Rows must be used from a single goroutine:
+//
+//	rows, err := eng.QueryRows(ctx, q)
+//	...
+//	defer rows.Close()
+//	for rows.Next() {
+//		var tid, ts int64
+//		var v float64
+//		if err := rows.Scan(&tid, &ts, &v); err != nil ...
+//	}
+//	if err := rows.Err(); err != nil ...
+type Rows struct {
+	cols []string
+
+	// Streaming state; batches is nil once the producer has finished
+	// (or when the cursor was built from a materialized result).
+	batches chan [][]any
+	errc    chan error
+	cancel  context.CancelFunc
+
+	cur    [][]any
+	idx    int
+	row    []any
+	err    error
+	closed bool
+}
+
+// rowsBatchSize bounds how many buffered rows a streaming producer
+// accumulates before handing a batch to the cursor.
+const rowsBatchSize = 256
+
+// errRowsLimit stops a streaming producer once LIMIT rows were
+// delivered; it never escapes to callers.
+var errRowsLimit = errors.New("query: row limit reached")
+
+// QueryRows executes a parsed query and returns a streaming cursor.
+// Cancelling ctx aborts the underlying scan; Close releases the cursor
+// early and drains the executor's worker pool.
+func (e *Engine) QueryRows(ctx context.Context, q *sqlparse.Query) (*Rows, error) {
+	p, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if p.isAggregate || len(q.OrderBy) > 0 {
+		// No row can be emitted before the scan completes; run the query
+		// to completion (on the plan already compiled above) and iterate
+		// the finished result.
+		partial, err := e.runPlan(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.finalizePlan(p, []*PartialResult{partial})
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{cols: res.Columns, cur: res.Rows}, nil
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	r := &Rows{
+		cols:    p.outColumns,
+		batches: make(chan [][]any, 1),
+		errc:    make(chan error, 1),
+		cancel:  cancel,
+	}
+	go e.streamRows(ctx, rctx, p, q.Limit, r)
+	return r, nil
+}
+
+// streamRows is the cursor's producer goroutine: it runs the scan
+// (parallel or sequential), pushes row batches to the cursor in scan
+// order and reports the terminal error. ctx is the caller's context,
+// rctx the cursor-scoped one cancelled by Close.
+func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Rows) {
+	sent := 0
+	push := func(rows [][]any) error {
+		for len(rows) > 0 {
+			n := min(len(rows), rowsBatchSize)
+			batch := rows[:n:n]
+			rows = rows[n:]
+			if limit >= 0 {
+				if sent >= limit {
+					return errRowsLimit
+				}
+				if sent+len(batch) > limit {
+					batch = batch[:limit-sent]
+				}
+			}
+			select {
+			case r.batches <- batch:
+				sent += len(batch)
+			case <-rctx.Done():
+				return rctx.Err()
+			}
+			if limit >= 0 && sent >= limit {
+				return errRowsLimit
+			}
+		}
+		return nil
+	}
+	var err error
+	if n := e.workers(); n > 1 {
+		err = e.scanParallel(rctx, p, n, func(segs []*core.Segment) (any, error) {
+			var rows [][]any
+			for _, seg := range segs {
+				if err := e.selectSegment(p, seg, &rows); err != nil {
+					return nil, err
+				}
+			}
+			return rows, nil
+		}, func(part any) error {
+			return push(part.([][]any))
+		})
+	} else {
+		err = e.store.Scan(rctx, p.scanFilter(), func(seg *core.Segment) error {
+			var rows [][]any
+			if err := e.selectSegment(p, seg, &rows); err != nil {
+				return err
+			}
+			return push(rows)
+		})
+	}
+	switch {
+	case errors.Is(err, errRowsLimit):
+		// LIMIT satisfied: a clean end of the stream.
+		err = nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Either the caller's context fired (report its error) or the
+		// cursor itself was closed early (a clean stop: ctx is intact).
+		err = ctx.Err()
+	}
+	r.errc <- err
+	close(r.batches)
+}
+
+// Columns returns the result's column labels.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, returning false when no more rows are
+// available — because the result is exhausted, an error occurred or the
+// cursor was closed. After Next returns false, Err separates clean
+// exhaustion from failure.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	for r.idx >= len(r.cur) {
+		if r.batches == nil {
+			return false
+		}
+		batch, ok := <-r.batches
+		if !ok {
+			r.err = <-r.errc
+			r.batches = nil
+			r.cur, r.idx = nil, 0
+			return false
+		}
+		r.cur, r.idx = batch, 0
+	}
+	r.row = r.cur[r.idx]
+	r.idx++
+	return true
+}
+
+// Row returns the current row's values. The slice is only valid until
+// the next call to Next.
+func (r *Rows) Row() []any {
+	return r.row
+}
+
+// Scan copies the current row into dest, which must hold one pointer
+// per column: *any accepts every value, and *int64, *float64, *string
+// must match the column's dynamic type.
+func (r *Rows) Scan(dest ...any) error {
+	if r.row == nil {
+		return errors.New("query: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.row) {
+		return fmt.Errorf("query: Scan got %d destinations for %d columns", len(dest), len(r.row))
+	}
+	for i, d := range dest {
+		v := r.row[i]
+		switch p := d.(type) {
+		case *any:
+			*p = v
+		case *int64:
+			x, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("query: column %s is %T, not int64", r.cols[i], v)
+			}
+			*p = x
+		case *float64:
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("query: column %s is %T, not float64", r.cols[i], v)
+			}
+			*p = x
+		case *string:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("query: column %s is %T, not string", r.cols[i], v)
+			}
+			*p = x
+		default:
+			return fmt.Errorf("query: unsupported Scan destination %T", d)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. A cursor
+// closed early, or one that delivered all rows, reports nil.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor: the scan is cancelled, the worker pool
+// drained and remaining rows discarded. Close is idempotent and safe
+// after exhaustion; it never discards a real query error already
+// observed (Err stays set).
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.cancel != nil {
+		r.cancel()
+	}
+	if r.batches != nil {
+		// Unblock and wait out the producer so no goroutine outlives the
+		// cursor; its terminal error is irrelevant after an early close.
+		for range r.batches {
+		}
+		<-r.errc
+		r.batches = nil
+	}
+	r.cur, r.row = nil, nil
+	return nil
+}

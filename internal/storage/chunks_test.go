@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -13,7 +15,7 @@ import (
 func scanAll(t *testing.T, s SegmentStore, f Filter) []*core.Segment {
 	t.Helper()
 	var out []*core.Segment
-	if err := s.Scan(f, func(seg *core.Segment) error {
+	if err := s.Scan(context.Background(), f, func(seg *core.Segment) error {
 		out = append(out, seg)
 		return nil
 	}); err != nil {
@@ -26,7 +28,7 @@ func scanAll(t *testing.T, s SegmentStore, f Filter) []*core.Segment {
 func chunkAll(t *testing.T, s SegmentStore, f Filter, chunkSize int) []*core.Segment {
 	t.Helper()
 	var out []*core.Segment
-	err := s.ScanChunks(f, chunkSize, func(c Chunk) error {
+	err := s.ScanChunks(context.Background(), f, chunkSize, func(c Chunk) error {
 		segs, err := c.Segments()
 		if err != nil {
 			return err
@@ -116,7 +118,7 @@ func TestChunksMaterializeConcurrently(t *testing.T) {
 				t.Fatal(err)
 			}
 			var chunks []Chunk
-			if err := s.ScanChunks(AllTime(), 8, func(c Chunk) error {
+			if err := s.ScanChunks(context.Background(), AllTime(), 8, func(c Chunk) error {
 				chunks = append(chunks, c)
 				return nil
 			}); err != nil {
@@ -143,6 +145,110 @@ func TestChunksMaterializeConcurrently(t *testing.T) {
 			}
 			if total != 64 {
 				t.Fatalf("concurrent materialization saw %d segments, want 64", total)
+			}
+		})
+	}
+}
+
+// TestScanChunksAdaptiveSizing: chunkSize <= 0 selects byte-budgeted
+// chunks, so many tiny segments coalesce into few chunks instead of
+// degenerate one-segment units of work, while concatenation still
+// reproduces the plain scan.
+func TestScanChunksAdaptiveSizing(t *testing.T) {
+	for _, fac := range factories() {
+		t.Run(fac.name, func(t *testing.T) {
+			s := fac.make(t)
+			defer s.Close()
+			const n = 500
+			for i := 0; i < n; i++ {
+				start := int64(i * 1000)
+				if err := s.Insert(makeSegment(core.Gid(i%2+1), start, start+900)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			chunks := 0
+			var got []*core.Segment
+			err := s.ScanChunks(context.Background(), AllTime(), 0, func(c Chunk) error {
+				chunks++
+				segs, err := c.Segments()
+				if err != nil {
+					return err
+				}
+				if len(segs) == 0 {
+					t.Fatal("adaptive chunk must not be empty")
+				}
+				got = append(got, segs...)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("adaptive chunks covered %d segments, want %d", len(got), n)
+			}
+			// The test segments are a few dozen bytes each, far below the
+			// budget, so they must coalesce well beyond one per chunk.
+			if chunks >= n/10 {
+				t.Fatalf("%d tiny segments produced %d chunks; budget must merge them", n, chunks)
+			}
+			want := scanAll(t, s, AllTime())
+			for i := range want {
+				if want[i].Gid != got[i].Gid || want[i].EndTime != got[i].EndTime {
+					t.Fatalf("segment %d differs from plain scan", i)
+				}
+			}
+		})
+	}
+}
+
+// TestScanRespectsContext: a cancelled context aborts Scan and
+// ScanChunks between segments with ctx.Err().
+func TestScanRespectsContext(t *testing.T) {
+	for _, fac := range factories() {
+		t.Run(fac.name, func(t *testing.T) {
+			s := fac.make(t)
+			defer s.Close()
+			for i := 0; i < 50; i++ {
+				start := int64(i * 1000)
+				if err := s.Insert(makeSegment(1, start, start+900)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			seen := 0
+			err := s.Scan(ctx, AllTime(), func(*core.Segment) error {
+				seen++
+				if seen == 3 {
+					cancel()
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Scan after cancel = %v, want context.Canceled", err)
+			}
+			if seen != 3 {
+				t.Fatalf("Scan visited %d segments after cancel, want 3", seen)
+			}
+			ctx2, cancel2 := context.WithCancel(context.Background())
+			chunks := 0
+			err = s.ScanChunks(ctx2, AllTime(), 5, func(Chunk) error {
+				chunks++
+				if chunks == 2 {
+					cancel2()
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("ScanChunks after cancel = %v, want context.Canceled", err)
+			}
+			if chunks != 2 {
+				t.Fatalf("ScanChunks emitted %d chunks after cancel, want 2", chunks)
 			}
 		})
 	}

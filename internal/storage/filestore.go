@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -304,13 +305,16 @@ func (s *FileStore) readRefs(refs []recordRef) ([]*core.Segment, error) {
 // records are read back from the log. Buffered segments are flushed
 // first so queries during ingestion see all data (online analytics,
 // §3.1).
-func (s *FileStore) Scan(f Filter, fn func(*core.Segment) error) error {
+func (s *FileStore) Scan(ctx context.Context, f Filter, fn func(*core.Segment) error) error {
 	refs, err := s.collectRefs(f)
 	if err != nil {
 		return err
 	}
 	buf := make([]byte, 0, 4096)
 	for _, ref := range refs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var seg *core.Segment
 		seg, buf, err = s.readRef(ref, buf)
 		if err != nil {
@@ -335,20 +339,22 @@ func (c fileChunk) Segments() ([]*core.Segment, error) { return c.store.readRefs
 
 // ScanChunks implements SegmentStore. Only the index is consulted up
 // front; each chunk holds record locations and reads the log lazily.
-func (s *FileStore) ScanChunks(f Filter, chunkSize int, emit func(Chunk) error) error {
-	if chunkSize < 1 {
-		chunkSize = 1
-	}
+// The adaptive sizing (chunkSize <= 0) budgets chunks by exact on-disk
+// record length, so one chunk decodes roughly ChunkByteBudget of log.
+func (s *FileStore) ScanChunks(ctx context.Context, f Filter, chunkSize int, emit func(Chunk) error) error {
 	refs, err := s.collectRefs(f)
 	if err != nil {
 		return err
 	}
-	for len(refs) > 0 {
-		n := min(chunkSize, len(refs))
-		if err := emit(fileChunk{store: s, refs: refs[:n:n]}); err != nil {
+	for i := 0; i < len(refs); {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		refs = refs[n:]
+		end := chunkEnd(i, len(refs), chunkSize, func(j int) int64 { return int64(refs[j].length) })
+		if err := emit(fileChunk{store: s, refs: refs[i:end:end]}); err != nil {
+			return err
+		}
+		i = end
 	}
 	return nil
 }

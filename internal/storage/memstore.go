@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -106,11 +107,14 @@ func (s *MemStore) collect(f Filter) []*core.Segment {
 }
 
 // Scan implements SegmentStore with EndTime push-down per group.
-func (s *MemStore) Scan(f Filter, fn func(*core.Segment) error) error {
+func (s *MemStore) Scan(ctx context.Context, f Filter, fn func(*core.Segment) error) error {
 	s.mu.RLock()
 	matched := s.collect(f)
 	s.mu.RUnlock()
 	for _, seg := range matched {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := fn(seg); err != nil {
 			return err
 		}
@@ -124,21 +128,27 @@ type memChunk []*core.Segment
 // Segments implements Chunk.
 func (c memChunk) Segments() ([]*core.Segment, error) { return c, nil }
 
+// memSegSize approximates a memory segment's stored size for the
+// adaptive chunk budget without re-encoding it.
+func memSegSize(seg *core.Segment) int64 {
+	return int64(len(seg.Params)) + int64(len(seg.GapTids)) + 32
+}
+
 // ScanChunks implements SegmentStore. Memory segments are already
 // decoded, so chunks are plain sub-slices of the matched snapshot.
-func (s *MemStore) ScanChunks(f Filter, chunkSize int, emit func(Chunk) error) error {
-	if chunkSize < 1 {
-		chunkSize = 1
-	}
+func (s *MemStore) ScanChunks(ctx context.Context, f Filter, chunkSize int, emit func(Chunk) error) error {
 	s.mu.RLock()
 	matched := s.collect(f)
 	s.mu.RUnlock()
-	for len(matched) > 0 {
-		n := min(chunkSize, len(matched))
-		if err := emit(memChunk(matched[:n:n])); err != nil {
+	for i := 0; i < len(matched); {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		matched = matched[n:]
+		end := chunkEnd(i, len(matched), chunkSize, func(j int) int64 { return memSegSize(matched[j]) })
+		if err := emit(memChunk(matched[i:end:end])); err != nil {
+			return err
+		}
+		i = end
 	}
 	return nil
 }

@@ -7,6 +7,8 @@
 package storage
 
 import (
+	"context"
+
 	"modelardb/internal/core"
 )
 
@@ -48,6 +50,40 @@ type Chunk interface {
 	Segments() ([]*core.Segment, error)
 }
 
+// Adaptive chunk sizing: when ScanChunks is called with chunkSize <= 0
+// the store sizes chunks itself, accumulating segments until a chunk
+// reaches ChunkByteBudget bytes of stored data or AdaptiveMaxSegments
+// segments, whichever comes first. Tiny segments (small groups, short
+// models) coalesce into full-sized units of work instead of producing
+// degenerate one-segment chunks, while a few large segments still form
+// a chunk quickly.
+const (
+	// ChunkByteBudget is the target stored size of one adaptive chunk.
+	ChunkByteBudget = 256 << 10
+	// AdaptiveMaxSegments caps an adaptive chunk's segment count so a
+	// long run of empty-ish segments cannot grow a chunk without bound.
+	AdaptiveMaxSegments = 1024
+)
+
+// chunkEnd returns the exclusive end index of the chunk starting at
+// start over n records: fixed-size when chunkSize > 0, byte-budgeted
+// (sizeAt reports record i's stored size) when chunkSize <= 0.
+func chunkEnd(start, n, chunkSize int, sizeAt func(int) int64) int {
+	if chunkSize > 0 {
+		return min(start+chunkSize, n)
+	}
+	var bytes int64
+	i := start
+	for i < n && i-start < AdaptiveMaxSegments {
+		bytes += sizeAt(i)
+		i++
+		if bytes >= ChunkByteBudget {
+			break
+		}
+	}
+	return i
+}
+
 // SegmentStore stores and retrieves segments. Implementations must be
 // safe for concurrent use by multiple goroutines.
 type SegmentStore interface {
@@ -56,16 +92,20 @@ type SegmentStore interface {
 	// Flush persists buffered writes.
 	Flush() error
 	// Scan calls fn for every stored segment matching the filter, in
-	// ascending (Gid, EndTime) order. fn errors abort the scan.
-	Scan(f Filter, fn func(*core.Segment) error) error
+	// ascending (Gid, EndTime) order. fn errors abort the scan, as does
+	// ctx cancellation (checked between segments); the scan then returns
+	// ctx.Err().
+	Scan(ctx context.Context, f Filter, fn func(*core.Segment) error) error
 	// ScanChunks shards the segments matching the filter into chunks of
-	// at most chunkSize segments, calling emit for each chunk in
+	// at most chunkSize segments (chunkSize <= 0 selects the adaptive
+	// byte-budget sizing above), calling emit for each chunk in
 	// ascending (Gid, EndTime) order. Chunk boundaries never split the
 	// match order, so concatenating all chunks reproduces Scan exactly.
 	// The chunks stay valid after ScanChunks returns and may be
 	// materialized concurrently from multiple goroutines; emit errors
-	// abort the enumeration.
-	ScanChunks(f Filter, chunkSize int, emit func(Chunk) error) error
+	// abort the enumeration, as does ctx cancellation (checked between
+	// chunks).
+	ScanChunks(ctx context.Context, f Filter, chunkSize int, emit func(Chunk) error) error
 	// Count returns the number of stored segments, including buffered.
 	Count() (int64, error)
 	// SizeBytes returns the serialized size of all stored segments,

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -75,7 +76,7 @@ func TestStoreInsertScan(t *testing.T) {
 				t.Fatalf("Count = %d, %v; want 11", n, err)
 			}
 			var got []*core.Segment
-			if err := s.Scan(AllTime(1), func(seg *core.Segment) error {
+			if err := s.Scan(context.Background(), AllTime(1), func(seg *core.Segment) error {
 				got = append(got, seg)
 				return nil
 			}); err != nil {
@@ -105,7 +106,7 @@ func TestStoreTimePushdown(t *testing.T) {
 				}
 			}
 			var got []*core.Segment
-			if err := s.Scan(TimeRange(25_000, 49_999, 1), func(seg *core.Segment) error {
+			if err := s.Scan(context.Background(), TimeRange(25_000, 49_999, 1), func(seg *core.Segment) error {
 				got = append(got, seg)
 				return nil
 			}); err != nil {
@@ -131,7 +132,7 @@ func TestStoreScanAllGroups(t *testing.T) {
 			s.Insert(makeSegment(2, 0, 900))
 			s.Insert(makeSegment(1, 0, 900))
 			var gids []core.Gid
-			if err := s.Scan(Filter{From: minTime, To: maxTime}, func(seg *core.Segment) error {
+			if err := s.Scan(context.Background(), Filter{From: minTime, To: maxTime}, func(seg *core.Segment) error {
 				gids = append(gids, seg.Gid)
 				return nil
 			}); err != nil {
@@ -153,7 +154,7 @@ func TestStoreScanErrorAborts(t *testing.T) {
 				s.Insert(makeSegment(1, int64(i*1000), int64(i*1000+900)))
 			}
 			calls := 0
-			err := s.Scan(AllTime(1), func(seg *core.Segment) error {
+			err := s.Scan(context.Background(), AllTime(1), func(seg *core.Segment) error {
 				calls++
 				return fmt.Errorf("boom")
 			})
@@ -178,7 +179,7 @@ func TestStoreGapsSurviveRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			var got *core.Segment
-			s.Scan(AllTime(1), func(seg *core.Segment) error { got = seg; return nil })
+			s.Scan(context.Background(), AllTime(1), func(seg *core.Segment) error { got = seg; return nil })
 			if got == nil || len(got.GapTids) != 1 || got.GapTids[0] != 2 {
 				t.Fatalf("gaps = %+v, want [2]", got)
 			}
@@ -208,7 +209,7 @@ func TestFileStoreReopen(t *testing.T) {
 		t.Fatalf("Count after reopen = %d, want 20", n)
 	}
 	count := 0
-	s2.Scan(AllTime(1), func(seg *core.Segment) error { count++; return nil })
+	s2.Scan(context.Background(), AllTime(1), func(seg *core.Segment) error { count++; return nil })
 	if count != 20 {
 		t.Fatalf("scan after reopen = %d, want 20", count)
 	}
@@ -300,7 +301,7 @@ func TestFileStoreBulkBuffer(t *testing.T) {
 		t.Fatalf("Count = %d, want 10 including buffered", n)
 	}
 	count := 0
-	s.Scan(AllTime(1), func(*core.Segment) error { count++; return nil })
+	s.Scan(context.Background(), AllTime(1), func(*core.Segment) error { count++; return nil })
 	if count != 10 {
 		t.Fatalf("Scan = %d, want 10 (scan flushes the buffer)", count)
 	}
@@ -368,7 +369,7 @@ func TestStoreQuickEquivalence(t *testing.T) {
 		gid := core.Gid(rng.Intn(2) + 1)
 		collect := func(s SegmentStore) []string {
 			var keys []string
-			s.Scan(TimeRange(from, to, gid), func(seg *core.Segment) error {
+			s.Scan(context.Background(), TimeRange(from, to, gid), func(seg *core.Segment) error {
 				keys = append(keys, fmt.Sprintf("%d/%d/%d", seg.Gid, seg.StartTime, seg.EndTime))
 				return nil
 			})

@@ -30,10 +30,12 @@
 package modelardb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"modelardb/internal/core"
 	"modelardb/internal/dims"
@@ -67,6 +69,8 @@ type (
 	MID = models.MID
 	// Result is a finished query result.
 	Result = query.Result
+	// Rows is a streaming cursor over a query's result (QueryRows).
+	Rows = query.Rows
 	// Segment is the stored unit of compressed data.
 	Segment = core.Segment
 	// Schema is a validated dimension schema.
@@ -153,9 +157,26 @@ type DB struct {
 	// per-point ingestion fast path.
 	series []*core.TimeSeries
 
-	mu        sync.Mutex
-	ingestors map[Gid]*core.GroupIngestor
-	points    int64
+	// shards holds one ingestion shard per group. The map is built in
+	// Open and immutable afterwards, so the ingestion hot path reads it
+	// without any lock; writers only take their own group's shard lock
+	// and therefore never serialize across groups.
+	shards map[Gid]*groupShard
+	closed atomic.Bool
+	points atomic.Int64
+	// flushMu serializes Flush with Close (never with Append), so a
+	// Flush racing Close either completes before the store closes or
+	// reports ErrClosed — never a write to a closed store.
+	flushMu sync.Mutex
+}
+
+// groupShard is one group's ingestion shard: the group's ingestor plus
+// the lock serializing writers of that group only. Queries never take
+// shard locks — they read the segment store, which has its own
+// synchronization.
+type groupShard struct {
+	mu sync.Mutex
+	gi *core.GroupIngestor
 }
 
 // ErrClosed is returned by operations on a closed database.
@@ -163,11 +184,16 @@ var ErrClosed = errors.New("modelardb: database is closed")
 
 // Open creates or reopens a database.
 func Open(cfg Config) (*DB, error) {
+	if cfg.QueryParallelism < 0 {
+		return nil, fmt.Errorf("modelardb: QueryParallelism %d is negative; use 0 for all cores or 1 for sequential scans", cfg.QueryParallelism)
+	}
+	if cfg.BulkWriteSize < 0 {
+		return nil, fmt.Errorf("modelardb: BulkWriteSize %d is negative; use 0 for the default (%d) or a positive buffer size", cfg.BulkWriteSize, storage.DefaultBulkWriteSize)
+	}
 	db := &DB{
-		cfg:       cfg,
-		meta:      core.NewMetadataCache(),
-		reg:       models.NewBuiltinRegistry(),
-		ingestors: make(map[Gid]*core.GroupIngestor),
+		cfg:  cfg,
+		meta: core.NewMetadataCache(),
+		reg:  models.NewBuiltinRegistry(),
 	}
 	for _, mt := range cfg.Models {
 		if err := db.reg.Register(mt); err != nil {
@@ -213,7 +239,28 @@ func Open(cfg Config) (*DB, error) {
 	db.engine.EnableViewCache(cfg.SegmentCacheSize)
 	db.engine.SetParallelism(cfg.QueryParallelism)
 	db.series = db.meta.AllSeries()
+	db.initShards()
 	return db, nil
+}
+
+// initShards builds the immutable per-group shard map: every group is
+// known after partitioning, so ingestion never mutates the map and
+// reads it lock-free.
+func (db *DB) initShards() {
+	db.shards = make(map[Gid]*groupShard, len(db.meta.Groups()))
+	for _, gid := range db.meta.Groups() {
+		cfg := core.IngestorConfig{
+			Generator: core.GeneratorConfig{
+				Registry:    db.reg,
+				Bound:       db.cfg.ErrorBound,
+				LengthLimit: db.cfg.LengthLimit,
+				OnSegment:   func(s *core.Segment) error { return db.store.Insert(s) },
+			},
+			SplitFraction:    db.cfg.SplitFraction,
+			DisableSplitting: db.cfg.DisableSplitting,
+		}
+		db.shards[gid] = &groupShard{gi: core.NewGroupIngestor(cfg, gid, db.siOf(gid), db.meta.TidsOf(gid))}
+	}
 }
 
 // initMeta validates the schema, registers the series, runs the
@@ -302,26 +349,6 @@ func (db *DB) saveMeta() error {
 	return storage.SaveMeta(db.cfg.Path, m)
 }
 
-// ingestorFor returns (creating on first use) the group's ingestor.
-func (db *DB) ingestorFor(gid Gid) *core.GroupIngestor {
-	if gi, ok := db.ingestors[gid]; ok {
-		return gi
-	}
-	cfg := core.IngestorConfig{
-		Generator: core.GeneratorConfig{
-			Registry:    db.reg,
-			Bound:       db.cfg.ErrorBound,
-			LengthLimit: db.cfg.LengthLimit,
-			OnSegment:   func(s *core.Segment) error { return db.store.Insert(s) },
-		},
-		SplitFraction:    db.cfg.SplitFraction,
-		DisableSplitting: db.cfg.DisableSplitting,
-	}
-	gi := core.NewGroupIngestor(cfg, gid, db.siOf(gid), db.meta.TidsOf(gid))
-	db.ingestors[gid] = gi
-	return gi
-}
-
 func (db *DB) siOf(gid Gid) int64 {
 	tids := db.meta.TidsOf(gid)
 	ts, _ := db.meta.Series(tids[0])
@@ -330,22 +357,26 @@ func (db *DB) siOf(gid Gid) int64 {
 
 // Append ingests one data point. Points of one group must arrive in
 // non-decreasing tick order; the value is multiplied by the series'
-// scaling constant before model fitting (§3.3).
+// scaling constant before model fitting (§3.3). Only writers of the
+// same group serialize — Append on different groups runs in parallel.
 func (db *DB) Append(tid Tid, ts int64, value float32) error {
 	if tid < 1 || int(tid) > len(db.series) {
 		return fmt.Errorf("%w: %d", core.ErrUnknownTid, tid)
 	}
 	series := db.series[tid-1]
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.ingestors == nil {
+	sh := db.shards[series.Gid]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Checked under the shard lock: Close marks the database closed
+	// before flushing the shards, so an append seeing closed == false
+	// here is always flushed and persisted by Close.
+	if db.closed.Load() {
 		return ErrClosed
 	}
-	gi := db.ingestorFor(series.Gid)
-	if err := gi.Append(tid, ts, value*series.Scaling); err != nil {
+	if err := sh.gi.Append(tid, ts, value*series.Scaling); err != nil {
 		return err
 	}
-	db.points++
+	db.points.Add(1)
 	return nil
 }
 
@@ -354,49 +385,145 @@ func (db *DB) AppendPoint(p DataPoint) error {
 	return db.Append(p.Tid, p.TS, p.Value)
 }
 
+// AppendBatch ingests a batch of data points, taking each group's
+// shard lock once per batch instead of once per point. Points are
+// partitioned by group with their relative order preserved, so the
+// per-group tick-order contract of Append carries over unchanged.
+// Concurrent AppendBatch calls touching disjoint groups do not
+// serialize at all — this is the high-throughput ingestion path for
+// multi-writer workloads.
+//
+// Cancelling ctx stops between groups and returns ctx.Err(); like a
+// failed Append, points of groups already processed remain ingested.
+func (db *DB) AppendBatch(ctx context.Context, points []DataPoint) error {
+	if len(points) == 0 {
+		return nil
+	}
+	// Partition by group, preserving arrival order within each group.
+	byGid := make(map[Gid][]DataPoint)
+	var order []Gid
+	for _, p := range points {
+		if p.Tid < 1 || int(p.Tid) > len(db.series) {
+			return fmt.Errorf("%w: %d", core.ErrUnknownTid, p.Tid)
+		}
+		gid := db.series[p.Tid-1].Gid
+		if _, ok := byGid[gid]; !ok {
+			order = append(order, gid)
+		}
+		byGid[gid] = append(byGid[gid], p)
+	}
+	for _, gid := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := db.appendGroup(gid, byGid[gid]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendGroup ingests one group's slice of a batch under its shard
+// lock.
+func (db *DB) appendGroup(gid Gid, points []DataPoint) error {
+	sh := db.shards[gid]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	for _, p := range points {
+		series := db.series[p.Tid-1]
+		if err := sh.gi.Append(p.Tid, p.TS, p.Value*series.Scaling); err != nil {
+			return err
+		}
+		db.points.Add(1)
+	}
+	return nil
+}
+
 // Flush finalizes all buffered data points into segments and persists
 // them.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.ingestors == nil {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	// Checked under flushMu: Close flips the flag before taking the
+	// lock, so a Flush either runs fully before Close's own flush or
+	// observes the closed state here.
+	if db.closed.Load() {
 		return ErrClosed
 	}
-	gids := make([]Gid, 0, len(db.ingestors))
-	for gid := range db.ingestors {
+	return db.flushShards()
+}
+
+// flushShards flushes every group's ingestor (in Gid order, for
+// deterministic segment emission) and then the store.
+func (db *DB) flushShards() error {
+	gids := make([]Gid, 0, len(db.shards))
+	for gid := range db.shards {
 		gids = append(gids, gid)
 	}
 	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 	for _, gid := range gids {
-		if err := db.ingestors[gid].Flush(); err != nil {
+		sh := db.shards[gid]
+		sh.mu.Lock()
+		err := sh.gi.Flush()
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return db.store.Flush()
 }
 
-// Query parses and executes a SQL query (§6.1).
+// Query parses and executes a SQL query (§6.1). It is the
+// compatibility wrapper over QueryContext with a background context.
 func (db *DB) Query(sql string) (*Result, error) {
-	return db.engine.Execute(sql)
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext parses and executes a SQL query. Cancelling ctx aborts
+// the scan within one chunk of work per executor goroutine and returns
+// ctx.Err().
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return db.engine.Execute(ctx, sql)
+}
+
+// QueryRows executes a SQL query and returns a streaming cursor
+// instead of a materialized Result: rows arrive incrementally from the
+// parallel executor in deterministic scan order, Close stops the scan
+// early and drains the worker pool, and cancelling ctx aborts it. Use
+// it for large point-data exports where materializing every row first
+// would thrash memory; aggregate and ORDER BY queries transparently
+// fall back to materialize-then-iterate.
+func (db *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.QueryRows(ctx, q)
 }
 
 // QueryParsed executes an already-parsed query.
 func (db *DB) QueryParsed(q *sqlparse.Query) (*Result, error) {
-	return db.engine.ExecuteQuery(q)
+	return db.engine.ExecuteQuery(context.Background(), q)
 }
 
 // Engine exposes the query engine for distributed execution (partial
 // execution on workers, merge on the master).
 func (db *DB) Engine() *query.Engine { return db.engine }
 
-// Close flushes and releases the database.
+// Close flushes and releases the database. Appends and Flushes racing
+// with Close either complete (and are persisted) or return ErrClosed.
 func (db *DB) Close() error {
-	if err := db.Flush(); err != nil {
+	if db.closed.Swap(true) {
+		return ErrClosed
+	}
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	if err := db.flushShards(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	db.ingestors = nil
-	db.mu.Unlock()
 	return db.store.Close()
 }
 
@@ -424,9 +551,7 @@ func (db *DB) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	db.mu.Lock()
-	points := db.points
-	db.mu.Unlock()
+	points := db.points.Load()
 	return Stats{
 		Series:       db.meta.NumSeries(),
 		Groups:       len(db.meta.Groups()),
@@ -442,7 +567,7 @@ func (db *DB) Stats() (Stats, error) {
 func (db *DB) ModelUsage() (map[string]float64, error) {
 	counts := map[MID]int64{}
 	var total int64
-	err := db.store.Scan(storage.AllTime(), func(s *core.Segment) error {
+	err := db.store.Scan(context.Background(), storage.AllTime(), func(s *core.Segment) error {
 		counts[s.MID]++
 		total++
 		return nil

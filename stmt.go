@@ -1,0 +1,47 @@
+package modelardb
+
+import (
+	"context"
+
+	"modelardb/internal/sqlparse"
+)
+
+// Stmt is a prepared query: the SQL text is parsed once by Prepare and
+// the parsed form reused across executions, so a hot query served many
+// times (a dashboard tile, a periodic export) skips lexing and parsing
+// on every call. A Stmt is immutable and safe for concurrent use by
+// multiple goroutines; each execution carries its own context.
+type Stmt struct {
+	db  *DB
+	sql string
+	q   *sqlparse.Query
+}
+
+// Prepare parses a SQL query for repeated execution. Parse errors are
+// reported here, once, instead of on every execution.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, sql: sql, q: q}, nil
+}
+
+// SQL returns the statement's original query text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// Query executes the prepared query, materializing the full Result.
+func (s *Stmt) Query(ctx context.Context) (*Result, error) {
+	return s.db.engine.ExecuteQuery(ctx, s.q)
+}
+
+// QueryRows executes the prepared query as a streaming cursor, with
+// the same semantics as DB.QueryRows.
+func (s *Stmt) QueryRows(ctx context.Context) (*Rows, error) {
+	return s.db.engine.QueryRows(ctx, s.q)
+}
+
+// Close releases the statement. The implementation holds no resources
+// beyond the parsed query, so Close only exists for database/sql-style
+// symmetry; it is safe to call multiple times.
+func (s *Stmt) Close() error { return nil }
