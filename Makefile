@@ -27,11 +27,13 @@ lint: vet fmt-check
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
+# -timeout 120s: a deadlocked cluster transport (or any hung test)
+# fails the run instead of hanging it — CI relies on this.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 120s ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 120s ./...
 
 # Smoke run: every benchmark executes once so regressions in bench
 # code are caught without paying for stable measurements.

@@ -12,6 +12,13 @@
 //
 // Errors are reported as "ERR <message>" lines.
 //
+// End-of-input on the connection — a close, or a half-close of the
+// client's write side — is treated as a hangup: any in-flight query is
+// cancelled immediately rather than streamed into a possibly dead
+// socket. Clients must therefore keep the connection open until the
+// terminating "." of the last response arrives (modelardb-cli does),
+// or end the session with QUIT.
+//
 // Usage:
 //
 //	modelardbd -config wind.conf [-data /var/lib/modelardb] \
@@ -113,14 +120,32 @@ func serve(db *modelardb.DB, conn net.Conn) {
 	// pool drained instead of running the query to completion.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
-			continue
+	// A dedicated reader goroutine is the only reader of the socket and
+	// hands complete lines to the processing loop. That way a client
+	// hangup is noticed while a query is still executing — the read
+	// fails immediately, the connection context is cancelled and the
+	// in-flight scan aborts — instead of only when the next response
+	// write hits the dead socket.
+	lines := make(chan string)
+	go func() {
+		defer cancel()
+		defer close(lines)
+		scanner := bufio.NewScanner(conn)
+		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		for scanner.Scan() {
+			line := strings.TrimSpace(scanner.Text())
+			if line == "" {
+				continue
+			}
+			select {
+			case lines <- line:
+			case <-ctx.Done():
+				return
+			}
 		}
+	}()
+	w := bufio.NewWriter(conn)
+	for line := range lines {
 		if strings.EqualFold(line, "QUIT") {
 			return
 		}

@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"modelardb"
 )
@@ -96,6 +99,75 @@ func TestLoadCSVFile(t *testing.T) {
 	out := send(t, db, "SELECT COUNT_S(*) FROM Segment")
 	if !strings.Contains(out, "\n2\n") {
 		t.Fatalf("count after load = %q", out)
+	}
+}
+
+// TestServeHangupCancelsInFlightQuery: the per-connection reader
+// goroutine notices a client hangup while a query is still executing
+// and cancels the connection context, aborting the in-flight scan —
+// instead of the server streaming the whole result into a dead socket.
+func TestServeHangupCancelsInFlightQuery(t *testing.T) {
+	db := testDB(t)
+	if err := db.Append(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(1, 1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	fired := make(chan struct{})
+	var onceEnter, onceFire sync.Once
+	// The hook blocks the scan mid-segment until the connection context
+	// fires (with a fallback beyond every deadline asserted below), so
+	// the hangup demonstrably lands while the query is in flight.
+	db.Engine().SetScanHook(func(ctx context.Context) error {
+		onceEnter.Do(func() { close(entered) })
+		select {
+		case <-ctx.Done():
+			onceFire.Do(func() { close(fired) })
+		case <-time.After(5 * time.Second):
+		}
+		return nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serve(db, conn)
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte("SELECT SUM_S(*) FROM Segment\n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("the query never reached the scan")
+	}
+	client.Close() // hang up mid-query
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("connection context did not fire on hangup")
+	}
+	select {
+	case <-serveDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve did not return after the hangup")
 	}
 }
 

@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"testing"
+	"time"
 
 	"modelardb"
 )
@@ -250,6 +252,47 @@ func TestRPCQueryErrorPropagates(t *testing.T) {
 	defer client.Close()
 	if _, err := client.Query("SELECT Nope FROM Segment"); err == nil {
 		t.Fatal("bad query must propagate an error")
+	}
+}
+
+// TestLocalClusterFailFast: the first worker error cancels the
+// scatter — the sibling workers' scans abort instead of running to
+// completion — and the returned error is the worker's own error, not
+// the fail-fast abort's context.Canceled.
+func TestLocalClusterFailFast(t *testing.T) {
+	c, err := NewLocal(context.Background(), fleetConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fillCluster(t, c.Append, 8, 200)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("synthetic worker failure")
+	for i, w := range c.workers {
+		if i == 1 {
+			// Worker 1 fails its first segment.
+			w.Engine().SetScanHook(func(ctx context.Context) error { return sentinel })
+			continue
+		}
+		// The other workers block per segment until cancelled (with a
+		// fallback far beyond the elapsed-time assertion below).
+		w.Engine().SetScanHook(func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Second):
+			}
+			return nil
+		})
+	}
+	start := time.Now()
+	_, _, err = c.QueryWithStats(context.Background(), "SELECT SUM_S(*) FROM Segment")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("scatter error = %v, want the failing worker's own error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("scatter took %s; the sibling scans were not cancelled", elapsed)
 	}
 }
 

@@ -186,6 +186,12 @@ func (c *LocalCluster) QueryContext(ctx context.Context, sql string) (*modelardb
 // QueryWithStats additionally reports each worker's execution time,
 // which the scale-out experiment (Fig. 20) uses: with shuffle-free
 // placement the cluster's latency is the slowest worker's latency.
+//
+// The scatter is fail-fast: the first worker error cancels the scatter
+// context, aborting the sibling workers' in-flight scans instead of
+// letting them run to completion. The returned error is deterministic
+// — the lowest-indexed real error, never the fail-fast abort's own
+// context.Canceled (unless the caller itself cancelled).
 func (c *LocalCluster) QueryWithStats(ctx context.Context, sql string) (*modelardb.Result, []time.Duration, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -205,13 +211,14 @@ func (c *LocalCluster) QueryWithStats(ctx context.Context, sql string) (*modelar
 			start := time.Now()
 			partials[i], errs[i] = w.Engine().ExecutePartial(ctx, q)
 			times[i] = time.Since(start)
+			if errs[i] != nil {
+				cancel() // fail fast: abort the sibling workers' scans
+			}
 		}(i, w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	if err := firstError(errs); err != nil {
+		return nil, nil, err
 	}
 	res, err := c.workers[0].Engine().Finalize(q, partials)
 	if err != nil {

@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
-	"net/rpc"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"modelardb"
 	"modelardb/internal/core"
@@ -21,30 +24,28 @@ func init() {
 	gob.Register("")
 }
 
-// Server exposes one worker's ingestion and query execution over
-// net/rpc. The paper's workers are Spark executors with co-located
-// Cassandra nodes; here each worker is a DB with its own store.
+// Server exposes one worker's ingestion and query execution over the
+// framed transport (transport.go). The paper's workers are Spark
+// executors with co-located Cassandra nodes; here each worker is a DB
+// with its own store. Every call runs under a per-call context derived
+// from its connection's context, so the master can abort an in-flight
+// scan with a Cancel frame — and a dropped master connection aborts
+// every call it had in flight.
 type Server struct {
-	db *modelardb.DB
+	db       *modelardb.DB
+	inflight atomic.Int64
 }
 
-// NewServer wraps a database as an RPC worker.
+// NewServer wraps a database as a transport worker.
 func NewServer(db *modelardb.DB) *Server { return &Server{db: db} }
+
+// InFlight reports the number of calls currently executing; tests and
+// monitoring use it to observe that cancelled scans actually drain.
+func (s *Server) InFlight() int { return int(s.inflight.Load()) }
 
 // AppendArgs is a batch of data points for one worker.
 type AppendArgs struct {
 	Points []core.DataPoint
-}
-
-// Append ingests a batch of data points through the group-sharded
-// batch path, so one RPC takes each destination group's lock once.
-func (s *Server) Append(args *AppendArgs, _ *struct{}) error {
-	return s.db.AppendBatch(context.Background(), args.Points)
-}
-
-// Flush finalizes buffered data points into segments.
-func (s *Server) Flush(_ *struct{}, _ *struct{}) error {
-	return s.db.Flush()
 }
 
 // QueryArgs carries the SQL text; every worker parses and compiles it
@@ -54,70 +55,168 @@ type QueryArgs struct {
 	SQL string
 }
 
-// ExecutePartial runs the worker-side part of a query.
-func (s *Server) ExecutePartial(args *QueryArgs, reply *query.PartialResult) error {
-	q, err := sqlparse.Parse(args.SQL)
-	if err != nil {
-		return err
-	}
-	// net/rpc carries no caller context; the worker-side scan runs
-	// under the background context and is bounded by the scan itself.
-	partial, err := s.db.Engine().ExecutePartial(context.Background(), q)
-	if err != nil {
-		return err
-	}
-	*reply = *partial
-	return nil
-}
-
-// StatsReply mirrors modelardb.Stats over RPC.
+// StatsReply mirrors modelardb.Stats over the transport.
 type StatsReply struct {
 	Stats modelardb.Stats
 }
 
-// Stats returns the worker's statistics.
-func (s *Server) Stats(_ *struct{}, reply *StatsReply) error {
-	st, err := s.db.Stats()
-	if err != nil {
-		return err
+// dispatch runs one call under its per-call context and returns the
+// gob-encoded reply.
+func (s *Server) dispatch(ctx context.Context, method string, body []byte) ([]byte, error) {
+	switch method {
+	case "Append":
+		// Ingest through the group-sharded batch path, so one call takes
+		// each destination group's lock once. AppendBatch checks ctx
+		// between groups.
+		args := &AppendArgs{}
+		if err := decodeBody(body, args); err != nil {
+			return nil, err
+		}
+		return nil, s.db.AppendBatch(ctx, args.Points)
+	case "Flush":
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.db.Flush()
+	case "ExecutePartial":
+		args := &QueryArgs{}
+		if err := decodeBody(body, args); err != nil {
+			return nil, err
+		}
+		q, err := sqlparse.Parse(args.SQL)
+		if err != nil {
+			return nil, err
+		}
+		partial, err := s.db.Engine().ExecutePartial(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		return encodeBody(partial)
+	case "Stats":
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st, err := s.db.Stats()
+		if err != nil {
+			return nil, err
+		}
+		return encodeBody(&StatsReply{Stats: st})
+	default:
+		return nil, fmt.Errorf("cluster: unknown method %q", method)
 	}
-	reply.Stats = st
-	return nil
 }
 
-// Serve registers the worker on a listener and serves connections
-// until the listener closes.
-func Serve(db *modelardb.DB, ln net.Listener) error {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", NewServer(db)); err != nil {
-		return err
+// ServeConn serves one master connection until it closes. Requests
+// dispatch concurrently, each under a context cancelled by a Cancel
+// frame for its call ID, by the connection going away, or by ctx.
+func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wmu   sync.Mutex // serializes response writes
+		mu    sync.Mutex // guards calls
+		calls = map[uint64]context.CancelFunc{}
+		wg    sync.WaitGroup
+	)
+	br := bufio.NewReader(conn)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			break
+		}
+		switch f.Kind {
+		case frameRequest:
+			callCtx, callCancel := context.WithCancel(cctx)
+			mu.Lock()
+			calls[f.ID] = callCancel
+			mu.Unlock()
+			s.inflight.Add(1)
+			wg.Add(1)
+			go func(f *frame) {
+				defer wg.Done()
+				body, err := s.dispatch(callCtx, f.Method, f.Body)
+				mu.Lock()
+				delete(calls, f.ID)
+				mu.Unlock()
+				callCancel()
+				resp := &frame{Kind: frameResponse, ID: f.ID, Body: body}
+				if err != nil {
+					resp.Err = err.Error()
+				}
+				wmu.Lock()
+				// A write failure means the connection died; the read loop
+				// notices and cancels the remaining calls.
+				_ = writeFrame(conn, resp)
+				wmu.Unlock()
+				s.inflight.Add(-1)
+			}(f)
+		case frameCancel:
+			mu.Lock()
+			if cancelCall, ok := calls[f.ID]; ok {
+				cancelCall()
+			}
+			mu.Unlock()
+		}
 	}
+	// Connection gone: a vanished master is a cancellation of every call
+	// it had in flight. Wait the dispatches out so the scans drain.
+	cancel()
+	wg.Wait()
+}
+
+// Serve accepts master connections on ln and serves them until the
+// listener closes. It is the compatibility wrapper over the context-
+// aware form.
+func Serve(db *modelardb.DB, ln net.Listener) error {
+	return NewServer(db).Serve(context.Background(), ln)
+}
+
+// Serve accepts and serves connections until the listener closes;
+// ctx bounds every call of every connection.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go srv.ServeConn(conn)
+		go s.ServeConn(ctx, conn)
 	}
 }
 
-// Client is the master side of an RPC cluster: it owns the metadata
-// (via a local, storage-less DB open of the same config), routes
-// ingestion by group and scatters queries.
+// Client is the master side of a transport cluster: it owns the
+// metadata (via a local, storage-less DB open of the same config),
+// validates queries before any network traffic, routes ingestion by
+// group and scatters queries fail-fast — the first worker error
+// cancels the remaining calls, including the workers' in-flight scans.
 type Client struct {
 	meta    *modelardb.DB
-	workers []*rpc.Client
+	workers []*wireConn
 	assign  map[modelardb.Gid]int
+	// base bounds the client's lifetime: every call context is combined
+	// with it, so cancelling it aborts all in-flight RPCs at once.
+	base context.Context
+
 	mu      sync.Mutex
 	pending [][]core.DataPoint
 	// BatchSize is the number of points buffered per worker before an
-	// Append RPC is issued (akin to the paper's micro-batches).
+	// Append call is issued (akin to the paper's micro-batches).
 	BatchSize int
+	// CallTimeout bounds each individual call (Config.RPCTimeout); 0
+	// means calls are bounded only by their context.
+	CallTimeout time.Duration
 }
 
 // Dial connects the master to worker addresses. cfg must be the same
 // configuration the workers were opened with.
 func Dial(cfg modelardb.Config, addrs []string) (*Client, error) {
+	return DialContext(context.Background(), cfg, addrs)
+}
+
+// DialContext connects the master to worker addresses; ctx bounds both
+// the dialing and the client's lifetime — cancelling it aborts every
+// in-flight call issued through the client.
+func DialContext(ctx context.Context, cfg modelardb.Config, addrs []string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no workers")
 	}
@@ -127,24 +226,56 @@ func Dial(cfg modelardb.Config, addrs []string) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		meta:      meta,
-		assign:    AssignGroups(meta, len(addrs)),
-		pending:   make([][]core.DataPoint, len(addrs)),
-		BatchSize: 1024,
+		meta:        meta,
+		assign:      AssignGroups(meta, len(addrs)),
+		base:        ctx,
+		pending:     make([][]core.DataPoint, len(addrs)),
+		BatchSize:   1024,
+		CallTimeout: cfg.RPCTimeout,
 	}
+	var d net.Dialer
 	for _, addr := range addrs {
-		conn, err := rpc.Dial("tcp", addr)
+		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 		}
-		c.workers = append(c.workers, conn)
+		c.workers = append(c.workers, newWireConn(conn))
 	}
 	return c, nil
 }
 
-// Append buffers a data point and sends a batch when full.
+// call issues one worker call under the client's lifetime context and
+// per-call timeout.
+func (c *Client) call(ctx context.Context, w *wireConn, method string, args, reply any) error {
+	ctx, cancel := mergeContexts(ctx, c.base)
+	defer cancel()
+	return c.timeoutCall(ctx, w, method, args, reply)
+}
+
+// timeoutCall applies only the per-call deadline; the caller has
+// already combined ctx with the client's lifetime (the scatter merges
+// once for all workers, so per-call merging again would be redundant).
+func (c *Client) timeoutCall(ctx context.Context, w *wireConn, method string, args, reply any) error {
+	if c.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.CallTimeout)
+		defer cancel()
+	}
+	return w.Call(ctx, method, args, reply)
+}
+
+// Append buffers a data point and sends a batch when full. It is the
+// compatibility wrapper over AppendContext.
 func (c *Client) Append(tid modelardb.Tid, ts int64, value float32) error {
+	return c.AppendContext(context.Background(), tid, ts, value)
+}
+
+// AppendContext buffers a data point and sends a batch when full. A
+// failed send never loses accepted points: the batch is re-queued in
+// front of the worker's buffer and retried by the next Append or
+// Flush, preserving per-group arrival order.
+func (c *Client) AppendContext(ctx context.Context, tid modelardb.Tid, ts int64, value float32) error {
 	gid, err := c.meta.GroupOf(tid)
 	if err != nil {
 		return err
@@ -152,66 +283,164 @@ func (c *Client) Append(tid modelardb.Tid, ts int64, value float32) error {
 	w := c.assign[gid]
 	c.mu.Lock()
 	c.pending[w] = append(c.pending[w], core.DataPoint{Tid: tid, TS: ts, Value: value})
-	send := len(c.pending[w]) >= c.BatchSize
-	var batch []core.DataPoint
-	if send {
-		batch = c.pending[w]
-		c.pending[w] = nil
+	if len(c.pending[w]) < c.BatchSize {
+		c.mu.Unlock()
+		return nil
 	}
+	batch := c.pending[w]
+	c.pending[w] = nil
 	c.mu.Unlock()
-	if send {
-		return c.workers[w].Call("Worker.Append", &AppendArgs{Points: batch}, &struct{}{})
-	}
-	return nil
+	return c.sendBatch(ctx, w, batch)
 }
 
-// Flush drains batches and flushes every worker.
+// sendBatch issues one Append call; on failure the batch is re-queued
+// in front of any points buffered meanwhile, so no accepted point is
+// dropped and a retry replays them in their original order.
+//
+// Delivery is at-least-once: on a timeout or cancellation the worker
+// may in fact have ingested some or all of the batch (its late success
+// is indistinguishable from a loss), so a retry can duplicate points.
+// The re-queue trades the silent data loss the old path had for
+// possible duplication on ambiguous failures; exactly-once replay
+// (batch sequence numbers, worker-side dedup) is a ROADMAP item.
+func (c *Client) sendBatch(ctx context.Context, w int, batch []core.DataPoint) error {
+	err := c.call(ctx, c.workers[w], "Append", &AppendArgs{Points: batch}, nil)
+	if err != nil {
+		c.mu.Lock()
+		c.pending[w] = append(batch, c.pending[w]...)
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Flush drains batches and flushes every worker. It is the
+// compatibility wrapper over FlushContext.
 func (c *Client) Flush() error {
+	return c.FlushContext(context.Background())
+}
+
+// FlushContext drains the buffered batches to their workers and, if
+// every send succeeded, flushes every worker. Failed batches are
+// re-queued (sendBatch), so a transient worker failure loses nothing:
+// the next Flush retries them.
+func (c *Client) FlushContext(ctx context.Context) error {
 	c.mu.Lock()
 	batches := c.pending
 	c.pending = make([][]core.DataPoint, len(c.workers))
 	c.mu.Unlock()
+	var firstErr error
 	for w, batch := range batches {
 		if len(batch) == 0 {
 			continue
 		}
-		if err := c.workers[w].Call("Worker.Append", &AppendArgs{Points: batch}, &struct{}{}); err != nil {
-			return err
+		// Keep sending to the remaining workers even after a failure so
+		// one dead worker does not strand the others' batches.
+		if err := c.sendBatch(ctx, w, batch); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
+	if firstErr != nil {
+		return firstErr
+	}
 	for _, w := range c.workers {
-		if err := w.Call("Worker.Flush", &struct{}{}, &struct{}{}); err != nil {
+		if err := c.call(ctx, w, "Flush", nil, nil); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Query scatters the query to all workers and merges the partials.
+// Query scatters the query to all workers and merges the partials. It
+// is the compatibility wrapper over QueryContext.
 func (c *Client) Query(sql string) (*modelardb.Result, error) {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext parses and validates the query on the master — a parse
+// or semantic error costs no network traffic — then scatters it to all
+// workers in parallel and merges their partial results. The scatter is
+// fail-fast: the first worker error cancels the remaining calls, and
+// Cancel frames abort the other workers' in-flight scans. Cancelling
+// ctx does the same from the caller's side.
+func (c *Client) QueryContext(ctx context.Context, sql string) (*modelardb.Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	// The master's metadata replica compiles the same plan the workers
+	// would, so every per-worker compile error is caught here once
+	// instead of N times after a full scatter.
+	if err := c.meta.Engine().Validate(q); err != nil {
+		return nil, err
+	}
+	ctx, cancel := mergeContexts(ctx, c.base)
+	defer cancel()
 	partials := make([]*query.PartialResult, len(c.workers))
 	errs := make([]error, len(c.workers))
 	var wg sync.WaitGroup
 	for i, w := range c.workers {
 		wg.Add(1)
-		go func(i int, w *rpc.Client) {
+		go func(i int, w *wireConn) {
 			defer wg.Done()
 			reply := &query.PartialResult{}
-			errs[i] = w.Call("Worker.ExecutePartial", &QueryArgs{SQL: sql}, reply)
-			partials[i] = reply
+			errs[i] = c.timeoutCall(ctx, w, "ExecutePartial", &QueryArgs{SQL: sql}, reply)
+			if errs[i] != nil {
+				cancel() // fail fast: abort the sibling calls and scans
+			} else {
+				partials[i] = reply
+			}
 		}(i, w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return c.meta.Engine().Finalize(q, partials)
+}
+
+// Stats aggregates worker statistics. It is the compatibility wrapper
+// over StatsContext.
+func (c *Client) Stats() (modelardb.Stats, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext aggregates every worker's statistics; series and group
+// counts come from the shared metadata, volume counters sum up.
+func (c *Client) StatsContext(ctx context.Context) (modelardb.Stats, error) {
+	var total modelardb.Stats
+	for i, w := range c.workers {
+		var reply StatsReply
+		if err := c.call(ctx, w, "Stats", nil, &reply); err != nil {
+			return total, err
+		}
+		s := reply.Stats
+		if i == 0 {
+			total.Series = s.Series
+			total.Groups = s.Groups
+		}
+		total.Segments += s.Segments
+		total.StorageBytes += s.StorageBytes
+		total.DataPoints += s.DataPoints
+	}
+	return total, nil
+}
+
+// firstError picks the scatter's deterministic error: the lowest-
+// indexed worker error that is not the fail-fast abort's own
+// cancellation, falling back to the lowest-indexed error (all workers
+// report context.Canceled when the caller itself cancelled).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close closes worker connections and the master's metadata DB.

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The cluster's wire protocol: a small context-aware framed transport
+// replacing net/rpc, whose calls carry no caller context (a worker kept
+// scanning after the master gave up). Every message is one frame —
+// a 4-byte big-endian length prefix followed by a gob-encoded frame
+// value — so both sides can interleave traffic for many concurrent
+// calls on one TCP connection:
+//
+//   - frameRequest carries a per-connection call ID, a method name and
+//     the gob-encoded arguments. The worker dispatches each request on
+//     its own goroutine under a per-call context.Context derived from
+//     the connection's context.
+//   - frameCancel carries only a call ID: the worker cancels that
+//     call's context, aborting an in-flight ExecutePartial scan between
+//     chunks. The master sends it when the caller's context fires; the
+//     call has already returned ctx.Err() to the caller by then.
+//   - frameResponse carries the call ID, the gob-encoded reply and an
+//     error string (empty on success). Responses arrive in completion
+//     order, not request order; the client matches them by ID.
+//
+// A dropped connection is equivalent to cancelling every in-flight
+// call on it: the worker's read loop cancels the connection context on
+// EOF, so a master that dies mid-query takes its scans down with it.
+
+type frameKind uint8
+
+const (
+	frameRequest frameKind = iota + 1
+	frameResponse
+	frameCancel
+)
+
+// frame is one wire message.
+type frame struct {
+	Kind   frameKind
+	ID     uint64
+	Method string // requests only
+	Err    string // responses only; empty on success
+	Body   []byte // gob-encoded arguments or reply
+}
+
+// maxFrameSize guards the length prefix against corrupt or hostile
+// peers; a partial result for a huge scatter stays far below it.
+const maxFrameSize = 1 << 30
+
+// writeFrame encodes f with its length prefix into w. Callers
+// serialize writes per connection.
+func writeFrame(w io.Writer, f *frame) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return err
+	}
+	b := buf.Bytes()
+	if len(b)-4 > maxFrameSize {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(b)-4)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameSize {
+		return nil, fmt.Errorf("cluster: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	f := &frame{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// encodeBody gob-encodes call arguments or a reply.
+func encodeBody(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBody gob-decodes a frame body into v; a nil v skips decoding
+// (calls with an empty reply).
+func decodeBody(body []byte, v any) error {
+	if v == nil {
+		return nil
+	}
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// WorkerError is an error a worker reported over the transport; it
+// distinguishes application failures on the worker from transport
+// failures (connection loss, cancellation) on the master.
+type WorkerError struct {
+	Method string
+	Msg    string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("cluster: worker %s: %s", e.Method, e.Msg)
+}
+
+// callDone carries one finished call back to its waiter: either the
+// response frame or a connection-level error.
+type callDone struct {
+	f   *frame
+	err error
+}
+
+// wireConn is the master's side of one worker connection: it issues
+// concurrent calls, matches responses by ID on a single reader
+// goroutine, and turns a caller's cancelled context into a Cancel
+// frame so the worker aborts the call instead of running it out.
+type wireConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan callDone
+	err     error // terminal connection error; nil while healthy
+}
+
+// newWireConn wraps an established connection and starts its reader.
+func newWireConn(conn net.Conn) *wireConn {
+	c := &wireConn{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: map[uint64]chan callDone{},
+	}
+	go c.readLoop()
+	return c
+}
+
+// write sends one frame, flushing the connection's buffered writer.
+// ctx aborts a blocked write: a peer that stopped reading fills the
+// TCP send buffer, and a plain write would then hang the caller past
+// every deadline. An aborted or failed write may leave the stream
+// mid-frame, so the connection as a whole is failed — framing
+// integrity is unknown and no later call may reuse it.
+func (c *wireConn) write(ctx context.Context, f *frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	stop := context.AfterFunc(ctx, func() { c.conn.SetWriteDeadline(time.Now()) })
+	err := writeFrame(c.bw, f)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if !stop() {
+		// ctx fired during the write: lift the poisoned deadline so a
+		// failure is attributed to the context, not the socket.
+		c.conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			err = ctx.Err()
+		}
+	}
+	if err != nil {
+		c.fail(err)
+	}
+	return err
+}
+
+// readLoop delivers responses to their waiting calls until the
+// connection fails, then fails every pending call with the same error.
+func (c *wireConn) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if f.Kind != frameResponse {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- callDone{f: f}
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every pending call.
+func (c *wireConn) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = fmt.Errorf("cluster: connection lost: %w", err)
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- callDone{err: c.err}
+	}
+}
+
+// Call issues one request and waits for its response or ctx. On
+// cancellation it returns ctx.Err() immediately and sends a
+// best-effort Cancel frame so the worker aborts the call server-side.
+func (c *wireConn) Call(ctx context.Context, method string, args, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	body, err := encodeBody(args)
+	if err != nil {
+		return err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan callDone, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	if err := c.write(ctx, &frame{Kind: frameRequest, ID: id, Method: method, Body: body}); err != nil {
+		c.forget(id)
+		return fmt.Errorf("cluster: send %s: %w", method, err)
+	}
+	select {
+	case d := <-ch:
+		if d.err != nil {
+			return d.err
+		}
+		if d.f.Err != "" {
+			return &WorkerError{Method: method, Msg: d.f.Err}
+		}
+		return decodeBody(d.f.Body, reply)
+	case <-ctx.Done():
+		c.forget(id)
+		// Best effort, asynchronously: tell the worker to abort the
+		// in-flight call. Its late response (if any) is dropped by the
+		// reader as unknown, and a wedged connection cannot delay this
+		// return — the cancel write bounds itself.
+		go c.sendCancel(id)
+		return ctx.Err()
+	}
+}
+
+// cancelWriteTimeout bounds the best-effort Cancel frame write; a
+// connection that cannot take a few bytes within it is wedged and gets
+// failed as a whole by write.
+const cancelWriteTimeout = time.Second
+
+// sendCancel asks the worker to abort a call whose caller is gone.
+func (c *wireConn) sendCancel(id uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), cancelWriteTimeout)
+	defer cancel()
+	_ = c.write(ctx, &frame{Kind: frameCancel, ID: id})
+}
+
+// forget drops a pending call that no longer has a waiter.
+func (c *wireConn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close tears the connection down; pending calls fail via the reader.
+func (c *wireConn) Close() error {
+	return c.conn.Close()
+}

@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"modelardb"
+	"modelardb/internal/core"
+)
+
+// startFakeWorker listens on loopback and serves each connection with
+// handle, which receives every request frame and returns the response
+// to send — or nil to close the connection instead, simulating a
+// worker dying mid-call. Cancel frames are ignored, like a worker too
+// busy to notice them.
+func startFakeWorker(t *testing.T, handle func(f *frame) *frame) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					f, err := readFrame(br)
+					if err != nil {
+						return
+					}
+					if f.Kind != frameRequest {
+						continue
+					}
+					resp := handle(f)
+					if resp == nil {
+						return
+					}
+					if err := writeFrame(conn, resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// startWorker opens a real worker database and serves it over TCP,
+// returning the database (for hooks and direct ingestion), the server
+// (for InFlight assertions) and its address.
+func startWorker(t *testing.T, cfg modelardb.Config) (*modelardb.DB, *Server, string) {
+	t.Helper()
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := NewServer(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.Serve(context.Background(), ln)
+	return db, srv, ln.Addr().String()
+}
+
+// waitDrained polls until the server has no in-flight calls, proving a
+// cancelled scan's goroutine actually finished rather than leaking.
+func waitDrained(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker did not drain: %d calls still in flight", srv.InFlight())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClientAppendRequeueOnFailure: a failed Worker.Append used to
+// drop the already-dequeued batch on the floor. Now the batch is
+// re-queued in order and the next Flush replays it, so a transient
+// worker failure loses no accepted point.
+func TestClientAppendRequeueOnFailure(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		calls int
+		got   []core.DataPoint
+	)
+	addr := startFakeWorker(t, func(f *frame) *frame {
+		resp := &frame{Kind: frameResponse, ID: f.ID}
+		switch f.Method {
+		case "Append":
+			mu.Lock()
+			calls++
+			if calls == 1 {
+				resp.Err = "synthetic worker failure"
+			} else {
+				args := &AppendArgs{}
+				if err := decodeBody(f.Body, args); err != nil {
+					resp.Err = err.Error()
+				} else {
+					got = append(got, args.Points...)
+				}
+			}
+			mu.Unlock()
+		case "Flush":
+		default:
+			resp.Err = "unexpected method " + f.Method
+		}
+		return resp
+	})
+	client, err := Dial(fleetConfig(), []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.BatchSize = 4
+	var want []core.DataPoint
+	var appendErr error
+	for i := 0; i < 4; i++ {
+		p := core.DataPoint{Tid: modelardb.Tid(i + 1), TS: int64(i) * 1000, Value: float32(i)}
+		want = append(want, p)
+		appendErr = client.Append(p.Tid, p.TS, p.Value)
+	}
+	// The fourth Append filled the batch and sent it; the send failed.
+	var werr *WorkerError
+	if !errors.As(appendErr, &werr) {
+		t.Fatalf("batch send error = %v, want a WorkerError", appendErr)
+	}
+	// No accepted point was lost: the batch was re-queued and Flush
+	// replays it in its original order.
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("worker received %v after retry, want %v", got, want)
+	}
+}
+
+// TestRPCCancelMidScanOverTCP: cancelling the master-side context of
+// an in-flight query returns immediately on the master and stops the
+// worker-side scan within one segment — the Cancel frame fires the
+// per-call context the scan runs under.
+func TestRPCCancelMidScanOverTCP(t *testing.T) {
+	cfg := fleetConfig()
+	// A sequential worker scan pins the cancellation point: the store
+	// checks the context between segments.
+	cfg.QueryParallelism = 1
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	entered := make(chan struct{})
+	var once sync.Once
+	var progress atomic.Int64
+	// Install the hook before serving so every dispatch goroutine
+	// observes it: each scanned segment counts, then blocks until the
+	// per-call context fires (or a fallback far beyond the deadlines
+	// asserted below).
+	db.Engine().SetScanHook(func(ctx context.Context) error {
+		progress.Add(1)
+		once.Do(func() { close(entered) })
+		select {
+		case <-ctx.Done():
+		case <-time.After(5 * time.Second):
+		}
+		return nil
+	})
+	srv := NewServer(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.Serve(context.Background(), ln)
+
+	client, err := Dial(cfg, []string{ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Ingest directly: the hook only fires on query scans.
+	fillCluster(t, db.Append, 8, 400)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 8 {
+		t.Fatalf("fixture too small: %d segments", st.Segments)
+	}
+
+	qctx, qcancel := context.WithCancel(context.Background())
+	defer qcancel()
+	qerr := make(chan error, 1)
+	go func() {
+		_, err := client.QueryContext(qctx, "SELECT SUM_S(*) FROM Segment")
+		qerr <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("the worker-side scan never started")
+	}
+	qcancel()
+	select {
+	case err := <-qerr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("QueryContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled query did not return on the master")
+	}
+	// The worker's dispatch goroutine must finish (scan aborted) …
+	waitDrained(t, srv)
+	// … after at most the segment it was in when the Cancel landed,
+	// nowhere near the full store.
+	if got := progress.Load(); got > 3 {
+		t.Fatalf("scan processed %d segments after cancel (store has %d)", got, st.Segments)
+	}
+}
+
+// TestRPCWorkerDiesMidQuery: a worker dropping its connection mid-call
+// propagates a deterministic transport error, and the fail-fast
+// scatter cancels the surviving workers' in-flight scans.
+func TestRPCWorkerDiesMidQuery(t *testing.T) {
+	cfg := fleetConfig()
+	cfg.QueryParallelism = 1
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	scanning := make(chan struct{})
+	var onceScan sync.Once
+	var aborted atomic.Bool
+	db.Engine().SetScanHook(func(ctx context.Context) error {
+		onceScan.Do(func() { close(scanning) })
+		select {
+		case <-ctx.Done():
+			aborted.Store(true)
+		case <-time.After(5 * time.Second):
+		}
+		return nil
+	})
+	srv := NewServer(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.Serve(context.Background(), ln)
+
+	// The second worker dies on its first ExecutePartial: it waits
+	// until the surviving sibling's scan is demonstrably in flight,
+	// then closes the connection without a response.
+	dying := startFakeWorker(t, func(f *frame) *frame {
+		if f.Method == "ExecutePartial" {
+			<-scanning
+			return nil
+		}
+		return &frame{Kind: frameResponse, ID: f.ID}
+	})
+
+	client, err := Dial(cfg, []string{ln.Addr().String(), dying})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// The surviving worker needs segments so its scan really is in
+	// flight when the sibling dies.
+	fillCluster(t, db.Append, 8, 200)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = client.Query("SELECT SUM_S(*) FROM Segment")
+	if err == nil {
+		t.Fatal("query against a dying worker must fail")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("deterministic error must be the connection loss, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("fail-fast scatter took %s; the surviving scan was not cancelled", elapsed)
+	}
+	waitDrained(t, srv)
+	deadline := time.Now().Add(2 * time.Second)
+	for !aborted.Load() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !aborted.Load() {
+		t.Fatal("surviving worker's scan context never fired")
+	}
+}
+
+// TestClientQueryValidatesOnMaster: parse and semantic errors are
+// caught by the master's metadata replica before any RPC is issued —
+// a bad query no longer costs a full scatter.
+func TestClientQueryValidatesOnMaster(t *testing.T) {
+	var scatters atomic.Int64
+	addr := startFakeWorker(t, func(f *frame) *frame {
+		if f.Method == "ExecutePartial" {
+			scatters.Add(1)
+		}
+		return &frame{Kind: frameResponse, ID: f.ID, Err: "must not be reached"}
+	})
+	client, err := Dial(fleetConfig(), []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for _, sql := range []string{
+		"SELECT FROM",               // parse error
+		"SELECT Nope FROM Segment",  // unknown column
+		"SELECT Value FROM Segment", // DataPoint-view column on Segment
+	} {
+		if _, err := client.Query(sql); err == nil {
+			t.Errorf("Query(%q) must fail", sql)
+		}
+	}
+	if n := scatters.Load(); n != 0 {
+		t.Fatalf("invalid queries reached the workers %d times", n)
+	}
+}
+
+// TestClientCallTimeout: Config.RPCTimeout bounds each call, so an
+// unresponsive worker yields context.DeadlineExceeded instead of a
+// hung master.
+func TestClientCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	addr := startFakeWorker(t, func(f *frame) *frame {
+		<-block // never answers in time
+		return nil
+	})
+	cfg := fleetConfig()
+	cfg.RPCTimeout = 100 * time.Millisecond
+	client, err := Dial(cfg, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	_, err = client.Query("SELECT SUM_S(*) FROM Segment")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Query = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timed-out call returned after %s", elapsed)
+	}
+}
+
+// TestWireConnConcurrentCalls: many interleaved calls share one
+// connection; responses match their callers by ID.
+func TestWireConnConcurrentCalls(t *testing.T) {
+	addr := startFakeWorker(t, func(f *frame) *frame {
+		// Echo the request body back so a mismatched response would be
+		// caught by the caller's reply check.
+		return &frame{Kind: frameResponse, ID: f.ID, Body: f.Body}
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := newWireConn(conn)
+	defer wc.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				args := &QueryArgs{SQL: string(rune('A'+i)) + "-query"}
+				reply := &QueryArgs{}
+				if err := wc.Call(context.Background(), "Echo", args, reply); err != nil {
+					t.Errorf("call %d/%d: %v", i, j, err)
+					return
+				}
+				if reply.SQL != args.SQL {
+					t.Errorf("call %d/%d: reply %q for request %q", i, j, reply.SQL, args.SQL)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -11,6 +11,8 @@
 //	bulk_write_size 50000
 //	# query scan workers: 0 = all cores, 1 = sequential
 //	query_parallelism 0
+//	# per-call deadline for cluster RPCs (master side); 0 = none
+//	rpc_timeout 5s
 //	dimension Location Park Turbine
 //	correlation Location 1
 //	series s1.gz 100 Location=Aalborg/T1
@@ -22,6 +24,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"modelardb"
 )
@@ -82,6 +85,12 @@ func apply(cfg *modelardb.Config, directive, rest string) error {
 			return fmt.Errorf("query_parallelism %q is not a non-negative integer", rest)
 		}
 		cfg.QueryParallelism = v
+	case "rpc_timeout":
+		v, err := time.ParseDuration(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf("rpc_timeout %q is not a non-negative duration (e.g. 5s)", rest)
+		}
+		cfg.RPCTimeout = v
 	case "dimension":
 		fields := strings.Fields(rest)
 		if len(fields) < 2 {

@@ -3,6 +3,7 @@ package config
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"modelardb"
 )
@@ -14,6 +15,7 @@ length_limit 42
 split_fraction 8
 bulk_write_size 1000
 query_parallelism 4
+rpc_timeout 5s
 dimension Location Park Turbine
 dimension Measure Category
 correlation Location 1, Measure 1 Temperature
@@ -35,6 +37,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.QueryParallelism != 4 {
 		t.Fatalf("query_parallelism = %d, want 4", cfg.QueryParallelism)
+	}
+	if cfg.RPCTimeout != 5*time.Second {
+		t.Fatalf("rpc_timeout = %v, want 5s", cfg.RPCTimeout)
 	}
 	if len(cfg.Dimensions) != 2 || cfg.Dimensions[0].Name != "Location" {
 		t.Fatalf("dimensions = %+v", cfg.Dimensions)
@@ -66,6 +71,8 @@ func TestParseErrors(t *testing.T) {
 		"bulk_write_size x",
 		"query_parallelism -1",
 		"query_parallelism x",
+		"rpc_timeout -5s",
+		"rpc_timeout soon",
 		"dimension OnlyName",
 		"correlation",
 		"series one_field",

@@ -28,6 +28,9 @@ type Engine struct {
 	// chunk pins a fixed scan chunk size when positive (tests only);
 	// otherwise the store sizes chunks adaptively by byte budget.
 	chunk int
+	// scanHook, when set, is invoked once per scanned segment with the
+	// query's context (SetScanHook).
+	scanHook func(ctx context.Context) error
 }
 
 // NewEngine returns an engine over the given store and metadata.
@@ -90,6 +93,34 @@ func (e *Engine) ExecutePartial(ctx context.Context, q *sqlparse.Query) (*Partia
 		return nil, err
 	}
 	return e.runPlan(ctx, p)
+}
+
+// Validate compiles a parsed query without executing it, reporting the
+// same errors ExecutePartial would. A cluster master validates once
+// before scattering, so a bad query costs no network traffic and no
+// per-worker scans.
+func (e *Engine) Validate(q *sqlparse.Query) error {
+	_, err := e.compile(q)
+	return err
+}
+
+// SetScanHook installs h, invoked once per segment the executor
+// processes, with the query's context. It observes scan progress
+// (tests assert that a cancelled query's scan actually stops) and
+// injects faults or latency (h may block on ctx or return an error,
+// which aborts the scan). h runs concurrently from pool workers and
+// must be safe for concurrent use; configure before serving queries,
+// like SetParallelism. A nil h removes the hook.
+func (e *Engine) SetScanHook(h func(ctx context.Context) error) {
+	e.scanHook = h
+}
+
+// hookSegment runs the scan hook, if any, for one segment.
+func (e *Engine) hookSegment(ctx context.Context) error {
+	if e.scanHook == nil {
+		return nil
+	}
+	return e.scanHook(ctx)
 }
 
 // runPlan executes a compiled plan's worker-side part.
@@ -455,6 +486,9 @@ func (e *Engine) runAggregate(ctx context.Context, p *plan) (*PartialResult, err
 	}
 	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
 	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
+		if err := e.hookSegment(ctx); err != nil {
+			return err
+		}
 		return e.aggregateSegment(p, seg, out.Groups)
 	})
 	if err != nil {
@@ -625,6 +659,9 @@ func (e *Engine) runSelect(ctx context.Context, p *plan) (*PartialResult, error)
 	}
 	out := &PartialResult{Columns: p.outColumns}
 	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
+		if err := e.hookSegment(ctx); err != nil {
+			return err
+		}
 		return e.selectSegment(p, seg, &out.Rows)
 	})
 	if err != nil {

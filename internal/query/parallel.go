@@ -187,6 +187,9 @@ func (e *Engine) runAggregatePar(ctx context.Context, p *plan, n int) (*PartialR
 	err := e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
 		groups := map[string]*GroupState{}
 		for _, seg := range segs {
+			if err := e.hookSegment(ctx); err != nil {
+				return nil, err
+			}
 			if err := e.aggregateSegment(p, seg, groups); err != nil {
 				return nil, err
 			}
@@ -228,6 +231,9 @@ func (e *Engine) runSelectPar(ctx context.Context, p *plan, n int) (*PartialResu
 	err := e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
 		var rows [][]any
 		for _, seg := range segs {
+			if err := e.hookSegment(ctx); err != nil {
+				return nil, err
+			}
 			if err := e.selectSegment(p, seg, &rows); err != nil {
 				return nil, err
 			}

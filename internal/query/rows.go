@@ -123,6 +123,9 @@ func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Ro
 		err = e.scanParallel(rctx, p, n, func(segs []*core.Segment) (any, error) {
 			var rows [][]any
 			for _, seg := range segs {
+				if err := e.hookSegment(rctx); err != nil {
+					return nil, err
+				}
 				if err := e.selectSegment(p, seg, &rows); err != nil {
 					return nil, err
 				}
@@ -133,6 +136,9 @@ func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Ro
 		})
 	} else {
 		err = e.store.Scan(rctx, p.scanFilter(), func(seg *core.Segment) error {
+			if err := e.hookSegment(rctx); err != nil {
+				return err
+			}
 			var rows [][]any
 			if err := e.selectSegment(p, seg, &rows); err != nil {
 				return err

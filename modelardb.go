@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"modelardb/internal/core"
 	"modelardb/internal/dims"
@@ -127,6 +128,12 @@ type Config struct {
 	// QueryParallelism is the number of segment-scan workers per query:
 	// 0 uses all cores (GOMAXPROCS), 1 forces the sequential executor.
 	QueryParallelism int
+	// RPCTimeout bounds each individual cluster RPC issued by a master
+	// (cluster.Dial) — Append, Flush, ExecutePartial and Stats calls all
+	// fail with context.DeadlineExceeded when a worker does not answer
+	// in time, and the worker-side scan is cancelled. 0 means calls are
+	// bounded only by their caller's context.
+	RPCTimeout time.Duration
 }
 
 // DefaultConfig returns the paper's evaluated configuration (Table 1):
