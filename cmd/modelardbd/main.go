@@ -22,6 +22,7 @@
 // Usage:
 //
 //	modelardbd -config wind.conf [-data /var/lib/modelardb] \
+//	           [-wal /var/lib/modelardb/wal] [-wal-fsync interval] \
 //	           [-load data.csv] [-listen 127.0.0.1:8989]
 package main
 
@@ -47,17 +48,21 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8989", "listen address")
 	parallelism := flag.Int("parallelism", -1,
 		"query scan workers: 0 = all cores, 1 = sequential, -1 = from config file")
+	walDir := flag.String("wal", "",
+		"write-ahead log directory; empty = from config file (acknowledged appends survive a crash)")
+	walFsync := flag.String("wal-fsync", "",
+		"WAL durability policy: always, interval or never; empty = from config file")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *load, *listen, *parallelism); err != nil {
+	if err := run(*configPath, *dataDir, *load, *listen, *parallelism, *walDir, *walFsync); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(configPath, dataDir, load, listen string, parallelism int) error {
+func run(configPath, dataDir, load, listen string, parallelism int, walDir, walFsync string) error {
 	f, err := os.Open(configPath)
 	if err != nil {
 		return err
@@ -70,6 +75,12 @@ func run(configPath, dataDir, load, listen string, parallelism int) error {
 	cfg.Path = dataDir
 	if parallelism >= 0 {
 		cfg.QueryParallelism = parallelism
+	}
+	if walDir != "" {
+		cfg.WALDir = walDir
+	}
+	if walFsync != "" {
+		cfg.WALFsync = walFsync
 	}
 	db, err := modelardb.Open(cfg)
 	if err != nil {
@@ -221,8 +232,9 @@ func handle(ctx context.Context, db *modelardb.DB, w *bufio.Writer, line string)
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return
 		}
-		fmt.Fprintf(w, "OK series=%d groups=%d segments=%d bytes=%d points=%d\n",
-			st.Series, st.Groups, st.Segments, st.StorageBytes, st.DataPoints)
+		fmt.Fprintf(w, "OK series=%d groups=%d segments=%d bytes=%d points=%d cache_hits=%d cache_misses=%d wal_bytes=%d\n",
+			st.Series, st.Groups, st.Segments, st.StorageBytes, st.DataPoints,
+			st.CacheHits, st.CacheMisses, st.WALBytes)
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", verb)
 	}

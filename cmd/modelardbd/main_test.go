@@ -56,6 +56,9 @@ func TestHandleAppendFlushStats(t *testing.T) {
 	if !strings.HasPrefix(out, "OK series=1 groups=1") {
 		t.Fatalf("STATS = %q", out)
 	}
+	if !strings.Contains(out, "cache_hits=") || !strings.Contains(out, "cache_misses=") || !strings.Contains(out, "wal_bytes=") {
+		t.Fatalf("STATS misses cache/WAL counters: %q", out)
+	}
 }
 
 func TestHandleSelect(t *testing.T) {

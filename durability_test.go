@@ -1,0 +1,429 @@
+package modelardb
+
+// Crash-recovery tests for the point-level WAL: a database whose
+// Append returned nil, then crashed before Flush, must answer queries
+// identically to a database that never crashed. "Crash" is simulated
+// by abandoning the DB without Flush or Close — everything buffered in
+// the GroupIngestors and the file store's bulk-write buffer is lost,
+// exactly what a process kill loses.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// walConfig is groupsConfig with the WAL enabled.
+func walConfig(n int, dataDir, walDir, fsync string) Config {
+	cfg := groupsConfig(n)
+	cfg.Path = dataDir
+	cfg.WALDir = walDir
+	cfg.WALFsync = fsync
+	return cfg
+}
+
+var equivalenceQueries = []string{
+	"SELECT Tid, TS, Value FROM DataPoint ORDER BY Tid, TS",
+	"SELECT Tid, COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+	"SELECT COUNT(*), SUM(Value) FROM DataPoint",
+}
+
+// assertSameResults flushes both databases and compares the full
+// query-path surface: the materialized executor at parallelism 1 and
+// >1 (got side), and the streaming cursor.
+func assertSameResults(t *testing.T, got, want *DB) {
+	t.Helper()
+	if err := got.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range equivalenceQueries {
+		w, err := want.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			got.engine.SetParallelism(par)
+			g, err := got.Query(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(g.Rows, w.Rows) {
+				t.Fatalf("%q (parallelism %d): got %d rows %v, want %d rows %v",
+					sql, par, len(g.Rows), g.Rows, len(w.Rows), w.Rows)
+			}
+		}
+		// The cursor path reads the same replayed data.
+		rows, err := got.QueryRows(context.Background(), sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		rows.Close()
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != len(w.Rows) {
+			t.Fatalf("%q cursor: %d rows, want %d", sql, n, len(w.Rows))
+		}
+	}
+}
+
+// ingest drives the same deterministic workload into a DB.
+func ingestWorkload(t *testing.T, db *DB, nseries, ticks int) {
+	t.Helper()
+	for tick := 0; tick < ticks; tick++ {
+		for tid := 1; tid <= nseries; tid++ {
+			if err := db.Append(Tid(tid), int64(tick)*100, float32(tick%37)+float32(tid)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestWALKillAndReopenFileStore(t *testing.T) {
+	const nseries, ticks = 4, 400
+	dataDir, walDir := t.TempDir(), t.TempDir()
+	crashed, err := Open(walConfig(nseries, dataDir, walDir, "always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWorkload(t, crashed, nseries, ticks)
+	// Crash: no Flush, no Close — the buffered models and the store's
+	// bulk-write buffer are gone.
+	reopened, err := Open(walConfig(nseries, dataDir, walDir, "always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	control, err := Open(groupsConfig(nseries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	ingestWorkload(t, control, nseries, ticks)
+	assertSameResults(t, reopened, control)
+	st, err := reopened.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DataPoints != int64(nseries*ticks) {
+		t.Fatalf("replayed DataPoints = %d, want %d", st.DataPoints, nseries*ticks)
+	}
+}
+
+func TestWALMemStoreJournal(t *testing.T) {
+	// With the in-memory store the WAL is a full journal: a crash loses
+	// the whole store, and reopen rebuilds it from the log alone.
+	const nseries, ticks = 3, 300
+	walDir := t.TempDir()
+	crashed, err := Open(walConfig(nseries, "", walDir, "always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWorkload(t, crashed, nseries, ticks)
+	// A Flush in the middle must not truncate the journal.
+	if err := crashed.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(walConfig(nseries, "", walDir, "always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	control, err := Open(groupsConfig(nseries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	ingestWorkload(t, control, nseries, ticks)
+	assertSameResults(t, reopened, control)
+}
+
+func TestWALCleanReopenNoDuplicates(t *testing.T) {
+	// A clean Close checkpoints at the store log's end; reopening must
+	// replay nothing and double-ingest nothing.
+	const nseries, ticks = 4, 200
+	dataDir, walDir := t.TempDir(), t.TempDir()
+	db, err := Open(walConfig(nseries, dataDir, walDir, "interval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWorkload(t, db, nseries, ticks)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(walConfig(nseries, dataDir, walDir, "interval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	control, err := Open(groupsConfig(nseries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	ingestWorkload(t, control, nseries, ticks)
+	assertSameResults(t, reopened, control)
+	if st, _ := reopened.Stats(); st.DataPoints != 0 {
+		t.Fatalf("clean reopen replayed %d points, want 0", st.DataPoints)
+	}
+}
+
+// TestWALTornTailSweep cuts the WAL at every byte boundary of the last
+// record (the same failure-injection sweep storage_test.go runs on the
+// segment log) and verifies the reopened database equals a control
+// that ingested exactly the intact prefix of acknowledged points.
+func TestWALTornTailSweep(t *testing.T) {
+	walDir := t.TempDir()
+	cfg := walConfig(1, "", walDir, "always")
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single series, one WAL record per point: record k holds point k.
+	const points = 6
+	var sizes []int64
+	var segPath string
+	for i := 0; i < points; i++ {
+		if err := db.Append(1, int64(i)*100, float32(i)); err != nil {
+			t.Fatal(err)
+		}
+		if segPath == "" {
+			matches, err := filepath.Glob(filepath.Join(walDir, "shard-*", "*.wal"))
+			if err != nil || len(matches) == 0 {
+				t.Fatalf("no WAL segment found: %v %v", matches, err)
+			}
+			for _, m := range matches {
+				if info, _ := os.Stat(m); info != nil && info.Size() > 0 {
+					segPath = m
+				}
+			}
+		}
+		info, err := os.Stat(segPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+	}
+	// Crash without Flush or Close, keeping the log bytes.
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := Open(groupsConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	for i := 0; i < points-1; i++ {
+		if err := control.Append(1, int64(i)*100, float32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cut := sizes[points-1] - 1; cut >= sizes[points-2]; cut-- {
+		if err := os.WriteFile(segPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("reopen at cut %d: %v", cut, err)
+		}
+		assertSameResults(t, reopened, control)
+		reopened.Close()
+		// Restore the full log for the next iteration's cut.
+		if err := os.WriteFile(segPath, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALCrashEqualsNoCrashProperty is the randomized form: random
+// batches, random flushes, a crash at a random point — replay must
+// reproduce the never-crashed database on both stores.
+func TestWALCrashEqualsNoCrashProperty(t *testing.T) {
+	const nseries = 6
+	for _, store := range []string{"mem", "file"} {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", store, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				dataDir := ""
+				if store == "file" {
+					dataDir = t.TempDir()
+				}
+				cfg := walConfig(nseries, dataDir, t.TempDir(), "always")
+				// Small knobs so the crash lands between models, mid-model
+				// and mid-bulk-buffer across seeds.
+				cfg.LengthLimit = 10
+				cfg.BulkWriteSize = 16
+				crashed, err := Open(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				control, err := Open(groupsConfig(nseries))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer control.Close()
+				apply := func(db *DB, batch []DataPoint, useBatch bool) {
+					if useBatch {
+						if err := db.AppendBatch(context.Background(), batch); err != nil {
+							t.Fatal(err)
+						}
+						return
+					}
+					for _, p := range batch {
+						if err := db.Append(p.Tid, p.TS, p.Value); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				tick := 0
+				steps := 30 + rng.Intn(40)
+				for step := 0; step < steps; step++ {
+					var batch []DataPoint
+					for n := 1 + rng.Intn(8); n > 0; n-- {
+						for tid := 1; tid <= nseries; tid++ {
+							if rng.Intn(10) > 0 { // occasional per-series gap
+								batch = append(batch, DataPoint{
+									Tid: Tid(tid), TS: int64(tick) * 100,
+									Value: float32(rng.Intn(50)) + float32(tid),
+								})
+							}
+						}
+						tick++
+					}
+					useBatch := rng.Intn(2) == 0
+					apply(crashed, batch, useBatch)
+					apply(control, batch, useBatch)
+					if rng.Intn(7) == 0 {
+						if err := crashed.Flush(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				// Crash (abandon) and reopen.
+				reopened, err := Open(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer reopened.Close()
+				assertSameResults(t, reopened, control)
+			})
+		}
+	}
+}
+
+func TestOpenValidatesWALConfig(t *testing.T) {
+	cfg := groupsConfig(1)
+	cfg.WALSegmentBytes = -1
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("negative WALSegmentBytes must fail Open")
+	}
+	cfg = groupsConfig(1)
+	cfg.WALFsync = "sometimes"
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("unknown WALFsync policy must fail Open")
+	}
+	// The zero values stay valid with and without a WAL dir.
+	cfg = groupsConfig(1)
+	cfg.WALDir = t.TempDir()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+}
+
+func TestWALAppendAfterCloseAndErrClosed(t *testing.T) {
+	cfg := walConfig(1, "", t.TempDir(), "never")
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(1, 100, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestStatsCacheCounters(t *testing.T) {
+	cfg := groupsConfig(2)
+	cfg.SegmentCacheSize = 64
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ingestWorkload(t, db, 2, 100)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// First query misses, second hits the view cache.
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query("SELECT SUM(Value) FROM DataPoint"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheMisses == 0 || st.CacheHits == 0 {
+		t.Fatalf("cache counters = %d hits, %d misses; want both non-zero", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestWALOrphanGroupTruncates: records of a group the configuration
+// no longer knows (here: the WAL outlived its data directory and the
+// new config has fewer series) can never replay — a checkpoint must
+// still release their segments instead of pinning the WAL forever.
+func TestWALOrphanGroupTruncates(t *testing.T) {
+	walDir := t.TempDir()
+	db1, err := Open(walConfig(2, t.TempDir(), walDir, "always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		for tid := Tid(1); tid <= 2; tid++ {
+			if err := db1.Append(tid, int64(i)*100, float32(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Crash; the data directory is lost but the WAL survives, and the
+	// database is reopened with a single-series config (gid 2 orphaned).
+	db2, err := Open(walConfig(1, t.TempDir(), walDir, "always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DataPoints != 50 {
+		t.Fatalf("replayed points = %d, want gid 1's 50", st.DataPoints)
+	}
+	if st.WALBytes != 0 {
+		t.Fatalf("WALBytes after checkpoint = %d; orphaned gid 2 pins the log", st.WALBytes)
+	}
+}

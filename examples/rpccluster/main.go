@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	"modelardb"
@@ -47,11 +49,26 @@ func main() {
 		})
 	}
 
-	// Start two workers, each a full database served over TCP.
+	// Start two workers, each a full database served over TCP. Every
+	// worker runs a write-ahead log, so an acknowledged Append survives
+	// a worker crash: restart it from the same data and WAL directories
+	// on the same address and the master's bounded reconnect-and-retry
+	// carries re-queued batches and queries over to the replayed DB.
 	const nWorkers = 2
+	// Per-run directories: a crashed demo must not leak a stale journal
+	// into the next run's workers.
+	root, err := os.MkdirTemp("", "rpccluster-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
 	var addrs []string
 	for i := 0; i < nWorkers; i++ {
-		db, err := modelardb.Open(cfg)
+		wcfg := cfg
+		wcfg.Path = filepath.Join(root, fmt.Sprintf("w%d-data", i))
+		wcfg.WALDir = filepath.Join(root, fmt.Sprintf("w%d-wal", i))
+		wcfg.WALFsync = "interval"
+		db, err := modelardb.Open(wcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,6 +132,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncluster totals: %d segments, %d bytes, %d points\n",
-		stats.Segments, stats.StorageBytes, stats.DataPoints)
+	fmt.Printf("\ncluster totals: %d segments, %d bytes, %d points, %d WAL bytes\n",
+		stats.Segments, stats.StorageBytes, stats.DataPoints, stats.WALBytes)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"modelardb"
+	"modelardb/internal/core"
 )
 
 // fleetConfig builds a config with 8 series in 4 groups of 2.
@@ -304,5 +305,154 @@ func TestNewLocalValidations(t *testing.T) {
 	cfg.Path = "/tmp/x"
 	if _, err := NewLocal(context.Background(), cfg, 1); err == nil {
 		t.Fatal("file-backed local cluster must fail")
+	}
+}
+
+// TestClientReconnectsAfterConnectionLoss: a dead worker connection is
+// redialed once and the call retried, so the client survives a broken
+// TCP path without the caller seeing an error.
+func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
+	cfg := fleetConfig()
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(db, ln)
+	client, err := Dial(cfg, []string{ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the TCP path under the client; the server keeps accepting.
+	old := client.conn(0)
+	old.conn.Close()
+	if _, err := client.Stats(); err != nil {
+		t.Fatalf("Stats after connection loss = %v, want reconnect-and-retry to succeed", err)
+	}
+	if client.conn(0) == old {
+		t.Fatal("the dead connection was not replaced")
+	}
+	// The retry is bounded: with the listener gone too, the call fails.
+	ln.Close()
+	client.conn(0).conn.Close()
+	if _, err := client.Stats(); err == nil {
+		t.Fatal("Stats with worker and listener gone must fail")
+	}
+}
+
+// TestWorkerRestartWALDurability is the WAL's distributed acceptance
+// test: a worker whose DB runs with wal_fsync=always crashes after
+// acknowledging appends (nothing flushed), restarts from its data and
+// WAL directories, and the master — through the bounded
+// reconnect-and-retry — reads every acknowledged point back.
+func TestWorkerRestartWALDurability(t *testing.T) {
+	const ticks = 50
+	cfg := fleetConfig()
+	cfg.Path = t.TempDir()
+	cfg.WALDir = t.TempDir()
+	cfg.WALFsync = "always"
+	db1, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go Serve(db1, ln)
+	client, err := Dial(cfg, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.BatchSize = 16
+	fillCluster(t, client.Append, 8, ticks)
+	// Drain the client-side buffers so every point is acknowledged by
+	// the worker (and therefore on its WAL); the worker never flushes.
+	c := client
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make([][]core.DataPoint, 1)
+	c.mu.Unlock()
+	for w, batch := range pending {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := c.sendBatch(context.Background(), w, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash the worker: listener gone, connection severed, DB abandoned
+	// with everything still buffered in its ingestors and bulk buffer.
+	ln.Close()
+	client.conn(0).conn.Close()
+	// Restart: reopen from the same directories (WAL replay) and serve
+	// on the same address.
+	db2, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db2.Close() })
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln2.Close() })
+	go Serve(db2, ln2)
+	// Flush reaches the restarted worker via reconnect-and-retry and
+	// persists the replayed points; the query then sees all of them.
+	if err := client.Flush(); err != nil {
+		t.Fatalf("Flush after worker restart = %v", err)
+	}
+	res, err := client.Query("SELECT COUNT(*) FROM DataPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0]; fmt.Sprint(got) != fmt.Sprint(8*ticks) {
+		t.Fatalf("points after worker restart = %v, want %d", got, 8*ticks)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DataPoints != 8*ticks {
+		t.Fatalf("stats after restart = %+v, want %d replayed points", st, 8*ticks)
+	}
+}
+
+// TestNewLocalClearsWALDir: n in-process workers must not journal
+// into one shared WAL directory (they would corrupt each other's
+// shard files and n-plicate every point on a later replay).
+func TestNewLocalClearsWALDir(t *testing.T) {
+	cfg := fleetConfig()
+	cfg.WALDir = t.TempDir()
+	c, err := NewLocal(context.Background(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fillCluster(t, c.Append, 8, 20)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WALBytes != 0 {
+		t.Fatalf("local cluster workers wrote %d WAL bytes; WALDir must be cleared", st.WALBytes)
+	}
+	if st.DataPoints != 8*20 {
+		t.Fatalf("points = %d, want %d", st.DataPoints, 8*20)
 	}
 }

@@ -59,6 +59,9 @@ func NewLocal(ctx context.Context, cfg modelardb.Config, n int) (*LocalCluster, 
 	if cfg.Path != "" {
 		return nil, fmt.Errorf("cluster: local cluster workers are memory-backed")
 	}
+	// Like Path, a WAL directory cannot be shared: n workers journaling
+	// into the same shard files would corrupt each other's records.
+	cfg.WALDir = ""
 	if cfg.QueryParallelism == 0 {
 		cfg.QueryParallelism = max(1, runtime.GOMAXPROCS(0)/n)
 	}
@@ -258,6 +261,9 @@ func (c *LocalCluster) Stats() (modelardb.Stats, error) {
 		total.Segments += s.Segments
 		total.StorageBytes += s.StorageBytes
 		total.DataPoints += s.DataPoints
+		total.CacheHits += s.CacheHits
+		total.CacheMisses += s.CacheMisses
+		total.WALBytes += s.WALBytes
 	}
 	return total, nil
 }

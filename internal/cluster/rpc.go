@@ -190,14 +190,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // group and scatters queries fail-fast — the first worker error
 // cancels the remaining calls, including the workers' in-flight scans.
 type Client struct {
-	meta    *modelardb.DB
-	workers []*wireConn
-	assign  map[modelardb.Gid]int
+	meta *modelardb.DB
+	// addrs are the worker addresses, kept for reconnects.
+	addrs  []string
+	assign map[modelardb.Gid]int
 	// base bounds the client's lifetime: every call context is combined
 	// with it, so cancelling it aborts all in-flight RPCs at once.
 	base context.Context
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// workers holds one connection per worker, guarded by mu so a
+	// reconnect can swap a dead connection under concurrent callers.
+	workers []*wireConn
 	pending [][]core.DataPoint
 	// BatchSize is the number of points buffered per worker before an
 	// Append call is issued (akin to the paper's micro-batches).
@@ -220,13 +224,18 @@ func DialContext(ctx context.Context, cfg modelardb.Config, addrs []string) (*Cl
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no workers")
 	}
+	// The master's replica is metadata-only: no store, and no WAL — a
+	// WALDir in the shared worker config must not be opened (or
+	// journaled into) by the master.
 	cfg.Path = ""
+	cfg.WALDir = ""
 	meta, err := modelardb.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		meta:        meta,
+		addrs:       addrs,
 		assign:      AssignGroups(meta, len(addrs)),
 		base:        ctx,
 		pending:     make([][]core.DataPoint, len(addrs)),
@@ -245,12 +254,82 @@ func DialContext(ctx context.Context, cfg modelardb.Config, addrs []string) (*Cl
 	return c, nil
 }
 
+// conn returns worker w's current connection.
+func (c *Client) conn(w int) *wireConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers[w]
+}
+
 // call issues one worker call under the client's lifetime context and
-// per-call timeout.
-func (c *Client) call(ctx context.Context, w *wireConn, method string, args, reply any) error {
+// per-call timeout, with one bounded reconnect-and-retry when the
+// worker's connection is dead (callRetrying).
+func (c *Client) call(ctx context.Context, w int, method string, args, reply any) error {
 	ctx, cancel := mergeContexts(ctx, c.base)
 	defer cancel()
-	return c.timeoutCall(ctx, w, method, args, reply)
+	return c.callRetrying(ctx, w, method, args, reply)
+}
+
+// callRetrying issues one call on worker w's connection; ctx must
+// already include the client's lifetime. A call failing with
+// ErrConnectionLost — the connection died before or during it — is
+// retried exactly once on a freshly dialed connection, so a worker
+// restart (or a broken TCP path) no longer strands every later call
+// and re-queued Append batches can reach the recovered worker.
+//
+// Like the re-queue path, the retry is at-least-once: a connection
+// that died after delivering the request may have executed it, so a
+// retried Append can duplicate points (the exactly-once sequence
+// numbers are a ROADMAP item). Worker application errors and context
+// cancellations are returned as-is, never retried.
+func (c *Client) callRetrying(ctx context.Context, w int, method string, args, reply any) error {
+	conn := c.conn(w)
+	err := c.timeoutCall(ctx, conn, method, args, reply)
+	if err == nil || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
+		return err
+	}
+	next, rerr := c.redial(ctx, w, conn)
+	if rerr != nil {
+		return err // surface the original failure, not the dial's
+	}
+	return c.timeoutCall(ctx, next, method, args, reply)
+}
+
+// redial replaces worker w's dead connection with a fresh dial. When a
+// concurrent caller already swapped it, that connection is used
+// instead — at most one reconnect happens per failure.
+func (c *Client) redial(ctx context.Context, w int, old *wireConn) (*wireConn, error) {
+	c.mu.Lock()
+	cur := c.workers[w]
+	c.mu.Unlock()
+	if cur != old {
+		return cur, nil
+	}
+	// The reconnect obeys the same per-call bound as the calls it
+	// serves: an unreachable worker (dropped SYNs) must fail the retry
+	// within CallTimeout, not the OS connect timeout.
+	if c.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.CallTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addrs[w])
+	if err != nil {
+		return nil, err
+	}
+	nc := newWireConn(conn)
+	c.mu.Lock()
+	if c.workers[w] != old {
+		cur := c.workers[w]
+		c.mu.Unlock()
+		nc.Close()
+		return cur, nil
+	}
+	c.workers[w] = nc
+	c.mu.Unlock()
+	old.Close()
+	return nc, nil
 }
 
 // timeoutCall applies only the per-call deadline; the caller has
@@ -304,7 +383,7 @@ func (c *Client) AppendContext(ctx context.Context, tid modelardb.Tid, ts int64,
 // possible duplication on ambiguous failures; exactly-once replay
 // (batch sequence numbers, worker-side dedup) is a ROADMAP item.
 func (c *Client) sendBatch(ctx context.Context, w int, batch []core.DataPoint) error {
-	err := c.call(ctx, c.workers[w], "Append", &AppendArgs{Points: batch}, nil)
+	err := c.call(ctx, w, "Append", &AppendArgs{Points: batch}, nil)
 	if err != nil {
 		c.mu.Lock()
 		c.pending[w] = append(batch, c.pending[w]...)
@@ -342,7 +421,7 @@ func (c *Client) FlushContext(ctx context.Context) error {
 	if firstErr != nil {
 		return firstErr
 	}
-	for _, w := range c.workers {
+	for w := range c.addrs {
 		if err := c.call(ctx, w, "Flush", nil, nil); err != nil {
 			return err
 		}
@@ -375,21 +454,21 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*modelardb.Resul
 	}
 	ctx, cancel := mergeContexts(ctx, c.base)
 	defer cancel()
-	partials := make([]*query.PartialResult, len(c.workers))
-	errs := make([]error, len(c.workers))
+	partials := make([]*query.PartialResult, len(c.addrs))
+	errs := make([]error, len(c.addrs))
 	var wg sync.WaitGroup
-	for i, w := range c.workers {
+	for i := range c.addrs {
 		wg.Add(1)
-		go func(i int, w *wireConn) {
+		go func(i int) {
 			defer wg.Done()
 			reply := &query.PartialResult{}
-			errs[i] = c.timeoutCall(ctx, w, "ExecutePartial", &QueryArgs{SQL: sql}, reply)
+			errs[i] = c.callRetrying(ctx, i, "ExecutePartial", &QueryArgs{SQL: sql}, reply)
 			if errs[i] != nil {
 				cancel() // fail fast: abort the sibling calls and scans
 			} else {
 				partials[i] = reply
 			}
-		}(i, w)
+		}(i)
 	}
 	wg.Wait()
 	if err := firstError(errs); err != nil {
@@ -408,9 +487,9 @@ func (c *Client) Stats() (modelardb.Stats, error) {
 // counts come from the shared metadata, volume counters sum up.
 func (c *Client) StatsContext(ctx context.Context) (modelardb.Stats, error) {
 	var total modelardb.Stats
-	for i, w := range c.workers {
+	for i := range c.addrs {
 		var reply StatsReply
-		if err := c.call(ctx, w, "Stats", nil, &reply); err != nil {
+		if err := c.call(ctx, i, "Stats", nil, &reply); err != nil {
 			return total, err
 		}
 		s := reply.Stats
@@ -421,6 +500,9 @@ func (c *Client) StatsContext(ctx context.Context) (modelardb.Stats, error) {
 		total.Segments += s.Segments
 		total.StorageBytes += s.StorageBytes
 		total.DataPoints += s.DataPoints
+		total.CacheHits += s.CacheHits
+		total.CacheMisses += s.CacheMisses
+		total.WALBytes += s.WALBytes
 	}
 	return total, nil
 }
@@ -445,7 +527,11 @@ func firstError(errs []error) error {
 
 // Close closes worker connections and the master's metadata DB.
 func (c *Client) Close() error {
-	for _, w := range c.workers {
+	c.mu.Lock()
+	conns := make([]*wireConn, len(c.workers))
+	copy(conns, c.workers)
+	c.mu.Unlock()
+	for _, w := range conns {
 		if w != nil {
 			w.Close()
 		}

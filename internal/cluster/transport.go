@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -117,6 +118,12 @@ func decodeBody(body []byte, v any) error {
 	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
 }
 
+// ErrConnectionLost marks transport-level connection failures (reset,
+// EOF, poisoned framing). Client.call matches it to trigger its one
+// bounded reconnect-and-retry; worker application errors and context
+// cancellations never wrap it.
+var ErrConnectionLost = errors.New("cluster: connection lost")
+
 // WorkerError is an error a worker reported over the transport; it
 // distinguishes application failures on the worker from transport
 // failures (connection loss, cancellation) on the master.
@@ -188,6 +195,14 @@ func (c *wireConn) write(ctx context.Context, f *frame) error {
 	}
 	if err != nil {
 		c.fail(err)
+		// Unless the caller's own context fired, report the sticky
+		// connection-lost error so callers can match ErrConnectionLost
+		// and reconnect.
+		if ctx.Err() == nil {
+			c.mu.Lock()
+			err = c.err
+			c.mu.Unlock()
+		}
 	}
 	return err
 }
@@ -220,7 +235,7 @@ func (c *wireConn) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err == nil {
-		c.err = fmt.Errorf("cluster: connection lost: %w", err)
+		c.err = fmt.Errorf("%w: %v", ErrConnectionLost, err)
 	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)

@@ -13,6 +13,11 @@
 //	query_parallelism 0
 //	# per-call deadline for cluster RPCs (master side); 0 = none
 //	rpc_timeout 5s
+//	# point-level write-ahead log: directory, fsync policy
+//	# (always|interval|never) and segment rotation size
+//	wal_dir /var/lib/modelardb/wal
+//	wal_fsync interval
+//	wal_segment_bytes 16777216
 //	dimension Location Park Turbine
 //	correlation Location 1
 //	series s1.gz 100 Location=Aalborg/T1
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"modelardb"
+	"modelardb/internal/wal"
 )
 
 // Parse reads a configuration into a modelardb.Config.
@@ -91,6 +97,22 @@ func apply(cfg *modelardb.Config, directive, rest string) error {
 			return fmt.Errorf("rpc_timeout %q is not a non-negative duration (e.g. 5s)", rest)
 		}
 		cfg.RPCTimeout = v
+	case "wal_dir":
+		if rest == "" {
+			return fmt.Errorf("wal_dir needs a directory path")
+		}
+		cfg.WALDir = rest
+	case "wal_fsync":
+		if _, err := wal.ParsePolicy(rest); err != nil || rest == "" {
+			return fmt.Errorf("wal_fsync %q is not one of always, interval, never", rest)
+		}
+		cfg.WALFsync = rest
+	case "wal_segment_bytes":
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("wal_segment_bytes %q is not a positive integer", rest)
+		}
+		cfg.WALSegmentBytes = v
 	case "dimension":
 		fields := strings.Fields(rest)
 		if len(fields) < 2 {

@@ -16,6 +16,8 @@ split_fraction 8
 bulk_write_size 1000
 query_parallelism 4
 rpc_timeout 5s
+wal_fsync always
+wal_segment_bytes 4096
 dimension Location Park Turbine
 dimension Measure Category
 correlation Location 1, Measure 1 Temperature
@@ -40,6 +42,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.RPCTimeout != 5*time.Second {
 		t.Fatalf("rpc_timeout = %v, want 5s", cfg.RPCTimeout)
+	}
+	if cfg.WALFsync != "always" || cfg.WALSegmentBytes != 4096 {
+		t.Fatalf("wal cfg = %q %d, want always 4096", cfg.WALFsync, cfg.WALSegmentBytes)
 	}
 	if len(cfg.Dimensions) != 2 || cfg.Dimensions[0].Name != "Location" {
 		t.Fatalf("dimensions = %+v", cfg.Dimensions)
@@ -73,6 +78,11 @@ func TestParseErrors(t *testing.T) {
 		"query_parallelism x",
 		"rpc_timeout -5s",
 		"rpc_timeout soon",
+		"wal_dir",
+		"wal_fsync sometimes",
+		"wal_fsync",
+		"wal_segment_bytes 0",
+		"wal_segment_bytes x",
 		"dimension OnlyName",
 		"correlation",
 		"series one_field",
@@ -83,6 +93,16 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(strings.NewReader(line)); err == nil {
 			t.Errorf("Parse(%q) unexpectedly succeeded", line)
 		}
+	}
+}
+
+func TestParseWALDir(t *testing.T) {
+	cfg, err := Parse(strings.NewReader("wal_dir /var/lib/modelardb/wal\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WALDir != "/var/lib/modelardb/wal" {
+		t.Fatalf("wal_dir = %q", cfg.WALDir)
 	}
 }
 

@@ -90,9 +90,18 @@ func OpenFileStore(dir string, members MembersFunc, bulkSize int) (*FileStore, e
 	return s, nil
 }
 
-// recover scans the log, rebuilding the index and truncating any
-// corrupt tail left by a crash.
+// recover scans the log from the start, rebuilding the index and
+// truncating any corrupt tail left by a crash. The caller must hold
+// the write lock (or own the store exclusively, as Open does) and the
+// write buffer must be empty.
 func (s *FileStore) recover() error {
+	if _, err := s.file.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: seek: %w", err)
+	}
+	s.index = make(map[core.Gid][]recordRef)
+	s.maxDur = make(map[core.Gid]int64)
+	s.minStart = make(map[core.Gid]int64)
+	s.count, s.size = 0, 0
 	var offset int64
 	header := make([]byte, frameHeader)
 	var payload []byte
@@ -209,6 +218,40 @@ func (s *FileStore) flushLocked() error {
 	}
 	s.buffer = s.buffer[:0]
 	return nil
+}
+
+// LogOffset returns the length of the segment log: the offset at
+// which the next flushed record will be written. Buffered segments are
+// not included — the offset covers exactly the records a torn-tail
+// recovery can see. The WAL checkpoint records it so crash recovery
+// knows where the store's durable prefix ends.
+func (s *FileStore) LogOffset() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.offset
+}
+
+// TruncateLog discards every record at or beyond offset and rebuilds
+// the index from the remaining prefix. WAL recovery calls it before
+// replaying the logged tail: segments written after the last
+// checkpoint are dropped so re-ingesting their points cannot duplicate
+// data. It must not be called with buffered inserts pending.
+func (s *FileStore) TruncateLog(offset int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= s.offset {
+		return nil
+	}
+	if len(s.buffer) > 0 {
+		return errors.New("storage: TruncateLog with buffered segments")
+	}
+	if err := s.file.Truncate(offset); err != nil {
+		return fmt.Errorf("storage: truncate: %w", err)
+	}
+	return s.recover()
 }
 
 // Sync flushes buffered segments and fsyncs the log.

@@ -1,0 +1,848 @@
+// Package wal implements a group-sharded, point-level write-ahead log
+// that makes acknowledged appends crash-durable before any data point
+// reaches the in-memory model buffers of Fig. 4. The paper's pipeline
+// holds accepted points in per-group generators and a bulk-write
+// buffer until segments are finalized, so a crash would lose every
+// accepted-but-unflushed point; with the WAL in front, recovery
+// replays the logged tail through the normal ingestion path and the
+// storage engine loses at most the last unsynced interval.
+//
+// Layout: records are CRC-framed point batches (gid, a per-group
+// monotonic sequence number, points) appended to per-shard segment
+// files that rotate at SegmentBytes. A checkpoint — written after the
+// segment store has synced — records the per-group high-water sequence
+// plus the store's log offset, and deletes WAL segments wholly below
+// it. On open, torn or corrupt tails are truncated exactly like the
+// segment store's own log recovery, and Replay streams every record
+// above the last checkpoint back to the caller in per-group sequence
+// order.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"modelardb/internal/core"
+)
+
+// SyncPolicy selects when WAL writes are flushed and fsynced.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every logged batch: an acknowledged
+	// append survives even an OS crash, at a per-append fsync cost.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval (the default) fsyncs on a background ticker: an OS
+	// crash loses at most the last SyncInterval of acknowledged points,
+	// while appends stay at in-memory buffered-write cost.
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever leaves flushing to segment rotation, checkpoints and
+	// the OS page cache: a process crash still loses nothing once the
+	// buffered writer has drained, but an OS crash can lose everything
+	// since the last checkpoint.
+	SyncNever SyncPolicy = "never"
+)
+
+// ParsePolicy validates a policy string; "" selects SyncInterval.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case "":
+		return SyncInterval, nil
+	case SyncAlways, SyncInterval, SyncNever:
+		return SyncPolicy(s), nil
+	default:
+		return "", fmt.Errorf("wal: unknown fsync policy %q (use always, interval or never)", s)
+	}
+}
+
+const (
+	// DefaultSegmentBytes is the rotation threshold for one WAL segment.
+	DefaultSegmentBytes = 16 << 20
+	// DefaultSyncInterval is the fsync cadence under SyncInterval.
+	DefaultSyncInterval = 100 * time.Millisecond
+	// DefaultShards is the number of WAL shards; groups map to shards by
+	// Gid, so writers of different shards never serialize on the log.
+	DefaultShards = 8
+
+	frameHeader    = 8 // uint32 payload length + uint32 CRC32
+	maxRecordSize  = 1 << 30
+	checkpointName = "checkpoint"
+	metaName       = "walmeta"
+	segmentSuffix  = ".wal"
+)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// Options configures Open.
+type Options struct {
+	// Dir is the WAL directory (required).
+	Dir string
+	// Sync is the durability policy; "" selects SyncInterval.
+	Sync SyncPolicy
+	// SegmentBytes rotates segment files at this size; <= 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// SyncInterval is the fsync cadence under SyncInterval; <= 0
+	// selects DefaultSyncInterval.
+	SyncInterval time.Duration
+	// Shards is the shard count; <= 0 selects DefaultShards. The count
+	// is persisted on first open and later opens reuse the persisted
+	// value, so the Gid-to-file mapping never changes under old logs.
+	Shards int
+}
+
+// segmentInfo summarizes one sealed segment file for checkpoint
+// truncation: a file whose per-group max sequences are all at or below
+// the checkpoint holds only applied-and-stored data and is deleted.
+type segmentInfo struct {
+	path   string
+	index  uint64
+	maxSeq map[core.Gid]uint64
+}
+
+// shard is one WAL shard: its own segment files, buffered writer and
+// lock, so appends to groups of different shards do not serialize.
+type shard struct {
+	mu   sync.Mutex
+	dir  string
+	file *os.File
+	buf  []byte // pending writes not yet handed to the OS
+	size int64  // current segment size including buffered bytes
+
+	index  uint64 // current segment's index
+	curMax map[core.Gid]uint64
+	sealed []*segmentInfo
+
+	// seqs holds the last assigned sequence per group of this shard,
+	// floored by the checkpoint so truncated groups keep counting up.
+	seqs map[core.Gid]uint64
+
+	dirty bool  // unsynced bytes exist (interval policy)
+	err   error // sticky I/O error; appends fail once set
+
+	scratch []byte
+}
+
+// WAL is a group-sharded point-level write-ahead log.
+type WAL struct {
+	opts   Options
+	shards []*shard
+
+	ckptMu   sync.Mutex
+	ckptSeqs map[core.Gid]uint64
+	storeOff int64
+	hasCkpt  bool
+
+	stop     chan struct{}
+	syncDone chan struct{}
+	closed   bool
+	closeMu  sync.Mutex
+}
+
+// Open opens (creating if needed) the WAL in opts.Dir, truncating any
+// torn or corrupt tail left by a crash. It does not replay: call
+// Replay before the first Append to stream the un-checkpointed tail
+// back through the ingestion path.
+func Open(opts Options) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	policy, err := ParsePolicy(string(opts.Sync))
+	if err != nil {
+		return nil, err
+	}
+	opts.Sync = policy
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := loadOrPersistShards(&opts); err != nil {
+		return nil, err
+	}
+	w := &WAL{opts: opts, ckptSeqs: map[core.Gid]uint64{}, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	if err := w.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Shards; i++ {
+		s, err := openShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i)))
+		if err != nil {
+			w.closeShards()
+			return nil, err
+		}
+		w.shards = append(w.shards, s)
+	}
+	// Floor every shard's sequence counters at the checkpoint, so a
+	// group whose records were all truncated keeps counting upward and
+	// never reuses a sequence the checkpoint already covers.
+	for gid, seq := range w.ckptSeqs {
+		s := w.shardOf(gid)
+		if s.seqs[gid] < seq {
+			s.seqs[gid] = seq
+		}
+	}
+	if opts.Sync == SyncInterval {
+		go w.syncLoop()
+	} else {
+		close(w.syncDone)
+	}
+	return w, nil
+}
+
+// loadOrPersistShards pins the shard count across opens: the mapping
+// from Gid to shard file must not change while old segments exist.
+func loadOrPersistShards(opts *Options) error {
+	path := filepath.Join(opts.Dir, metaName)
+	if data, err := os.ReadFile(path); err == nil {
+		n, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil || n < 1 {
+			return fmt.Errorf("wal: corrupt %s: %q", metaName, data)
+		}
+		opts.Shards = n
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(strconv.Itoa(opts.Shards)), 0o644); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+func (w *WAL) shardOf(gid core.Gid) *shard {
+	return w.shards[int(gid)%len(w.shards)]
+}
+
+// openShard scans a shard directory, truncating the first corrupt
+// record and everything after it (torn tails from a crash), rebuilds
+// the per-segment summaries and sequence counters, and opens the last
+// segment for appending.
+func openShard(dir string) (*shard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	s := &shard{dir: dir, seqs: map[core.Gid]uint64{}, curMax: map[core.Gid]uint64{}}
+	files, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range files {
+		maxSeq := map[core.Gid]uint64{}
+		valid, err := scanSegment(f.path, func(gid core.Gid, seq uint64, _ []core.DataPoint) error {
+			if seq > maxSeq[gid] {
+				maxSeq[gid] = seq
+			}
+			if seq > s.seqs[gid] {
+				s.seqs[gid] = seq
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.maxSeq = maxSeq
+		info, err := os.Stat(f.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if valid < info.Size() {
+			// Torn or corrupt tail: truncate here and drop any later
+			// segments — like the store's log recovery, the intact
+			// prefix is the recovered state.
+			if err := os.Truncate(f.path, valid); err != nil {
+				return nil, fmt.Errorf("wal: truncate: %w", err)
+			}
+			for _, g := range files[i+1:] {
+				if err := os.Remove(g.path); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+			}
+			files = files[:i+1]
+			break
+		}
+	}
+	if len(files) == 0 {
+		return s, s.openSegment(1)
+	}
+	last := files[len(files)-1]
+	s.sealed = files[:len(files)-1]
+	s.index = last.index
+	s.curMax = last.maxSeq
+	file, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	size, err := file.Seek(0, 2)
+	if err != nil {
+		file.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	s.file = file
+	s.size = size
+	return s, nil
+}
+
+// openSegment creates and switches to segment file number index.
+func (s *shard) openSegment(index uint64) error {
+	path := filepath.Join(s.dir, fmt.Sprintf("%016d%s", index, segmentSuffix))
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	s.file = file
+	s.index = index
+	s.size = 0
+	s.curMax = map[core.Gid]uint64{}
+	return nil
+}
+
+// listSegments returns the shard's segment files in index order.
+func listSegments(dir string) ([]*segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var files []*segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		files = append(files, &segmentInfo{path: filepath.Join(dir, name), index: idx})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].index < files[j].index })
+	return files, nil
+}
+
+// scanSegment parses one segment file, calling fn per valid record,
+// and returns the byte offset of the valid prefix — the first torn or
+// corrupt frame ends the scan, exactly like the store's log recovery.
+func scanSegment(path string, fn func(gid core.Gid, seq uint64, pts []core.DataPoint) error) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	off := 0
+	for off+frameHeader <= len(data) {
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxRecordSize || off+frameHeader+length > len(data) {
+			break
+		}
+		payload := data[off+frameHeader : off+frameHeader+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		gid, seq, pts, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		if fn != nil {
+			if err := fn(gid, seq, pts); err != nil {
+				return int64(off), err
+			}
+		}
+		off += frameHeader + length
+	}
+	return int64(off), nil
+}
+
+// appendRecord frames one record (gid, seq, points) into buf.
+func appendRecord(buf []byte, gid core.Gid, seq uint64, pts []core.DataPoint) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = binary.AppendUvarint(buf, uint64(gid))
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(pts)))
+	for _, p := range pts {
+		buf = binary.AppendUvarint(buf, uint64(p.Tid))
+		buf = binary.AppendVarint(buf, p.TS)
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Value))
+	}
+	payload := buf[start+frameHeader:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// decodeRecord parses one framed payload.
+func decodeRecord(payload []byte) (core.Gid, uint64, []core.DataPoint, error) {
+	gid, n := binary.Uvarint(payload)
+	if n <= 0 || gid == 0 || gid > math.MaxInt32 {
+		return 0, 0, nil, errors.New("wal: corrupt record gid")
+	}
+	payload = payload[n:]
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 || seq == 0 {
+		return 0, 0, nil, errors.New("wal: corrupt record seq")
+	}
+	payload = payload[n:]
+	count, n := binary.Uvarint(payload)
+	if n <= 0 || count > uint64(len(payload)) {
+		return 0, 0, nil, errors.New("wal: corrupt record count")
+	}
+	payload = payload[n:]
+	pts := make([]core.DataPoint, 0, count)
+	for i := uint64(0); i < count; i++ {
+		tid, n := binary.Uvarint(payload)
+		if n <= 0 || tid == 0 || tid > math.MaxInt32 {
+			return 0, 0, nil, errors.New("wal: corrupt point tid")
+		}
+		payload = payload[n:]
+		ts, n := binary.Varint(payload)
+		if n <= 0 {
+			return 0, 0, nil, errors.New("wal: corrupt point timestamp")
+		}
+		payload = payload[n:]
+		if len(payload) < 4 {
+			return 0, 0, nil, errors.New("wal: corrupt point value")
+		}
+		v := math.Float32frombits(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		pts = append(pts, core.DataPoint{Tid: core.Tid(tid), TS: ts, Value: v})
+	}
+	if len(payload) != 0 {
+		return 0, 0, nil, errors.New("wal: trailing bytes in record")
+	}
+	return core.Gid(gid), seq, pts, nil
+}
+
+// Append logs one batch of points for gid, assigning the group's next
+// sequence number, and makes it durable according to the sync policy.
+// The caller must serialize appends of one group (the database holds
+// the group's shard lock), so per-group sequence order equals log
+// order and replay reproduces ingestion exactly.
+func (w *WAL) Append(gid core.Gid, pts []core.DataPoint) (uint64, error) {
+	s := w.shardOf(gid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return 0, ErrClosed
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	seq := s.seqs[gid] + 1
+	s.scratch = appendRecord(s.scratch[:0], gid, seq, pts)
+	if s.size > 0 && s.size+int64(len(s.scratch)) > w.opts.SegmentBytes {
+		if err := s.rotate(); err != nil {
+			s.err = err
+			return 0, err
+		}
+	}
+	s.buf = append(s.buf, s.scratch...)
+	s.size += int64(len(s.scratch))
+	s.seqs[gid] = seq
+	if seq > s.curMax[gid] {
+		s.curMax[gid] = seq
+	}
+	if w.opts.Sync == SyncAlways {
+		if err := s.flushAndSync(); err != nil {
+			s.err = err
+			return 0, err
+		}
+	} else {
+		s.dirty = true
+		// Bound the in-memory buffer: hand large runs to the OS even
+		// under interval/never policies.
+		if len(s.buf) >= 1<<16 {
+			if err := s.flushBuf(); err != nil {
+				s.err = err
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// flushBuf hands buffered bytes to the OS without fsyncing.
+func (s *shard) flushBuf() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if _, err := s.file.Write(s.buf); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// flushAndSync drains the buffer and fsyncs the current segment.
+func (s *shard) flushAndSync() error {
+	if err := s.flushBuf(); err != nil {
+		return err
+	}
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	s.dirty = false
+	return nil
+}
+
+// rotate seals the current segment and opens the next one. The sealed
+// file is synced so checkpoint truncation decisions never race the
+// page cache.
+func (s *shard) rotate() error {
+	if err := s.flushAndSync(); err != nil {
+		return err
+	}
+	if err := s.file.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	s.sealed = append(s.sealed, &segmentInfo{
+		path:   filepath.Join(s.dir, fmt.Sprintf("%016d%s", s.index, segmentSuffix)),
+		index:  s.index,
+		maxSeq: s.curMax,
+	})
+	return s.openSegment(s.index + 1)
+}
+
+// Seq returns the last sequence number assigned to gid (0 if none).
+func (w *WAL) Seq(gid core.Gid) uint64 {
+	s := w.shardOf(gid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seqs[gid]
+}
+
+// Seqs snapshots the last assigned sequence of every group the WAL
+// has seen — including groups the current configuration no longer
+// knows. Checkpointing uses it so records of orphaned groups (which
+// replay necessarily skips) do not pin their segments forever.
+func (w *WAL) Seqs() map[core.Gid]uint64 {
+	out := map[core.Gid]uint64{}
+	for _, s := range w.shards {
+		s.mu.Lock()
+		for gid, seq := range s.seqs {
+			out[gid] = seq
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// HasCheckpoint reports whether a checkpoint has ever been recorded.
+func (w *WAL) HasCheckpoint() bool {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	return w.hasCkpt
+}
+
+// StoreOffset returns the segment-store log offset recorded by the
+// last checkpoint: every store record below it holds only points whose
+// sequence the checkpoint covers, so recovery truncates the store
+// there and replays the WAL tail without duplicating data.
+func (w *WAL) StoreOffset() int64 {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	return w.storeOff
+}
+
+// Replay streams every record above the last checkpoint to fn, in
+// per-group sequence order (records of one group live in one shard and
+// are scanned in write order). Call it once, after Open and before the
+// first Append.
+func (w *WAL) Replay(fn func(gid core.Gid, seq uint64, pts []core.DataPoint) error) error {
+	w.ckptMu.Lock()
+	ckpt := w.ckptSeqs
+	w.ckptMu.Unlock()
+	for _, s := range w.shards {
+		files := make([]*segmentInfo, 0, len(s.sealed)+1)
+		files = append(files, s.sealed...)
+		files = append(files, &segmentInfo{
+			path: filepath.Join(s.dir, fmt.Sprintf("%016d%s", s.index, segmentSuffix)),
+		})
+		for _, f := range files {
+			if _, err := os.Stat(f.path); err != nil {
+				continue // empty shard: current segment never created
+			}
+			_, err := scanSegment(f.path, func(gid core.Gid, seq uint64, pts []core.DataPoint) error {
+				if seq <= ckpt[gid] {
+					return nil
+				}
+				return fn(gid, seq, pts)
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint durably records that every point with sequence at or
+// below seqs[gid] has been applied and synced by the segment store
+// (whose log now ends at storeOffset), then deletes or truncates WAL
+// segments wholly below the mark. Sequences only ratchet upward;
+// groups absent from seqs keep their previous mark.
+func (w *WAL) Checkpoint(seqs map[core.Gid]uint64, storeOffset int64) error {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	merged := make(map[core.Gid]uint64, len(w.ckptSeqs)+len(seqs))
+	for gid, seq := range w.ckptSeqs {
+		merged[gid] = seq
+	}
+	for gid, seq := range seqs {
+		if seq > merged[gid] {
+			merged[gid] = seq
+		}
+	}
+	if err := w.writeCheckpoint(merged, storeOffset); err != nil {
+		return err
+	}
+	w.ckptSeqs = merged
+	w.storeOff = storeOffset
+	w.hasCkpt = true
+	for _, s := range w.shards {
+		if err := s.truncateBelow(merged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// truncateBelow removes sealed segments wholly covered by the
+// checkpoint and resets the current segment in place when it is.
+func (s *shard) truncateBelow(ckpt map[core.Gid]uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// keep is a fresh slice, never aliasing s.sealed: a Remove failing
+	// mid-loop must leave s.sealed listing exactly the surviving
+	// segments (kept ones plus not-yet-visited), so the next checkpoint
+	// can retry instead of tripping over shifted or duplicated entries.
+	keep := make([]*segmentInfo, 0, len(s.sealed))
+	for i, seg := range s.sealed {
+		if covered(seg.maxSeq, ckpt) {
+			if err := os.Remove(seg.path); err != nil {
+				s.sealed = append(keep, s.sealed[i:]...)
+				return fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	s.sealed = keep
+	if s.file != nil && s.size > 0 && len(s.curMax) > 0 && covered(s.curMax, ckpt) {
+		s.buf = s.buf[:0]
+		if err := s.file.Truncate(0); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		if _, err := s.file.Seek(0, 0); err != nil {
+			return fmt.Errorf("wal: seek: %w", err)
+		}
+		s.size = 0
+		s.curMax = map[core.Gid]uint64{}
+		s.dirty = false
+	}
+	return nil
+}
+
+// covered reports whether every sequence in maxSeq is at or below the
+// checkpoint mark of its group.
+func covered(maxSeq, ckpt map[core.Gid]uint64) bool {
+	for gid, seq := range maxSeq {
+		if ckpt[gid] < seq {
+			return false
+		}
+	}
+	return true
+}
+
+// writeCheckpoint persists the checkpoint atomically: framed payload
+// into a temp file, fsync, rename over the previous checkpoint.
+func (w *WAL) writeCheckpoint(seqs map[core.Gid]uint64, storeOffset int64) error {
+	var payload []byte
+	payload = binary.AppendVarint(payload, storeOffset)
+	payload = binary.AppendUvarint(payload, uint64(len(seqs)))
+	gids := make([]core.Gid, 0, len(seqs))
+	for gid := range seqs {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		payload = binary.AppendUvarint(payload, uint64(gid))
+		payload = binary.AppendUvarint(payload, seqs[gid])
+	}
+	var framed []byte
+	framed = append(framed, 0, 0, 0, 0, 0, 0, 0, 0)
+	framed = append(framed, payload...)
+	binary.LittleEndian.PutUint32(framed[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(framed[4:8], crc32.ChecksumIEEE(payload))
+	tmp := filepath.Join(w.opts.Dir, checkpointName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(framed); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.opts.Dir, checkpointName)); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads the last durable checkpoint, if any.
+func (w *WAL) loadCheckpoint() error {
+	data, err := os.ReadFile(filepath.Join(w.opts.Dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < frameHeader {
+		return errors.New("wal: corrupt checkpoint: short header")
+	}
+	length := int(binary.LittleEndian.Uint32(data[:4]))
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if length != len(data)-frameHeader {
+		return errors.New("wal: corrupt checkpoint: length mismatch")
+	}
+	payload := data[frameHeader:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return errors.New("wal: corrupt checkpoint: bad checksum")
+	}
+	storeOff, n := binary.Varint(payload)
+	if n <= 0 {
+		return errors.New("wal: corrupt checkpoint: store offset")
+	}
+	payload = payload[n:]
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return errors.New("wal: corrupt checkpoint: group count")
+	}
+	payload = payload[n:]
+	seqs := make(map[core.Gid]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		gid, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return errors.New("wal: corrupt checkpoint: gid")
+		}
+		payload = payload[n:]
+		seq, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return errors.New("wal: corrupt checkpoint: seq")
+		}
+		payload = payload[n:]
+		seqs[core.Gid(gid)] = seq
+	}
+	w.ckptSeqs = seqs
+	w.storeOff = storeOff
+	w.hasCkpt = true
+	return nil
+}
+
+// Sync drains every shard's buffer and fsyncs its current segment,
+// regardless of policy — the explicit durability point Flush uses.
+func (w *WAL) Sync() error {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		if s.file == nil {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if err := s.flushAndSync(); err != nil {
+			s.err = err
+			s.mu.Unlock()
+			return err
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// syncLoop is the SyncInterval background fsyncer.
+func (w *WAL) syncLoop() {
+	defer close(w.syncDone)
+	ticker := time.NewTicker(w.opts.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			for _, s := range w.shards {
+				s.mu.Lock()
+				if s.file != nil && s.dirty && s.err == nil {
+					if err := s.flushAndSync(); err != nil {
+						s.err = err
+					}
+				}
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Close syncs and releases the WAL; further appends return ErrClosed.
+func (w *WAL) Close() error {
+	w.closeMu.Lock()
+	if w.closed {
+		w.closeMu.Unlock()
+		return ErrClosed
+	}
+	w.closed = true
+	close(w.stop)
+	w.closeMu.Unlock()
+	<-w.syncDone
+	err := w.Sync()
+	w.closeShards()
+	return err
+}
+
+func (w *WAL) closeShards() {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		if s.file != nil {
+			s.file.Close()
+			s.file = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// SizeBytes reports the WAL's current on-log volume (sealed plus
+// active segments, including buffered bytes) for observability.
+func (w *WAL) SizeBytes() int64 {
+	var total int64
+	for _, s := range w.shards {
+		s.mu.Lock()
+		total += s.size
+		for _, seg := range s.sealed {
+			if info, err := os.Stat(seg.path); err == nil {
+				total += info.Size()
+			}
+		}
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,326 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"modelardb/internal/core"
+)
+
+func pts(tid core.Tid, base int64, n int) []core.DataPoint {
+	out := make([]core.DataPoint, n)
+	for i := range out {
+		out[i] = core.DataPoint{Tid: tid, TS: base + int64(i)*100, Value: float32(i)}
+	}
+	return out
+}
+
+type replayed struct {
+	gid core.Gid
+	seq uint64
+	pts []core.DataPoint
+}
+
+func collectReplay(t *testing.T, w *WAL) []replayed {
+	t.Helper()
+	var out []replayed
+	if err := w.Replay(func(gid core.Gid, seq uint64, p []core.DataPoint) error {
+		cp := make([]core.DataPoint, len(p))
+		copy(cp, p)
+		out = append(out, replayed{gid, seq, cp})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, ok := range []string{"", "always", "interval", "never"} {
+		if _, err := ParsePolicy(ok); err != nil {
+			t.Errorf("ParsePolicy(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Error("ParsePolicy(sometimes) must fail")
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []replayed{
+		{1, 1, pts(1, 0, 3)},
+		{2, 1, pts(3, 0, 2)},
+		{1, 2, pts(2, 1000, 1)},
+		{2, 2, pts(3, 2000, 4)},
+	}
+	for _, r := range want {
+		seq, err := w.Append(r.gid, r.pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != r.seq {
+			t.Fatalf("Append(%d) seq = %d, want %d", r.gid, seq, r.seq)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := collectReplay(t, w2)
+	// Replay order across groups of one shard is write order; sort-free
+	// comparison works because gids 1 and 2 land in different shards
+	// and per-shard order is preserved. Compare per group.
+	perGroup := func(rs []replayed, gid core.Gid) []replayed {
+		var out []replayed
+		for _, r := range rs {
+			if r.gid == gid {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	for _, gid := range []core.Gid{1, 2} {
+		if !reflect.DeepEqual(perGroup(got, gid), perGroup(want, gid)) {
+			t.Fatalf("replay group %d = %+v, want %+v", gid, perGroup(got, gid), perGroup(want, gid))
+		}
+	}
+	if w2.Seq(1) != 2 || w2.Seq(2) != 2 {
+		t.Fatalf("Seq after reopen = %d, %d, want 2, 2", w2.Seq(1), w2.Seq(2))
+	}
+}
+
+func TestRotationAndCheckpointTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 64, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append(1, pts(1, int64(i*1000), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := func() int {
+		files, err := listSegments(w.shardOf(1).dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(files)
+	}
+	if n := segs(); n < 3 {
+		t.Fatalf("got %d segments, want rotation to produce several", n)
+	}
+	// Checkpoint half way: segments wholly below seq 10 disappear,
+	// records above survive and replay.
+	if err := w.Checkpoint(map[core.Gid]uint64{1: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := segs()
+	if after >= 20 {
+		t.Fatalf("checkpoint did not truncate: %d segments", after)
+	}
+	got := collectReplay(t, w) // replay-after-checkpoint only for the test
+	if len(got) != 10 {
+		t.Fatalf("replay after checkpoint = %d records, want 10", len(got))
+	}
+	if got[0].seq != 11 {
+		t.Fatalf("first replayed seq = %d, want 11", got[0].seq)
+	}
+	// Checkpoint everything: the shard's log empties entirely.
+	if err := w.Checkpoint(map[core.Gid]uint64{1: 20}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectReplay(t, w); len(got) != 0 {
+		t.Fatalf("replay after full checkpoint = %d records, want 0", len(got))
+	}
+	// New appends continue above the checkpoint, never reusing seqs.
+	seq, err := w.Append(1, pts(1, 99000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 21 {
+		t.Fatalf("seq after full checkpoint = %d, want 21", seq)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The sequence floor survives reopen through the checkpoint file.
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := collectReplay(t, w2); len(got) != 1 || got[0].seq != 21 {
+		t.Fatalf("replay after reopen = %+v, want one record with seq 21", got)
+	}
+}
+
+func TestTornTailSweep(t *testing.T) {
+	// Cut the shard's log at every byte boundary inside the last record
+	// and verify open truncates exactly to the intact prefix, like the
+	// segment store's own log recovery.
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const records = 5
+	var sizes []int64
+	seg := filepath.Join(w.shardOf(1).dir, fmt.Sprintf("%016d%s", 1, segmentSuffix))
+	for i := 0; i < records; i++ {
+		if _, err := w.Append(1, pts(1, int64(i*1000), 2)); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := sizes[records-1] - 1; cut >= sizes[records-2]; cut-- {
+		if err := os.WriteFile(seg, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("open at cut %d: %v", cut, err)
+		}
+		got := collectReplay(t, w)
+		if len(got) != records-1 {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(got), records-1)
+		}
+		// The torn tail is truncated away, and the WAL stays appendable:
+		// the next record lands where the torn one was.
+		if seq, err := w.Append(1, pts(1, 99000, 1)); err != nil || seq != records {
+			t.Fatalf("cut %d: append after truncation = seq %d, %v", cut, seq, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCorruptMiddleRecordDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64
+	seg := filepath.Join(w.shardOf(1).dir, fmt.Sprintf("%016d%s", 1, segmentSuffix))
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(1, pts(1, int64(i*1000), 2)); err != nil {
+			t.Fatal(err)
+		}
+		info, _ := os.Stat(seg)
+		sizes = append(sizes, info.Size())
+	}
+	w.Close()
+	full, _ := os.ReadFile(seg)
+	full[sizes[1]+frameHeader+1] ^= 0xFF // flip a bit in record 3's payload
+	os.WriteFile(seg, full, 0o644)
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := collectReplay(t, w2); len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2 (up to the corruption)", len(got))
+	}
+}
+
+func TestCheckpointStoreOffsetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.HasCheckpoint() {
+		t.Fatal("fresh WAL must have no checkpoint")
+	}
+	if err := w.Checkpoint(map[core.Gid]uint64{7: 3}, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !w2.HasCheckpoint() || w2.StoreOffset() != 12345 {
+		t.Fatalf("checkpoint = %v offset %d, want true 12345", w2.HasCheckpoint(), w2.StoreOffset())
+	}
+	if w2.Seq(7) != 3 {
+		t.Fatalf("Seq(7) = %d, want checkpoint floor 3", w2.Seq(7))
+	}
+}
+
+func TestShardCountPinnedAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Shards: 2, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(5, pts(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Reopening with a different shard count must keep the persisted
+	// mapping, or old records would replay from the wrong shard.
+	w2, err := Open(Options{Dir: dir, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(w2.shards) != 2 {
+		t.Fatalf("shards after reopen = %d, want pinned 2", len(w2.shards))
+	}
+	if got := collectReplay(t, w2); len(got) != 1 || got[0].gid != 5 {
+		t.Fatalf("replay = %+v, want the gid-5 record", got)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	w, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := w.Append(1, pts(1, 0, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenValidatesOptions(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without Dir must fail")
+	}
+	if _, err := Open(Options{Dir: t.TempDir(), Sync: "sometimes"}); err == nil {
+		t.Fatal("Open with unknown policy must fail")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"modelardb/internal/query"
 	"modelardb/internal/sqlparse"
 	"modelardb/internal/storage"
+	"modelardb/internal/wal"
 )
 
 // Re-exported core types so applications never import internal
@@ -134,6 +135,24 @@ type Config struct {
 	// in time, and the worker-side scan is cancelled. 0 means calls are
 	// bounded only by their caller's context.
 	RPCTimeout time.Duration
+	// WALDir enables the point-level write-ahead log: every
+	// Append/AppendBatch is logged (and made durable per WALFsync)
+	// before it reaches the in-memory model buffers, and Open replays
+	// the un-checkpointed tail after a crash, so an acknowledged append
+	// survives the loss of every buffered segment. Empty disables the
+	// WAL, which is the pre-WAL behavior exactly. With a file-backed
+	// store (Path set) Flush checkpoints and truncates the WAL; with
+	// the in-memory store the WAL is a full journal that rebuilds the
+	// whole database on Open.
+	WALDir string
+	// WALFsync selects the WAL durability policy: "always" (fsync per
+	// append), "interval" (background fsync, the default — a crash
+	// loses at most the last ~100ms of acknowledged points) or "never"
+	// (flush on rotation and checkpoint only).
+	WALFsync string
+	// WALSegmentBytes rotates WAL segment files at this size; 0 selects
+	// the default (16 MiB).
+	WALSegmentBytes int64
 }
 
 // DefaultConfig returns the paper's evaluated configuration (Table 1):
@@ -169,6 +188,11 @@ type DB struct {
 	// without any lock; writers only take their own group's shard lock
 	// and therefore never serialize across groups.
 	shards map[Gid]*groupShard
+	// wal, when non-nil, logs every point batch before it reaches a
+	// GroupIngestor; WAL writes happen under the group's shard lock so
+	// per-group log order equals ingestion order and replay reproduces
+	// the pre-crash state exactly.
+	wal    *wal.WAL
 	closed atomic.Bool
 	points atomic.Int64
 	// flushMu serializes Flush with Close (never with Append), so a
@@ -184,6 +208,10 @@ type DB struct {
 type groupShard struct {
 	mu sync.Mutex
 	gi *core.GroupIngestor
+	// walPoint is the single-point scratch batch for Append's WAL
+	// write, reused under the shard lock to keep the hot path
+	// allocation-free.
+	walPoint [1]DataPoint
 }
 
 // ErrClosed is returned by operations on a closed database.
@@ -196,6 +224,12 @@ func Open(cfg Config) (*DB, error) {
 	}
 	if cfg.BulkWriteSize < 0 {
 		return nil, fmt.Errorf("modelardb: BulkWriteSize %d is negative; use 0 for the default (%d) or a positive buffer size", cfg.BulkWriteSize, storage.DefaultBulkWriteSize)
+	}
+	if cfg.WALSegmentBytes < 0 {
+		return nil, fmt.Errorf("modelardb: WALSegmentBytes %d is negative; use 0 for the default (%d) or a positive segment size", cfg.WALSegmentBytes, wal.DefaultSegmentBytes)
+	}
+	if _, err := wal.ParsePolicy(cfg.WALFsync); err != nil {
+		return nil, fmt.Errorf("modelardb: %w", err)
 	}
 	db := &DB{
 		cfg:  cfg,
@@ -247,7 +281,88 @@ func Open(cfg Config) (*DB, error) {
 	db.engine.SetParallelism(cfg.QueryParallelism)
 	db.series = db.meta.AllSeries()
 	db.initShards()
+	if cfg.WALDir != "" {
+		if err := db.openWAL(); err != nil {
+			db.store.Close()
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// openWAL opens the write-ahead log, reconciles the segment store with
+// the last checkpoint and replays the logged tail through the normal
+// ingestion path, restoring the in-memory buffers a crash lost.
+func (db *DB) openWAL() error {
+	policy, _ := wal.ParsePolicy(db.cfg.WALFsync) // validated in Open
+	w, err := wal.Open(wal.Options{
+		Dir:          db.cfg.WALDir,
+		Sync:         policy,
+		SegmentBytes: db.cfg.WALSegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("modelardb: %w", err)
+	}
+	if fs, ok := db.store.(*storage.FileStore); ok {
+		if w.HasCheckpoint() {
+			// Segments flushed after the last checkpoint hold points the
+			// WAL tail still carries; drop them so replay cannot
+			// double-ingest. (A clean Close checkpoints at the log's end,
+			// making this a no-op.)
+			if err := fs.TruncateLog(w.StoreOffset()); err != nil {
+				w.Close()
+				return err
+			}
+		} else {
+			// First open with a WAL on this store: anchor the baseline at
+			// the store's current durable end, so the invariant "records
+			// below the checkpoint offset carry only checkpointed points"
+			// holds from the first record on.
+			if err := fs.Sync(); err != nil {
+				w.Close()
+				return err
+			}
+			if err := w.Checkpoint(nil, fs.LogOffset()); err != nil {
+				w.Close()
+				return err
+			}
+		}
+	}
+	if err := db.replayWAL(w); err != nil {
+		w.Close()
+		return fmt.Errorf("modelardb: wal replay: %w", err)
+	}
+	db.wal = w
+	return nil
+}
+
+// replayWAL re-ingests every logged record above the last checkpoint.
+// Replay is deterministic: records are applied in per-group log order
+// through the same GroupIngestor path as the original appends, so a
+// point that was rejected then (out of order, misaligned, unknown) is
+// rejected identically now — it is skipped along with the rest of its
+// record, matching the original append's early return.
+func (db *DB) replayWAL(w *wal.WAL) error {
+	return w.Replay(func(gid core.Gid, seq uint64, pts []core.DataPoint) error {
+		sh := db.shards[gid]
+		if sh == nil {
+			return nil // group no longer exists; nothing to restore
+		}
+		for _, p := range pts {
+			if p.Tid < 1 || int(p.Tid) > len(db.series) {
+				break
+			}
+			series := db.series[p.Tid-1]
+			if err := sh.gi.Append(p.Tid, p.TS, p.Value*series.Scaling); err != nil {
+				if errors.Is(err, core.ErrOutOfOrder) || errors.Is(err, core.ErrMisaligned) || errors.Is(err, core.ErrUnknownTid) {
+					break
+				}
+				return err
+			}
+			db.points.Add(1)
+		}
+		return nil
+	})
 }
 
 // initShards builds the immutable per-group shard map: every group is
@@ -380,6 +495,16 @@ func (db *DB) Append(tid Tid, ts int64, value float32) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.wal != nil {
+		// Log before touching the model buffers: an acknowledged point
+		// is on the WAL first, so a crash between here and the next
+		// checkpoint replays it. The raw value is logged; scaling is
+		// re-applied on replay.
+		sh.walPoint[0] = DataPoint{Tid: tid, TS: ts, Value: value}
+		if _, err := db.wal.Append(series.Gid, sh.walPoint[:]); err != nil {
+			return err
+		}
+	}
 	if err := sh.gi.Append(tid, ts, value*series.Scaling); err != nil {
 		return err
 	}
@@ -439,6 +564,14 @@ func (db *DB) appendGroup(gid Gid, points []DataPoint) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.wal != nil {
+		// One WAL record covers the whole group slice; replay applies
+		// its points in order and stops at the first rejected point,
+		// mirroring the early return below.
+		if _, err := db.wal.Append(gid, points); err != nil {
+			return err
+		}
+	}
 	for _, p := range points {
 		series := db.series[p.Tid-1]
 		if err := sh.gi.Append(p.Tid, p.TS, p.Value*series.Scaling); err != nil {
@@ -464,13 +597,14 @@ func (db *DB) Flush() error {
 }
 
 // flushShards flushes every group's ingestor (in Gid order, for
-// deterministic segment emission) and then the store.
+// deterministic segment emission) and then the store. With a WAL it
+// additionally checkpoints, so the log never grows past one flush
+// interval of data.
 func (db *DB) flushShards() error {
-	gids := make([]Gid, 0, len(db.shards))
-	for gid := range db.shards {
-		gids = append(gids, gid)
+	if db.wal != nil {
+		return db.checkpointShards()
 	}
-	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	gids := db.sortedGids()
 	for _, gid := range gids {
 		sh := db.shards[gid]
 		sh.mu.Lock()
@@ -481,6 +615,61 @@ func (db *DB) flushShards() error {
 		}
 	}
 	return db.store.Flush()
+}
+
+func (db *DB) sortedGids() []Gid {
+	gids := make([]Gid, 0, len(db.shards))
+	for gid := range db.shards {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	return gids
+}
+
+// checkpointShards is the WAL-enabled flush: it holds every shard lock
+// across the store sync so no append can slip points into the synced
+// log after its group's high-water sequence was captured — the
+// invariant that lets recovery truncate the store at the checkpoint
+// offset and replay the WAL tail without duplicating or losing points.
+// Flush is the rare heavyweight operation; appends wait it out.
+func (db *DB) checkpointShards() error {
+	gids := db.sortedGids()
+	for _, gid := range gids {
+		db.shards[gid].mu.Lock()
+	}
+	defer func() {
+		for i := len(gids) - 1; i >= 0; i-- {
+			db.shards[gids[i]].mu.Unlock()
+		}
+	}()
+	seqs := make(map[Gid]uint64, len(gids))
+	for _, gid := range gids {
+		if err := db.shards[gid].gi.Flush(); err != nil {
+			return err
+		}
+		seqs[gid] = db.wal.Seq(gid)
+	}
+	// Groups the WAL has seen but the configuration no longer knows can
+	// never replay; checkpoint them at their high-water mark so their
+	// dead records do not pin WAL segments forever.
+	for gid, seq := range db.wal.Seqs() {
+		if _, ok := db.shards[gid]; !ok {
+			seqs[gid] = seq
+		}
+	}
+	if err := db.store.Flush(); err != nil {
+		return err
+	}
+	if fs, ok := db.store.(*storage.FileStore); ok {
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+		return db.wal.Checkpoint(seqs, fs.LogOffset())
+	}
+	// Memory-backed store: the WAL is the only durable copy, so it is
+	// never checkpoint-truncated; sync it instead, making Flush a
+	// durability point under every fsync policy.
+	return db.wal.Sync()
 }
 
 // Query parses and executes a SQL query (§6.1). It is the
@@ -531,7 +720,13 @@ func (db *DB) Close() error {
 	if err := db.flushShards(); err != nil {
 		return err
 	}
-	return db.store.Close()
+	if err := db.store.Close(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.wal.Close()
+	}
+	return nil
 }
 
 // Stats summarizes the database contents.
@@ -546,6 +741,14 @@ type Stats struct {
 	StorageBytes int64
 	// DataPoints is the number of points ingested in this session.
 	DataPoints int64
+	// CacheHits and CacheMisses count lookups in the main-memory
+	// segment cache (Fig. 4) that found, respectively missed, a decoded
+	// model view; both are zero when the cache is disabled.
+	CacheHits   int64
+	CacheMisses int64
+	// WALBytes is the write-ahead log's current on-disk volume; zero
+	// when the WAL is disabled.
+	WALBytes int64
 }
 
 // Stats returns current statistics.
@@ -558,13 +761,20 @@ func (db *DB) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	points := db.points.Load()
+	hits, misses := db.engine.CacheStats()
+	var walBytes int64
+	if db.wal != nil {
+		walBytes = db.wal.SizeBytes()
+	}
 	return Stats{
 		Series:       db.meta.NumSeries(),
 		Groups:       len(db.meta.Groups()),
 		Segments:     segs,
 		StorageBytes: size,
-		DataPoints:   points,
+		DataPoints:   db.points.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		WALBytes:     walBytes,
 	}, nil
 }
 

@@ -1,0 +1,81 @@
+// Benchmarks for the write-ahead log's cost on the ingestion hot
+// path: the same point stream appended with the WAL off (the baseline
+// file-backed append path) and under each fsync policy. The
+// acceptance bar is wal_fsync=interval staying within 2x of off. Run
+// with: go test -bench=AppendWAL -benchmem
+package modelardb_test
+
+import (
+	"context"
+	"testing"
+
+	"modelardb"
+)
+
+var walBenchModes = []string{"off", "never", "interval", "always"}
+
+func walBenchConfig(b *testing.B, mode string) modelardb.Config {
+	cfg := shardedConfig()
+	cfg.Path = b.TempDir()
+	if mode != "off" {
+		cfg.WALDir = b.TempDir()
+		cfg.WALFsync = mode
+	}
+	return cfg
+}
+
+// BenchmarkAppendWAL measures per-point Append: one WAL record (and
+// under "always" one fsync) per point — the worst case for the log.
+func BenchmarkAppendWAL(b *testing.B) {
+	for _, mode := range walBenchModes {
+		b.Run(mode, func(b *testing.B) {
+			db, err := modelardb.Open(walBenchConfig(b, mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tid := modelardb.Tid(i%benchGroups + 1)
+				if err := db.Append(tid, int64(i/benchGroups)*100, float32(i%50)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppendBatchWAL measures the batched path, where one WAL
+// record (and at most one fsync) covers a whole per-group slice — the
+// intended high-throughput durable ingestion path.
+func BenchmarkAppendBatchWAL(b *testing.B) {
+	const batchTicks = 128
+	for _, mode := range walBenchModes {
+		b.Run(mode, func(b *testing.B) {
+			db, err := modelardb.Open(walBenchConfig(b, mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			batch := make([]modelardb.DataPoint, 0, batchTicks*benchGroups)
+			b.ReportAllocs()
+			b.ResetTimer()
+			tick := 0
+			for i := 0; i < b.N; i += len(batch) {
+				batch = batch[:0]
+				for t := 0; t < batchTicks; t++ {
+					for g := 0; g < benchGroups; g++ {
+						batch = append(batch, modelardb.DataPoint{
+							Tid: modelardb.Tid(g + 1), TS: int64(tick) * 100, Value: float32(tick % 50),
+						})
+					}
+					tick++
+				}
+				if err := db.AppendBatch(context.Background(), batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
