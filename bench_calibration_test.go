@@ -1,0 +1,31 @@
+package modelardb_test
+
+import "testing"
+
+// calibrationSink defeats dead-code elimination of the workload.
+var calibrationSink uint64
+
+// BenchmarkCalibration is a fixed, allocation-free, single-core CPU
+// workload with no dependency on the database: the benchmark
+// regression gate (cmd/benchjson, `make bench-compare`) divides every
+// benchmark's baseline ratio by this one's, cancelling raw
+// machine-speed differences so a baseline recorded on one machine can
+// gate runs on another (e.g. the committed baseline gating CI
+// runners). It must never change — editing the workload invalidates
+// every recorded baseline.
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(0x9E3779B97F4A7C15) + uint64(i)
+		var acc uint64
+		for j := 0; j < 1<<14; j++ {
+			// xorshift64 plus an add: integer ALU work with a serial
+			// dependency chain, the dominant instruction mix of the
+			// ingestion hot path.
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			acc += x
+		}
+		calibrationSink = acc
+	}
+}

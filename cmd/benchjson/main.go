@@ -1,0 +1,290 @@
+// Command benchjson turns `go test -bench` output into a stable JSON
+// record and compares two such records as a regression gate — the
+// machinery behind `make bench-record` (the CI benchmark artifact) and
+// `make bench-compare` (fail the build on a hot-path regression).
+//
+//	benchjson record  -o BENCH_results.json [-md BENCH_results.md] [bench.txt]
+//	benchjson compare -baseline bench/baseline.json -current BENCH_gate.json \
+//	                  [-threshold 15] [-calibration BenchmarkCalibration]
+//
+// record parses benchmark result lines (name, iterations, then
+// value/unit pairs such as "185.3 ns/op" or "24 B/op") from a file or
+// stdin, strips the -GOMAXPROCS suffix from names so records taken on
+// machines with different core counts stay comparable, and writes one
+// JSON document plus an optional markdown table.
+//
+// compare fails (exit 1) when a benchmark's ns/op regressed more than
+// threshold percent against the baseline. When both records contain
+// the calibration benchmark — a fixed CPU-bound workload
+// (BenchmarkCalibration) — each ratio is first normalized by the
+// calibration ratio, cancelling out raw machine-speed differences, so
+// a baseline recorded on one machine gates runs on another. Benchmarks
+// that are faster than baseline never fail, and a benchmark present in
+// the baseline but missing from the current run fails loudly — a
+// renamed benchmark must not silently weaken the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark run's parsed results.
+type Record struct {
+	GoOS      string      `json:"goos"`
+	GoArch    string      `json:"goarch"`
+	GoVersion string      `json:"goversion"`
+	CPUs      int         `json:"cpus"`
+	CPUModel  string      `json:"cpu_model,omitempty"`
+	Benches   []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "compare":
+		err = compare(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchjson record  -o out.json [-md out.md] [bench.txt]
+  benchjson compare -baseline base.json -current cur.json [-threshold 15] [-calibration BenchmarkCalibration]`)
+	os.Exit(2)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "", "output JSON path (required)")
+	md := fs.String("md", "", "optional markdown table path")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+	in := io.Reader(os.Stdin)
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rec, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rec.Benches) == 0 {
+		return fmt.Errorf("record: no benchmark result lines found")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(markdown(rec)), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("benchjson: recorded %d benchmarks to %s (%s/%s, %d CPUs)\n",
+		len(rec.Benches), *out, rec.GoOS, rec.GoArch, rec.CPUs)
+	return nil
+}
+
+// maxprocsSuffix is the trailing -N Go appends to benchmark names.
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark result lines from `go test -bench` output.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rec.CPUModel = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       maxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		if b.NsPerOp > 0 {
+			rec.Benches = append(rec.Benches, b)
+		}
+	}
+	return rec, sc.Err()
+}
+
+// markdown renders the record as the table BENCHMARKS.md embeds.
+func markdown(rec *Record) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Benchmark record — %s/%s, %d CPUs, %s\n\n",
+		rec.GoOS, rec.GoArch, rec.CPUs, rec.GoVersion)
+	if rec.CPUModel != "" {
+		fmt.Fprintf(&sb, "CPU: %s\n\n", rec.CPUModel)
+	}
+	sb.WriteString("| benchmark | ns/op | iterations |\n|---|---:|---:|\n")
+	for _, b := range rec.Benches {
+		fmt.Fprintf(&sb, "| %s | %.0f | %d |\n", b.Name, b.NsPerOp, b.Iterations)
+	}
+	return sb.String()
+}
+
+func load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func (r *Record) byName() map[string]Benchmark {
+	out := make(map[string]Benchmark, len(r.Benches))
+	for _, b := range r.Benches {
+		out[b.Name] = b
+	}
+	return out
+}
+
+func compare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "baseline JSON (required)")
+	curPath := fs.String("current", "", "current JSON (required)")
+	threshold := fs.Float64("threshold", 15, "max allowed per-op regression in percent")
+	calibration := fs.String("calibration", "BenchmarkCalibration", "calibration benchmark used to normalize machine speed; \"\" disables")
+	fs.Parse(args)
+	if *basePath == "" || *curPath == "" {
+		return fmt.Errorf("compare: -baseline and -current are required")
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		return err
+	}
+	baseBy, curBy := base.byName(), cur.byName()
+
+	// Machine-speed normalization: scale is how much slower the current
+	// machine runs the fixed calibration workload than the baseline
+	// machine did; every per-benchmark ratio is divided by it.
+	scale := 1.0
+	if *calibration != "" {
+		cb, okB := baseBy[*calibration]
+		cc, okC := curBy[*calibration]
+		if okB && okC && cb.NsPerOp > 0 {
+			scale = cc.NsPerOp / cb.NsPerOp
+			fmt.Printf("calibration: baseline %.0f ns/op, current %.0f ns/op, machine scale %.3f\n",
+				cb.NsPerOp, cc.NsPerOp, scale)
+		} else {
+			missing := *basePath
+			if okB {
+				missing = *curPath
+			}
+			fmt.Printf("calibration %q missing from %s; comparing raw ns/op\n", *calibration, missing)
+		}
+	}
+
+	names := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		if name == *calibration {
+			continue
+		}
+		b := baseBy[name]
+		c, ok := curBy[name]
+		if !ok {
+			fmt.Printf("FAIL %-50s missing from current run (renamed? update the baseline)\n", name)
+			failed++
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp / scale
+		delta := (ratio - 1) * 100
+		status := "ok  "
+		if delta > *threshold {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-50s base %12.1f  cur %12.1f  normalized %+6.1f%%\n",
+			status, name, b.NsPerOp, c.NsPerOp, delta)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% (or went missing)", failed, *threshold)
+	}
+	fmt.Printf("all %d gated benchmarks within %.0f%% of baseline\n", len(names), *threshold)
+	return nil
+}

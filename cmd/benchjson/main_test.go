@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: modelardb
+cpu: Intel(R) Xeon(R) CPU @ 2.70GHz
+BenchmarkCalibration-4          	   50000	     24000 ns/op
+BenchmarkIngestAppendSerial-4   	 6000000	       185.3 ns/op	      24 B/op	       2 allocs/op
+BenchmarkParallelSumDataPointView/workers=1-4  	     340	   3507170 ns/op	 1.000 gomaxprocs
+PASS
+ok  	modelardb	42.0s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rec.Benches), rec.Benches)
+	}
+	if rec.CPUModel != "Intel(R) Xeon(R) CPU @ 2.70GHz" {
+		t.Fatalf("cpu model = %q", rec.CPUModel)
+	}
+	by := rec.byName()
+	// The -GOMAXPROCS suffix is stripped so records from machines with
+	// different core counts compare by name.
+	b, ok := by["BenchmarkIngestAppendSerial"]
+	if !ok || b.NsPerOp != 185.3 || b.Iterations != 6000000 {
+		t.Fatalf("IngestAppendSerial = %+v ok=%v", b, ok)
+	}
+	if b.Metrics["B/op"] != 24 || b.Metrics["allocs/op"] != 2 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	p, ok := by["BenchmarkParallelSumDataPointView/workers=1"]
+	if !ok || p.Metrics["gomaxprocs"] != 1 {
+		t.Fatalf("parallel bench = %+v ok=%v", p, ok)
+	}
+}
+
+// writeRecord writes a minimal record JSON for compare tests.
+func writeRecord(t *testing.T, dir, name string, ns map[string]float64) string {
+	t.Helper()
+	rec := &Record{GoOS: "linux", GoArch: "amd64", CPUs: 4}
+	for bname, v := range ns {
+		rec.Benches = append(rec.Benches, Benchmark{Name: bname, Iterations: 1, NsPerOp: v})
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareCalibrationNormalizes(t *testing.T) {
+	dir := t.TempDir()
+	// The current machine is 2x slower across the board, including the
+	// calibration workload: normalized regression is 0% and the gate
+	// passes.
+	base := writeRecord(t, dir, "base.json", map[string]float64{
+		"BenchmarkCalibration": 1000, "BenchmarkHot": 200,
+	})
+	cur := writeRecord(t, dir, "cur.json", map[string]float64{
+		"BenchmarkCalibration": 2000, "BenchmarkHot": 400,
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur, "-threshold", "15"}); err != nil {
+		t.Fatalf("uniformly slower machine must pass the calibrated gate: %v", err)
+	}
+	// A genuine 2x regression of the hot path alone fails even though
+	// the machine is equally fast.
+	cur2 := writeRecord(t, dir, "cur2.json", map[string]float64{
+		"BenchmarkCalibration": 1000, "BenchmarkHot": 400,
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur2, "-threshold", "15"}); err == nil {
+		t.Fatal("2x hot-path regression must fail the gate")
+	}
+	// A missing benchmark fails loudly instead of weakening the gate.
+	cur3 := writeRecord(t, dir, "cur3.json", map[string]float64{
+		"BenchmarkCalibration": 1000,
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur3}); err == nil {
+		t.Fatal("missing gated benchmark must fail")
+	}
+}

@@ -19,11 +19,19 @@
 // terminating "." of the last response arrives (modelardb-cli does),
 // or end the session with QUIT.
 //
+// With -cluster-listen the daemon additionally serves the cluster
+// worker transport on that address, so a modelardbd process can be a
+// worker in a multi-process cluster (a master connects with
+// cluster.Dial); combined with -wal the worker's acknowledged batches
+// — and the exactly-once dedup table protecting them — survive a
+// restart.
+//
 // Usage:
 //
 //	modelardbd -config wind.conf [-data /var/lib/modelardb] \
 //	           [-wal /var/lib/modelardb/wal] [-wal-fsync interval] \
-//	           [-load data.csv] [-listen 127.0.0.1:8989]
+//	           [-load data.csv] [-listen 127.0.0.1:8989] \
+//	           [-cluster-listen 127.0.0.1:9090]
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"strings"
 
 	"modelardb"
+	"modelardb/internal/cluster"
 	"modelardb/internal/config"
 )
 
@@ -52,17 +61,19 @@ func main() {
 		"write-ahead log directory; empty = from config file (acknowledged appends survive a crash)")
 	walFsync := flag.String("wal-fsync", "",
 		"WAL durability policy: always, interval or never; empty = from config file")
+	clusterListen := flag.String("cluster-listen", "",
+		"also serve the cluster worker transport on this address (masters connect with cluster.Dial)")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *load, *listen, *parallelism, *walDir, *walFsync); err != nil {
+	if err := run(*configPath, *dataDir, *load, *listen, *parallelism, *walDir, *walFsync, *clusterListen); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(configPath, dataDir, load, listen string, parallelism int, walDir, walFsync string) error {
+func run(configPath, dataDir, load, listen string, parallelism int, walDir, walFsync, clusterListen string) error {
 	f, err := os.Open(configPath)
 	if err != nil {
 		return err
@@ -93,6 +104,19 @@ func run(configPath, dataDir, load, listen string, parallelism int, walDir, walF
 			return fmt.Errorf("load %s: %w", load, err)
 		}
 		log.Printf("loaded %d data points from %s", n, load)
+	}
+	if clusterListen != "" {
+		cln, err := net.Listen("tcp", clusterListen)
+		if err != nil {
+			return err
+		}
+		defer cln.Close()
+		log.Printf("modelardbd serving cluster transport on %s", cln.Addr())
+		go func() {
+			if err := cluster.NewServer(db).Serve(context.Background(), cln); err != nil {
+				log.Printf("cluster transport stopped: %v", err)
+			}
+		}()
 	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {

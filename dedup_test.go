@@ -1,0 +1,209 @@
+package modelardb_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"modelardb"
+)
+
+// dedupConfig builds 4 single-series groups, so per-group batch
+// streams are independent.
+func dedupConfig() modelardb.Config {
+	cfg := modelardb.Config{
+		ErrorBound: modelardb.RelBound(0),
+		Dimensions: []modelardb.Dimension{{Name: "Location", Levels: []string{"Park"}}},
+	}
+	for i := 0; i < 4; i++ {
+		cfg.Series = append(cfg.Series, modelardb.SeriesConfig{
+			SI: 1000, Members: map[string][]string{"Location": {fmt.Sprintf("P%d", i)}},
+		})
+	}
+	return cfg
+}
+
+// sequencedBatch is one group's batch with its master-assigned
+// sequence, as a cluster master would seal it.
+type sequencedBatch struct {
+	gid    modelardb.Gid
+	seq    uint64
+	points []modelardb.DataPoint
+}
+
+// makeBatches cuts a deterministic per-group stream into sequenced
+// batches: batchesPerGroup batches of ticksPerBatch points per series.
+func makeBatches(t *testing.T, db *modelardb.DB, batchesPerGroup, ticksPerBatch int) []sequencedBatch {
+	t.Helper()
+	var out []sequencedBatch
+	for tid := modelardb.Tid(1); tid <= 4; tid++ {
+		gid, err := db.GroupOf(tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < batchesPerGroup; b++ {
+			var pts []modelardb.DataPoint
+			for k := 0; k < ticksPerBatch; k++ {
+				tick := b*ticksPerBatch + k
+				pts = append(pts, modelardb.DataPoint{
+					Tid: tid, TS: int64(tick) * 1000, Value: float32(int(tid)*100 + tick%13),
+				})
+			}
+			out = append(out, sequencedBatch{gid: gid, seq: uint64(b + 1), points: pts})
+		}
+	}
+	return out
+}
+
+// deliver applies one sequenced batch the way a cluster worker does.
+func deliver(t *testing.T, db *modelardb.DB, b sequencedBatch) {
+	t.Helper()
+	err := db.AppendBatchSeq(context.Background(), b.points, map[modelardb.Gid]uint64{b.gid: b.seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tidSums(t *testing.T, db *modelardb.DB) [][2]float64 {
+	t.Helper()
+	res, err := db.Query("SELECT Tid, SUM(Value), COUNT(*) FROM DataPoint GROUP BY Tid ORDER BY Tid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][2]float64, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, [2]float64{row[1].(float64), row[2].(float64)})
+	}
+	return out
+}
+
+// TestDuplicateReorderedDeliveryWALProperty is the dedup contract's
+// property test: a delivery schedule in which every sequenced batch is
+// delivered at least once — first deliveries in per-group sequence
+// order, duplicates re-injected at random later positions, and the
+// database killed and reopened from its WAL in the middle — yields
+// query results identical to delivering every batch exactly once.
+func TestDuplicateReorderedDeliveryWALProperty(t *testing.T) {
+	const batchesPerGroup, ticksPerBatch = 12, 10
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+
+			// Reference: every batch exactly once, in order.
+			clean, err := modelardb.Open(dedupConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer clean.Close()
+			batches := makeBatches(t, clean, batchesPerGroup, ticksPerBatch)
+			for _, b := range batches {
+				deliver(t, clean, b)
+			}
+			if err := clean.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			want := tidSums(t, clean)
+
+			// Faulty schedule: after each first delivery, with probability
+			// 1/2 re-inject a duplicate of a random earlier batch of the
+			// same group — that is exactly the re-delivery pattern retries
+			// and re-queues produce (duplicates always trail their first
+			// delivery; fresh batches stay in order per group).
+			cfg := dedupConfig()
+			cfg.Path = t.TempDir()
+			cfg.WALDir = t.TempDir()
+			cfg.WALFsync = "always"
+			db, err := modelardb.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reopenAt := len(batches) / 2
+			firstSeen := map[modelardb.Gid]uint64{}
+			for i, b := range batches {
+				if i == reopenAt {
+					// Kill-and-restart: nothing flushed, the WAL carries
+					// both the data and the dedup table across the reopen.
+					if err := db.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if db, err = modelardb.Open(cfg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				deliver(t, db, b)
+				firstSeen[b.gid] = b.seq
+				for rng.Intn(2) == 0 {
+					// Duplicate a random already-delivered batch of some
+					// group (possibly this one, possibly several times).
+					dup := batches[rng.Intn(len(batches))]
+					if dup.seq > firstSeen[dup.gid] || firstSeen[dup.gid] == 0 {
+						continue // not delivered yet
+					}
+					deliver(t, db, dup)
+				}
+			}
+			defer db.Close()
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got := tidSums(t, db)
+			if len(got) != len(want) {
+				t.Fatalf("got %d tids, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i][1] != want[i][1] {
+					t.Fatalf("tid %d: count = %v, want %v (duplicate delivery leaked)", i+1, got[i][1], want[i][1])
+				}
+				if math.Abs(got[i][0]-want[i][0]) > 1e-6*math.Max(1, math.Abs(want[i][0])) {
+					t.Fatalf("tid %d: sum = %v, want %v", i+1, got[i][0], want[i][0])
+				}
+			}
+		})
+	}
+}
+
+// TestAppendBatchSeqSkipsDuplicates pins the basic dedup semantics:
+// at-or-below the high-water mark skips, above applies, 0 bypasses.
+func TestAppendBatchSeqSkipsDuplicates(t *testing.T) {
+	db, err := modelardb.Open(dedupConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	gid, err := db.GroupOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p := func(tick int) []modelardb.DataPoint {
+		return []modelardb.DataPoint{{Tid: 1, TS: int64(tick) * 1000, Value: 1}}
+	}
+	seq := func(n uint64) map[modelardb.Gid]uint64 { return map[modelardb.Gid]uint64{gid: n} }
+	for _, step := range []struct {
+		pts  []modelardb.DataPoint
+		seqs map[modelardb.Gid]uint64
+	}{
+		{p(0), seq(1)},
+		{p(0), seq(1)}, // duplicate: skipped
+		{p(1), seq(2)},
+		{p(0), seq(1)}, // re-ordered duplicate: skipped
+		{p(1), seq(2)}, // duplicate: skipped
+		{p(2), nil},    // unsequenced: always applied
+	} {
+		if err := db.AppendBatchSeq(ctx, step.pts, step.seqs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if applied := db.AppliedSeqs()[gid]; applied != 2 {
+		t.Fatalf("applied mark = %d, want 2", applied)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DataPoints != 3 {
+		t.Fatalf("ingested %d points, want 3", st.DataPoints)
+	}
+}

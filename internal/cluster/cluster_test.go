@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"modelardb"
-	"modelardb/internal/core"
 )
 
 // fleetConfig builds a config with 8 series in 4 groups of 2.
@@ -379,18 +378,11 @@ func TestWorkerRestartWALDurability(t *testing.T) {
 	fillCluster(t, client.Append, 8, ticks)
 	// Drain the client-side buffers so every point is acknowledged by
 	// the worker (and therefore on its WAL); the worker never flushes.
-	c := client
-	c.mu.Lock()
-	pending := c.pending
-	c.pending = make([][]core.DataPoint, 1)
-	c.mu.Unlock()
-	for w, batch := range pending {
-		if len(batch) == 0 {
-			continue
-		}
-		if err := c.sendBatch(context.Background(), w, batch); err != nil {
-			t.Fatal(err)
-		}
+	client.mu.Lock()
+	client.sealLocked(0)
+	client.mu.Unlock()
+	if err := client.drain(context.Background(), 0); err != nil {
+		t.Fatal(err)
 	}
 	// Crash the worker: listener gone, connection severed, DB abandoned
 	// with everything still buffered in its ingestors and bulk buffer.

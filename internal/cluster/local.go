@@ -35,6 +35,14 @@ type LocalCluster struct {
 	// base bounds the cluster's lifetime: every scatter inherits from
 	// it, so cancelling it aborts all in-flight queries at once.
 	base context.Context
+
+	// seq stamps each AppendBatch group slice with a per-group
+	// monotonic batch sequence — the same exactly-once contract the
+	// transport client uses — and a batch a worker failed stays queued
+	// with its original sequences, so the retry by the next AppendBatch
+	// or Flush cannot double-ingest the groups that had already been
+	// applied.
+	seq *sequencer
 }
 
 // NewLocal creates a cluster of n workers from one database config.
@@ -68,7 +76,11 @@ func NewLocal(ctx context.Context, cfg modelardb.Config, n int) (*LocalCluster, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c := &LocalCluster{assign: make(map[modelardb.Gid]int), base: ctx}
+	c := &LocalCluster{
+		assign: make(map[modelardb.Gid]int),
+		base:   ctx,
+		seq:    newSequencer(n),
+	}
 	for i := 0; i < n; i++ {
 		db, err := modelardb.Open(cfg)
 		if err != nil {
@@ -141,28 +153,55 @@ func (c *LocalCluster) Append(tid modelardb.Tid, ts int64, value float32) error 
 // AppendBatch routes a batch of data points to their owning workers
 // and ingests each worker's share through its group-sharded batch
 // path, so one call takes each destination group's lock once.
+//
+// Delivery is exactly-once: each group slice is sealed with the
+// group's next batch sequence before any worker sees it, and a slice
+// a worker failed (a cancelled context, a rejected point) stays queued
+// with its original sequence. The retry by the next AppendBatch or
+// Flush replays it through the worker's dedup table, so the groups
+// that had already been applied are skipped instead of
+// double-ingested.
 func (c *LocalCluster) AppendBatch(ctx context.Context, points []modelardb.DataPoint) error {
 	byWorker := make([][]modelardb.DataPoint, len(c.workers))
+	gidsByWorker := make([][]modelardb.Gid, len(c.workers))
 	for _, p := range points {
-		w, err := c.WorkerOf(p.Tid)
+		gid, err := c.workers[0].GroupOf(p.Tid)
 		if err != nil {
 			return err
 		}
+		w := c.assign[gid]
 		byWorker[w] = append(byWorker[w], p)
+		gidsByWorker[w] = append(gidsByWorker[w], gid)
 	}
-	for w, batch := range byWorker {
-		if len(batch) == 0 {
-			continue
+	for w := range c.workers {
+		c.seq.seal(w, byWorker[w], gidsByWorker[w])
+	}
+	var firstErr error
+	for w := range c.workers {
+		// Keep draining the remaining workers after a failure so one
+		// failing worker does not strand the others' batches.
+		if err := c.drain(ctx, w); err != nil && firstErr == nil {
+			firstErr = err
 		}
-		if err := c.workers[w].AppendBatch(ctx, batch); err != nil {
+	}
+	return firstErr
+}
+
+// drain applies worker w's queued batches in sequence order; a failed
+// batch stays at the queue head for the next call to retry.
+func (c *LocalCluster) drain(ctx context.Context, w int) error {
+	return c.seq.drain(ctx, w, func(ctx context.Context, args *AppendArgs) error {
+		return c.workers[w].AppendBatchSeq(ctx, args.Points, args.Seqs)
+	})
+}
+
+// Flush drains any re-queued batches, then flushes every worker.
+func (c *LocalCluster) Flush() error {
+	for w := range c.workers {
+		if err := c.drain(c.base, w); err != nil {
 			return err
 		}
 	}
-	return nil
-}
-
-// Flush flushes every worker.
-func (c *LocalCluster) Flush() error {
 	for _, w := range c.workers {
 		if err := w.Flush(); err != nil {
 			return err

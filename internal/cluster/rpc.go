@@ -43,9 +43,25 @@ func NewServer(db *modelardb.DB) *Server { return &Server{db: db} }
 // monitoring use it to observe that cancelled scans actually drain.
 func (s *Server) InFlight() int { return int(s.inflight.Load()) }
 
-// AppendArgs is a batch of data points for one worker.
+// AppendArgs is a batch of data points for one worker. Seqs carries
+// the master-assigned batch sequence per group in Points: the worker
+// skips any group slice whose sequence it has already applied, so
+// delivering the same AppendArgs twice (a retry after an ambiguous
+// failure, a re-queue replay) ingests its points exactly once. A nil
+// Seqs (or a group mapped to 0) requests the legacy at-least-once
+// behavior.
 type AppendArgs struct {
 	Points []core.DataPoint
+	Seqs   map[core.Gid]uint64
+}
+
+// IngestStateReply reports a worker's per-group applied batch
+// sequences. A master fetches it when (re)connecting so the sequences
+// it assigns continue above everything the worker already ingested —
+// without it, a restarted master would reuse low sequences and the
+// worker would silently drop its fresh batches as duplicates.
+type IngestStateReply struct {
+	Applied map[core.Gid]uint64
 }
 
 // QueryArgs carries the SQL text; every worker parses and compiles it
@@ -66,13 +82,19 @@ func (s *Server) dispatch(ctx context.Context, method string, body []byte) ([]by
 	switch method {
 	case "Append":
 		// Ingest through the group-sharded batch path, so one call takes
-		// each destination group's lock once. AppendBatch checks ctx
-		// between groups.
+		// each destination group's lock once. AppendBatchSeq checks ctx
+		// between groups and deduplicates re-delivered group slices by
+		// their master-assigned sequence.
 		args := &AppendArgs{}
 		if err := decodeBody(body, args); err != nil {
 			return nil, err
 		}
-		return nil, s.db.AppendBatch(ctx, args.Points)
+		return nil, s.db.AppendBatchSeq(ctx, args.Points, args.Seqs)
+	case "IngestState":
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return encodeBody(&IngestStateReply{Applied: s.db.AppliedSeqs()})
 	case "Flush":
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -189,6 +211,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // validates queries before any network traffic, routes ingestion by
 // group and scatters queries fail-fast — the first worker error
 // cancels the remaining calls, including the workers' in-flight scans.
+//
+// Ingestion through the client is exactly-once: every sealed batch
+// carries a per-group monotonic sequence assigned exactly once, the
+// worker deduplicates re-deliveries by sequence, and the counters are
+// seeded from the workers' durable applied tables at dial time — so
+// neither the re-queue path, nor the reconnect retry loop, nor a
+// master restart can duplicate an acknowledged point.
 type Client struct {
 	meta *modelardb.DB
 	// addrs are the worker addresses, kept for reconnects.
@@ -202,13 +231,20 @@ type Client struct {
 	// workers holds one connection per worker, guarded by mu so a
 	// reconnect can swap a dead connection under concurrent callers.
 	workers []*wireConn
-	pending [][]core.DataPoint
+	// seq assigns batch sequences and queues sealed batches; open (and
+	// the aligned openGids) buffer points until BatchSize seals them.
+	seq      *sequencer
+	open     [][]core.DataPoint
+	openGids [][]modelardb.Gid
 	// BatchSize is the number of points buffered per worker before an
 	// Append call is issued (akin to the paper's micro-batches).
 	BatchSize int
 	// CallTimeout bounds each individual call (Config.RPCTimeout); 0
 	// means calls are bounded only by their context.
 	CallTimeout time.Duration
+	// RetryBudget bounds the reconnect retry loop per call
+	// (Config.RetryBudget); 0 means one immediate reconnect-and-retry.
+	RetryBudget time.Duration
 }
 
 // Dial connects the master to worker addresses. cfg must be the same
@@ -238,9 +274,12 @@ func DialContext(ctx context.Context, cfg modelardb.Config, addrs []string) (*Cl
 		addrs:       addrs,
 		assign:      AssignGroups(meta, len(addrs)),
 		base:        ctx,
-		pending:     make([][]core.DataPoint, len(addrs)),
+		seq:         newSequencer(len(addrs)),
+		open:        make([][]core.DataPoint, len(addrs)),
+		openGids:    make([][]modelardb.Gid, len(addrs)),
 		BatchSize:   1024,
 		CallTimeout: cfg.RPCTimeout,
+		RetryBudget: cfg.RetryBudget,
 	}
 	var d net.Dialer
 	for _, addr := range addrs {
@@ -250,6 +289,18 @@ func DialContext(ctx context.Context, cfg modelardb.Config, addrs []string) (*Cl
 			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 		}
 		c.workers = append(c.workers, newWireConn(conn))
+	}
+	// Seed the sequence counters from each worker's durable applied
+	// table: a master that restarts (or a standby taking over) must
+	// assign sequences above everything already ingested, or the
+	// workers would drop its fresh batches as duplicates.
+	for w := range addrs {
+		var reply IngestStateReply
+		if err := c.call(ctx, w, "IngestState", nil, &reply); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: ingest state %s: %w", addrs[w], err)
+		}
+		c.seq.seed(reply.Applied)
 	}
 	return c, nil
 }
@@ -273,26 +324,51 @@ func (c *Client) call(ctx context.Context, w int, method string, args, reply any
 // callRetrying issues one call on worker w's connection; ctx must
 // already include the client's lifetime. A call failing with
 // ErrConnectionLost — the connection died before or during it — is
-// retried exactly once on a freshly dialed connection, so a worker
-// restart (or a broken TCP path) no longer strands every later call
-// and re-queued Append batches can reach the recovered worker.
+// retried on a freshly dialed connection: once immediately when
+// RetryBudget is zero, otherwise in a loop with exponential backoff
+// and jitter (retryBackoff) until the budget is spent, so a worker
+// outage shorter than the budget is survived without the caller ever
+// seeing an error.
 //
-// Like the re-queue path, the retry is at-least-once: a connection
-// that died after delivering the request may have executed it, so a
-// retried Append can duplicate points (the exactly-once sequence
-// numbers are a ROADMAP item). Worker application errors and context
-// cancellations are returned as-is, never retried.
+// The retries cannot duplicate data: a connection that died after
+// delivering an Append may have executed it, but the batch's sequence
+// numbers make the worker skip the replay (AppendArgs.Seqs). Worker
+// application errors and context cancellations are returned as-is,
+// never retried.
 func (c *Client) callRetrying(ctx context.Context, w int, method string, args, reply any) error {
 	conn := c.conn(w)
 	err := c.timeoutCall(ctx, conn, method, args, reply)
 	if err == nil || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
 		return err
 	}
-	next, rerr := c.redial(ctx, w, conn)
-	if rerr != nil {
-		return err // surface the original failure, not the dial's
+	var deadline time.Time
+	if c.RetryBudget > 0 {
+		deadline = time.Now().Add(c.RetryBudget)
 	}
-	return c.timeoutCall(ctx, next, method, args, reply)
+	for attempt := 0; ; attempt++ {
+		next, rerr := c.redial(ctx, w, conn)
+		if rerr == nil {
+			conn = next
+			err = c.timeoutCall(ctx, conn, method, args, reply)
+			if err == nil || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
+				return err
+			}
+		}
+		// rerr != nil keeps err: surface the last call failure, not the
+		// dial's.
+		if deadline.IsZero() {
+			return err // RetryBudget 0: the single reconnect was it
+		}
+		delay := retryBackoff(attempt)
+		if time.Now().Add(delay).After(deadline) {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
 }
 
 // redial replaces worker w's dead connection with a fresh dial. When a
@@ -351,9 +427,10 @@ func (c *Client) Append(tid modelardb.Tid, ts int64, value float32) error {
 }
 
 // AppendContext buffers a data point and sends a batch when full. A
-// failed send never loses accepted points: the batch is re-queued in
-// front of the worker's buffer and retried by the next Append or
-// Flush, preserving per-group arrival order.
+// failed send never loses accepted points: the sealed batch stays at
+// the head of the worker's queue and is retried — with its original
+// sequence numbers, so the worker deduplicates any replay — by the
+// next Append or Flush.
 func (c *Client) AppendContext(ctx context.Context, tid modelardb.Tid, ts int64, value float32) error {
 	gid, err := c.meta.GroupOf(tid)
 	if err != nil {
@@ -361,35 +438,35 @@ func (c *Client) AppendContext(ctx context.Context, tid modelardb.Tid, ts int64,
 	}
 	w := c.assign[gid]
 	c.mu.Lock()
-	c.pending[w] = append(c.pending[w], core.DataPoint{Tid: tid, TS: ts, Value: value})
-	if len(c.pending[w]) < c.BatchSize {
+	c.open[w] = append(c.open[w], core.DataPoint{Tid: tid, TS: ts, Value: value})
+	c.openGids[w] = append(c.openGids[w], gid)
+	if len(c.open[w]) < c.BatchSize {
 		c.mu.Unlock()
 		return nil
 	}
-	batch := c.pending[w]
-	c.pending[w] = nil
+	c.sealLocked(w)
 	c.mu.Unlock()
-	return c.sendBatch(ctx, w, batch)
+	return c.drain(ctx, w)
 }
 
-// sendBatch issues one Append call; on failure the batch is re-queued
-// in front of any points buffered meanwhile, so no accepted point is
-// dropped and a retry replays them in their original order.
-//
-// Delivery is at-least-once: on a timeout or cancellation the worker
-// may in fact have ingested some or all of the batch (its late success
-// is indistinguishable from a loss), so a retry can duplicate points.
-// The re-queue trades the silent data loss the old path had for
-// possible duplication on ambiguous failures; exactly-once replay
-// (batch sequence numbers, worker-side dedup) is a ROADMAP item.
-func (c *Client) sendBatch(ctx context.Context, w int, batch []core.DataPoint) error {
-	err := c.call(ctx, w, "Append", &AppendArgs{Points: batch}, nil)
-	if err != nil {
-		c.mu.Lock()
-		c.pending[w] = append(batch, c.pending[w]...)
-		c.mu.Unlock()
-	}
-	return err
+// sealLocked hands worker w's open buffer to the sequencer, which
+// stamps every group in it with a sequence exactly once — a batch
+// that later fails is retried with those same sequences, never fresh
+// ones. The caller holds c.mu, which orders seals of one worker. New
+// points arriving after the seal go into the next batch — they are
+// never merged into a sealed one.
+func (c *Client) sealLocked(w int) {
+	c.seq.seal(w, c.open[w], c.openGids[w])
+	c.open[w] = nil
+	c.openGids[w] = nil
+}
+
+// drain sends worker w's queued batches in sequence order; a failed
+// batch stays at the queue head for the next Append or Flush to retry.
+func (c *Client) drain(ctx context.Context, w int) error {
+	return c.seq.drain(ctx, w, func(ctx context.Context, args *AppendArgs) error {
+		return c.call(ctx, w, "Append", args, nil)
+	})
 }
 
 // Flush drains batches and flushes every worker. It is the
@@ -398,23 +475,22 @@ func (c *Client) Flush() error {
 	return c.FlushContext(context.Background())
 }
 
-// FlushContext drains the buffered batches to their workers and, if
-// every send succeeded, flushes every worker. Failed batches are
-// re-queued (sendBatch), so a transient worker failure loses nothing:
-// the next Flush retries them.
+// FlushContext seals the open buffers, drains every worker's batch
+// queue and, if every send succeeded, flushes every worker. Failed
+// batches stay queued with their sequences, so a transient worker
+// failure loses nothing and the eventual retry cannot double-ingest.
 func (c *Client) FlushContext(ctx context.Context) error {
 	c.mu.Lock()
-	batches := c.pending
-	c.pending = make([][]core.DataPoint, len(c.workers))
+	for w := range c.open {
+		c.sealLocked(w)
+	}
+	n := len(c.workers)
 	c.mu.Unlock()
 	var firstErr error
-	for w, batch := range batches {
-		if len(batch) == 0 {
-			continue
-		}
-		// Keep sending to the remaining workers even after a failure so
+	for w := 0; w < n; w++ {
+		// Keep draining the remaining workers even after a failure so
 		// one dead worker does not strand the others' batches.
-		if err := c.sendBatch(ctx, w, batch); err != nil && firstErr == nil {
+		if err := c.drain(ctx, w); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -119,10 +120,33 @@ func decodeBody(body []byte, v any) error {
 }
 
 // ErrConnectionLost marks transport-level connection failures (reset,
-// EOF, poisoned framing). Client.call matches it to trigger its one
-// bounded reconnect-and-retry; worker application errors and context
+// EOF, poisoned framing). Client.call matches it to trigger its
+// reconnect retry loop; worker application errors and context
 // cancellations never wrap it.
 var ErrConnectionLost = errors.New("cluster: connection lost")
+
+const (
+	// retryBaseDelay is the first reconnect backoff step.
+	retryBaseDelay = 25 * time.Millisecond
+	// retryMaxDelay caps the exponential growth, so a long RetryBudget
+	// still probes the worker about once a second.
+	retryMaxDelay = time.Second
+)
+
+// retryBackoff returns the delay before reconnect attempt n (0-based):
+// exponential growth from retryBaseDelay capped at retryMaxDelay, with
+// ±50 % jitter so a fleet of masters retrying one recovering worker
+// spreads its dials instead of dogpiling it.
+func retryBackoff(attempt int) time.Duration {
+	d := retryBaseDelay
+	for i := 0; i < attempt && d < retryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > retryMaxDelay {
+		d = retryMaxDelay
+	}
+	return d/2 + rand.N(d+1)
+}
 
 // WorkerError is an error a worker reported over the transport; it
 // distinguishes application failures on the worker from transport

@@ -13,6 +13,9 @@
 //	query_parallelism 0
 //	# per-call deadline for cluster RPCs (master side); 0 = none
 //	rpc_timeout 5s
+//	# how long a master retries a call over a dead worker connection
+//	# (exponential backoff + jitter); 0 = one immediate reconnect
+//	retry_budget 30s
 //	# point-level write-ahead log: directory, fsync policy
 //	# (always|interval|never) and segment rotation size
 //	wal_dir /var/lib/modelardb/wal
@@ -97,6 +100,12 @@ func apply(cfg *modelardb.Config, directive, rest string) error {
 			return fmt.Errorf("rpc_timeout %q is not a non-negative duration (e.g. 5s)", rest)
 		}
 		cfg.RPCTimeout = v
+	case "retry_budget":
+		v, err := time.ParseDuration(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf("retry_budget %q is not a non-negative duration (e.g. 30s)", rest)
+		}
+		cfg.RetryBudget = v
 	case "wal_dir":
 		if rest == "" {
 			return fmt.Errorf("wal_dir needs a directory path")

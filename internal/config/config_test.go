@@ -16,6 +16,7 @@ split_fraction 8
 bulk_write_size 1000
 query_parallelism 4
 rpc_timeout 5s
+retry_budget 30s
 wal_fsync always
 wal_segment_bytes 4096
 dimension Location Park Turbine
@@ -42,6 +43,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.RPCTimeout != 5*time.Second {
 		t.Fatalf("rpc_timeout = %v, want 5s", cfg.RPCTimeout)
+	}
+	if cfg.RetryBudget != 30*time.Second {
+		t.Fatalf("retry_budget = %v, want 30s", cfg.RetryBudget)
 	}
 	if cfg.WALFsync != "always" || cfg.WALSegmentBytes != 4096 {
 		t.Fatalf("wal cfg = %q %d, want always 4096", cfg.WALFsync, cfg.WALSegmentBytes)
@@ -78,6 +82,8 @@ func TestParseErrors(t *testing.T) {
 		"query_parallelism x",
 		"rpc_timeout -5s",
 		"rpc_timeout soon",
+		"retry_budget -1s",
+		"retry_budget later",
 		"wal_dir",
 		"wal_fsync sometimes",
 		"wal_fsync",

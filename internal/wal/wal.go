@@ -8,14 +8,25 @@
 // storage engine loses at most the last unsynced interval.
 //
 // Layout: records are CRC-framed point batches (gid, a per-group
-// monotonic sequence number, points) appended to per-shard segment
-// files that rotate at SegmentBytes. A checkpoint — written after the
-// segment store has synced — records the per-group high-water sequence
-// plus the store's log offset, and deletes WAL segments wholly below
-// it. On open, torn or corrupt tails are truncated exactly like the
-// segment store's own log recovery, and Replay streams every record
-// above the last checkpoint back to the caller in per-group sequence
-// order.
+// monotonic sequence number, the master-assigned batch sequence — 0
+// for unsequenced local appends — and the points) appended to
+// per-shard segment files that rotate at SegmentBytes. A checkpoint —
+// written after the segment store has synced — records the per-group
+// high-water sequence, the per-group high-water applied master
+// sequence, plus the store's log offset, and deletes WAL segments
+// wholly below it. On open, torn or corrupt tails are truncated
+// exactly like the segment store's own log recovery; the same single
+// CRC scan captures the un-checkpointed tail in memory, so Replay
+// streams it back to the caller in per-group sequence order without
+// re-reading the segment files.
+//
+// The applied master sequences are what makes distributed ingestion
+// exactly-once: the cluster master stamps every Append batch with a
+// per-group monotonic sequence, the worker records the high-water
+// applied sequence here (in the records themselves and, once
+// checkpointed, in the checkpoint file), and after a restart the
+// rebuilt table lets the worker silently skip any batch a retry or
+// re-queue delivers twice.
 package wal
 
 import (
@@ -79,6 +90,16 @@ const (
 	checkpointName = "checkpoint"
 	metaName       = "walmeta"
 	segmentSuffix  = ".wal"
+
+	// Record format versions, pinned per directory in walmeta like the
+	// shard count — formats cannot mix inside one log. recV1 is the
+	// original (gid, seq, count, points); recV2 adds the applied
+	// master-sequence field behind seq. A legacy v1 directory keeps
+	// writing v1 records — its data and torn-tail recovery work
+	// unchanged, its dedup marks persist only through checkpoints — so
+	// upgrading never mis-decodes (and never truncates) an existing log.
+	recV1 = 1
+	recV2 = 2
 )
 
 // ErrClosed is returned by operations on a closed WAL.
@@ -111,6 +132,17 @@ type segmentInfo struct {
 	maxSeq map[core.Gid]uint64
 }
 
+// tailRecord is one un-checkpointed record captured during openShard's
+// single CRC scan. Replay consumes these instead of re-reading and
+// re-checksumming every segment file a second time, so a large log (a
+// memory-store full journal in particular) pays its startup I/O once.
+type tailRecord struct {
+	gid core.Gid
+	seq uint64
+	ext uint64
+	pts []core.DataPoint
+}
+
 // shard is one WAL shard: its own segment files, buffered writer and
 // lock, so appends to groups of different shards do not serialize.
 type shard struct {
@@ -124,9 +156,20 @@ type shard struct {
 	curMax map[core.Gid]uint64
 	sealed []*segmentInfo
 
+	// ver is the directory's pinned record format version.
+	ver int
+
 	// seqs holds the last assigned sequence per group of this shard,
 	// floored by the checkpoint so truncated groups keep counting up.
 	seqs map[core.Gid]uint64
+	// applied holds the highest master-assigned batch sequence logged
+	// per group of this shard — the dedup table's durable source.
+	applied map[core.Gid]uint64
+
+	// tail holds the records above the checkpoint captured by the open
+	// scan; valid until the first Append or Replay invalidates it.
+	tail   []tailRecord
+	tailOK bool
 
 	dirty bool  // unsynced bytes exist (interval policy)
 	err   error // sticky I/O error; appends fail once set
@@ -137,12 +180,14 @@ type shard struct {
 // WAL is a group-sharded point-level write-ahead log.
 type WAL struct {
 	opts   Options
+	ver    int // record format version (recV1 for legacy dirs)
 	shards []*shard
 
-	ckptMu   sync.Mutex
-	ckptSeqs map[core.Gid]uint64
-	storeOff int64
-	hasCkpt  bool
+	ckptMu      sync.Mutex
+	ckptSeqs    map[core.Gid]uint64
+	ckptApplied map[core.Gid]uint64
+	storeOff    int64
+	hasCkpt     bool
 
 	stop     chan struct{}
 	syncDone chan struct{}
@@ -175,15 +220,23 @@ func Open(opts Options) (*WAL, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	if err := loadOrPersistShards(&opts); err != nil {
+	ver, err := loadOrPersistMeta(&opts)
+	if err != nil {
 		return nil, err
 	}
-	w := &WAL{opts: opts, ckptSeqs: map[core.Gid]uint64{}, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	w := &WAL{
+		opts:        opts,
+		ver:         ver,
+		ckptSeqs:    map[core.Gid]uint64{},
+		ckptApplied: map[core.Gid]uint64{},
+		stop:        make(chan struct{}),
+		syncDone:    make(chan struct{}),
+	}
 	if err := w.loadCheckpoint(); err != nil {
 		return nil, err
 	}
 	for i := 0; i < opts.Shards; i++ {
-		s, err := openShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i)))
+		s, err := openShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i)), ver, w.ckptSeqs)
 		if err != nil {
 			w.closeShards()
 			return nil, err
@@ -207,22 +260,38 @@ func Open(opts Options) (*WAL, error) {
 	return w, nil
 }
 
-// loadOrPersistShards pins the shard count across opens: the mapping
-// from Gid to shard file must not change while old segments exist.
-func loadOrPersistShards(opts *Options) error {
+// loadOrPersistMeta pins the shard count and record format version
+// across opens: the Gid-to-shard-file mapping and the byte layout of
+// existing records must not change while old segments exist. A v1
+// walmeta holds only the shard count ("8"); v2 prefixes the version
+// ("2 8"). New directories are always created at the current version.
+func loadOrPersistMeta(opts *Options) (int, error) {
 	path := filepath.Join(opts.Dir, metaName)
 	if data, err := os.ReadFile(path); err == nil {
-		n, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		fields := strings.Fields(strings.TrimSpace(string(data)))
+		ver := recV1
+		if len(fields) == 2 {
+			if fields[0] != strconv.Itoa(recV2) {
+				return 0, fmt.Errorf("wal: unsupported %s version %q", metaName, fields[0])
+			}
+			ver = recV2
+			fields = fields[1:]
+		}
+		if len(fields) != 1 {
+			return 0, fmt.Errorf("wal: corrupt %s: %q", metaName, data)
+		}
+		n, perr := strconv.Atoi(fields[0])
 		if perr != nil || n < 1 {
-			return fmt.Errorf("wal: corrupt %s: %q", metaName, data)
+			return 0, fmt.Errorf("wal: corrupt %s: %q", metaName, data)
 		}
 		opts.Shards = n
-		return nil
+		return ver, nil
 	}
-	if err := os.WriteFile(path, []byte(strconv.Itoa(opts.Shards)), 0o644); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	meta := fmt.Sprintf("%d %d", recV2, opts.Shards)
+	if err := os.WriteFile(path, []byte(meta), 0o644); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
 	}
-	return nil
+	return recV2, nil
 }
 
 func (w *WAL) shardOf(gid core.Gid) *shard {
@@ -231,25 +300,40 @@ func (w *WAL) shardOf(gid core.Gid) *shard {
 
 // openShard scans a shard directory, truncating the first corrupt
 // record and everything after it (torn tails from a crash), rebuilds
-// the per-segment summaries and sequence counters, and opens the last
-// segment for appending.
-func openShard(dir string) (*shard, error) {
+// the per-segment summaries, sequence counters and the applied table,
+// and opens the last segment for appending. The same single CRC scan
+// captures every record above the checkpoint for Replay, so opening
+// never reads a segment file twice.
+func openShard(dir string, ver int, ckpt map[core.Gid]uint64) (*shard, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	s := &shard{dir: dir, seqs: map[core.Gid]uint64{}, curMax: map[core.Gid]uint64{}}
+	s := &shard{
+		dir:     dir,
+		ver:     ver,
+		seqs:    map[core.Gid]uint64{},
+		curMax:  map[core.Gid]uint64{},
+		applied: map[core.Gid]uint64{},
+		tailOK:  true,
+	}
 	files, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
 	for i, f := range files {
 		maxSeq := map[core.Gid]uint64{}
-		valid, err := scanSegment(f.path, func(gid core.Gid, seq uint64, _ []core.DataPoint) error {
+		valid, err := scanSegment(f.path, ver, func(gid core.Gid, seq, ext uint64, pts []core.DataPoint) error {
 			if seq > maxSeq[gid] {
 				maxSeq[gid] = seq
 			}
 			if seq > s.seqs[gid] {
 				s.seqs[gid] = seq
+			}
+			if ext > s.applied[gid] {
+				s.applied[gid] = ext
+			}
+			if seq > ckpt[gid] {
+				s.tail = append(s.tail, tailRecord{gid: gid, seq: seq, ext: ext, pts: pts})
 			}
 			return nil
 		})
@@ -337,7 +421,7 @@ func listSegments(dir string) ([]*segmentInfo, error) {
 // scanSegment parses one segment file, calling fn per valid record,
 // and returns the byte offset of the valid prefix — the first torn or
 // corrupt frame ends the scan, exactly like the store's log recovery.
-func scanSegment(path string, fn func(gid core.Gid, seq uint64, pts []core.DataPoint) error) (int64, error) {
+func scanSegment(path string, ver int, fn func(gid core.Gid, seq, ext uint64, pts []core.DataPoint) error) (int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
@@ -353,12 +437,12 @@ func scanSegment(path string, fn func(gid core.Gid, seq uint64, pts []core.DataP
 		if crc32.ChecksumIEEE(payload) != sum {
 			break
 		}
-		gid, seq, pts, err := decodeRecord(payload)
+		gid, seq, ext, pts, err := decodeRecord(ver, payload)
 		if err != nil {
 			break
 		}
 		if fn != nil {
-			if err := fn(gid, seq, pts); err != nil {
+			if err := fn(gid, seq, ext, pts); err != nil {
 				return int64(off), err
 			}
 		}
@@ -367,12 +451,16 @@ func scanSegment(path string, fn func(gid core.Gid, seq uint64, pts []core.DataP
 	return int64(off), nil
 }
 
-// appendRecord frames one record (gid, seq, points) into buf.
-func appendRecord(buf []byte, gid core.Gid, seq uint64, pts []core.DataPoint) []byte {
+// appendRecord frames one record (gid, seq, ext, points) into buf in
+// the directory's record format; v1 has no ext field.
+func appendRecord(buf []byte, ver int, gid core.Gid, seq, ext uint64, pts []core.DataPoint) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
 	buf = binary.AppendUvarint(buf, uint64(gid))
 	buf = binary.AppendUvarint(buf, seq)
+	if ver >= recV2 {
+		buf = binary.AppendUvarint(buf, ext)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(pts)))
 	for _, p := range pts {
 		buf = binary.AppendUvarint(buf, uint64(p.Tid))
@@ -385,54 +473,68 @@ func appendRecord(buf []byte, gid core.Gid, seq uint64, pts []core.DataPoint) []
 	return buf
 }
 
-// decodeRecord parses one framed payload.
-func decodeRecord(payload []byte) (core.Gid, uint64, []core.DataPoint, error) {
+// decodeRecord parses one framed payload in the given record format.
+// ext is the master-assigned batch sequence the record applied; 0
+// marks an unsequenced append (and every v1 record, which has no ext
+// field).
+func decodeRecord(ver int, payload []byte) (core.Gid, uint64, uint64, []core.DataPoint, error) {
 	gid, n := binary.Uvarint(payload)
 	if n <= 0 || gid == 0 || gid > math.MaxInt32 {
-		return 0, 0, nil, errors.New("wal: corrupt record gid")
+		return 0, 0, 0, nil, errors.New("wal: corrupt record gid")
 	}
 	payload = payload[n:]
 	seq, n := binary.Uvarint(payload)
 	if n <= 0 || seq == 0 {
-		return 0, 0, nil, errors.New("wal: corrupt record seq")
+		return 0, 0, 0, nil, errors.New("wal: corrupt record seq")
 	}
 	payload = payload[n:]
+	var ext uint64
+	if ver >= recV2 {
+		ext, n = binary.Uvarint(payload)
+		if n <= 0 {
+			return 0, 0, 0, nil, errors.New("wal: corrupt record ext seq")
+		}
+		payload = payload[n:]
+	}
 	count, n := binary.Uvarint(payload)
 	if n <= 0 || count > uint64(len(payload)) {
-		return 0, 0, nil, errors.New("wal: corrupt record count")
+		return 0, 0, 0, nil, errors.New("wal: corrupt record count")
 	}
 	payload = payload[n:]
 	pts := make([]core.DataPoint, 0, count)
 	for i := uint64(0); i < count; i++ {
 		tid, n := binary.Uvarint(payload)
 		if n <= 0 || tid == 0 || tid > math.MaxInt32 {
-			return 0, 0, nil, errors.New("wal: corrupt point tid")
+			return 0, 0, 0, nil, errors.New("wal: corrupt point tid")
 		}
 		payload = payload[n:]
 		ts, n := binary.Varint(payload)
 		if n <= 0 {
-			return 0, 0, nil, errors.New("wal: corrupt point timestamp")
+			return 0, 0, 0, nil, errors.New("wal: corrupt point timestamp")
 		}
 		payload = payload[n:]
 		if len(payload) < 4 {
-			return 0, 0, nil, errors.New("wal: corrupt point value")
+			return 0, 0, 0, nil, errors.New("wal: corrupt point value")
 		}
 		v := math.Float32frombits(binary.LittleEndian.Uint32(payload))
 		payload = payload[4:]
 		pts = append(pts, core.DataPoint{Tid: core.Tid(tid), TS: ts, Value: v})
 	}
 	if len(payload) != 0 {
-		return 0, 0, nil, errors.New("wal: trailing bytes in record")
+		return 0, 0, 0, nil, errors.New("wal: trailing bytes in record")
 	}
-	return core.Gid(gid), seq, pts, nil
+	return core.Gid(gid), seq, ext, pts, nil
 }
 
 // Append logs one batch of points for gid, assigning the group's next
 // sequence number, and makes it durable according to the sync policy.
-// The caller must serialize appends of one group (the database holds
-// the group's shard lock), so per-group sequence order equals log
-// order and replay reproduces ingestion exactly.
-func (w *WAL) Append(gid core.Gid, pts []core.DataPoint) (uint64, error) {
+// ext is the master-assigned batch sequence the batch applies (0 for
+// unsequenced local appends); it rides in the record and in later
+// checkpoints so the dedup table survives restarts. The caller must
+// serialize appends of one group (the database holds the group's shard
+// lock), so per-group sequence order equals log order and replay
+// reproduces ingestion exactly.
+func (w *WAL) Append(gid core.Gid, ext uint64, pts []core.DataPoint) (uint64, error) {
 	s := w.shardOf(gid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -442,8 +544,11 @@ func (w *WAL) Append(gid core.Gid, pts []core.DataPoint) (uint64, error) {
 	if s.err != nil {
 		return 0, s.err
 	}
+	// New records are not part of the captured open-scan tail; from here
+	// on Replay (a test-only pattern at this point) re-scans the files.
+	s.tail, s.tailOK = nil, false
 	seq := s.seqs[gid] + 1
-	s.scratch = appendRecord(s.scratch[:0], gid, seq, pts)
+	s.scratch = appendRecord(s.scratch[:0], s.ver, gid, seq, ext, pts)
 	if s.size > 0 && s.size+int64(len(s.scratch)) > w.opts.SegmentBytes {
 		if err := s.rotate(); err != nil {
 			s.err = err
@@ -453,6 +558,9 @@ func (w *WAL) Append(gid core.Gid, pts []core.DataPoint) (uint64, error) {
 	s.buf = append(s.buf, s.scratch...)
 	s.size += int64(len(s.scratch))
 	s.seqs[gid] = seq
+	if ext > s.applied[gid] {
+		s.applied[gid] = ext
+	}
 	if seq > s.curMax[gid] {
 		s.curMax[gid] = seq
 	}
@@ -525,6 +633,29 @@ func (w *WAL) Seq(gid core.Gid) uint64 {
 	return s.seqs[gid]
 }
 
+// AppliedSeqs snapshots the highest master-assigned batch sequence
+// applied per group, merging the last checkpoint's table with every
+// record logged since — the durable state the database seeds its dedup
+// table from on open.
+func (w *WAL) AppliedSeqs() map[core.Gid]uint64 {
+	w.ckptMu.Lock()
+	out := make(map[core.Gid]uint64, len(w.ckptApplied))
+	for gid, a := range w.ckptApplied {
+		out[gid] = a
+	}
+	w.ckptMu.Unlock()
+	for _, s := range w.shards {
+		s.mu.Lock()
+		for gid, a := range s.applied {
+			if a > out[gid] {
+				out[gid] = a
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Seqs snapshots the last assigned sequence of every group the WAL
 // has seen — including groups the current configuration no longer
 // knows. Checkpointing uses it so records of orphaned groups (which
@@ -561,12 +692,33 @@ func (w *WAL) StoreOffset() int64 {
 // Replay streams every record above the last checkpoint to fn, in
 // per-group sequence order (records of one group live in one shard and
 // are scanned in write order). Call it once, after Open and before the
-// first Append.
-func (w *WAL) Replay(fn func(gid core.Gid, seq uint64, pts []core.DataPoint) error) error {
+// first Append: that first call consumes the tail the open scan
+// already captured, paying no additional I/O, and frees it afterwards.
+// Later calls — or a Replay after an Append — fall back to re-scanning
+// the segment files.
+func (w *WAL) Replay(fn func(gid core.Gid, seq, ext uint64, pts []core.DataPoint) error) error {
 	w.ckptMu.Lock()
 	ckpt := w.ckptSeqs
 	w.ckptMu.Unlock()
 	for _, s := range w.shards {
+		s.mu.Lock()
+		tail, ok := s.tail, s.tailOK
+		s.tail, s.tailOK = nil, false
+		s.mu.Unlock()
+		if ok {
+			for _, r := range tail {
+				// Re-filter against the current checkpoint: an anchor
+				// checkpoint written between Open and Replay may have
+				// truncated captured records away.
+				if r.seq <= ckpt[r.gid] {
+					continue
+				}
+				if err := fn(r.gid, r.seq, r.ext, r.pts); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		files := make([]*segmentInfo, 0, len(s.sealed)+1)
 		files = append(files, s.sealed...)
 		files = append(files, &segmentInfo{
@@ -576,11 +728,11 @@ func (w *WAL) Replay(fn func(gid core.Gid, seq uint64, pts []core.DataPoint) err
 			if _, err := os.Stat(f.path); err != nil {
 				continue // empty shard: current segment never created
 			}
-			_, err := scanSegment(f.path, func(gid core.Gid, seq uint64, pts []core.DataPoint) error {
+			_, err := scanSegment(f.path, s.ver, func(gid core.Gid, seq, ext uint64, pts []core.DataPoint) error {
 				if seq <= ckpt[gid] {
 					return nil
 				}
-				return fn(gid, seq, pts)
+				return fn(gid, seq, ext, pts)
 			})
 			if err != nil {
 				return err
@@ -594,8 +746,22 @@ func (w *WAL) Replay(fn func(gid core.Gid, seq uint64, pts []core.DataPoint) err
 // below seqs[gid] has been applied and synced by the segment store
 // (whose log now ends at storeOffset), then deletes or truncates WAL
 // segments wholly below the mark. Sequences only ratchet upward;
-// groups absent from seqs keep their previous mark.
+// groups absent from seqs keep their previous mark. The applied
+// master-sequence table rides in the same checkpoint, so dedup marks
+// of truncated records survive the truncation.
 func (w *WAL) Checkpoint(seqs map[core.Gid]uint64, storeOffset int64) error {
+	// Snapshot the shards' applied tables before taking ckptMu (lock
+	// order: shard locks never nest inside ckptMu elsewhere either).
+	applied := map[core.Gid]uint64{}
+	for _, s := range w.shards {
+		s.mu.Lock()
+		for gid, a := range s.applied {
+			if a > applied[gid] {
+				applied[gid] = a
+			}
+		}
+		s.mu.Unlock()
+	}
 	w.ckptMu.Lock()
 	defer w.ckptMu.Unlock()
 	merged := make(map[core.Gid]uint64, len(w.ckptSeqs)+len(seqs))
@@ -607,10 +773,16 @@ func (w *WAL) Checkpoint(seqs map[core.Gid]uint64, storeOffset int64) error {
 			merged[gid] = seq
 		}
 	}
-	if err := w.writeCheckpoint(merged, storeOffset); err != nil {
+	for gid, a := range w.ckptApplied {
+		if a > applied[gid] {
+			applied[gid] = a
+		}
+	}
+	if err := w.writeCheckpoint(merged, applied, storeOffset); err != nil {
 		return err
 	}
 	w.ckptSeqs = merged
+	w.ckptApplied = applied
 	w.storeOff = storeOffset
 	w.hasCkpt = true
 	for _, s := range w.shards {
@@ -669,20 +841,14 @@ func covered(maxSeq, ckpt map[core.Gid]uint64) bool {
 }
 
 // writeCheckpoint persists the checkpoint atomically: framed payload
-// into a temp file, fsync, rename over the previous checkpoint.
-func (w *WAL) writeCheckpoint(seqs map[core.Gid]uint64, storeOffset int64) error {
+// into a temp file, fsync, rename over the previous checkpoint. The
+// payload carries the store offset, the per-group WAL sequence marks
+// and the per-group applied master-sequence table.
+func (w *WAL) writeCheckpoint(seqs, applied map[core.Gid]uint64, storeOffset int64) error {
 	var payload []byte
 	payload = binary.AppendVarint(payload, storeOffset)
-	payload = binary.AppendUvarint(payload, uint64(len(seqs)))
-	gids := make([]core.Gid, 0, len(seqs))
-	for gid := range seqs {
-		gids = append(gids, gid)
-	}
-	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
-	for _, gid := range gids {
-		payload = binary.AppendUvarint(payload, uint64(gid))
-		payload = binary.AppendUvarint(payload, seqs[gid])
-	}
+	payload = appendSeqMap(payload, seqs)
+	payload = appendSeqMap(payload, applied)
 	var framed []byte
 	framed = append(framed, 0, 0, 0, 0, 0, 0, 0, 0)
 	framed = append(framed, payload...)
@@ -710,7 +876,50 @@ func (w *WAL) writeCheckpoint(seqs map[core.Gid]uint64, storeOffset int64) error
 	return nil
 }
 
-// loadCheckpoint reads the last durable checkpoint, if any.
+// appendSeqMap encodes one per-group sequence map in ascending Gid
+// order (deterministic bytes for identical state).
+func appendSeqMap(payload []byte, seqs map[core.Gid]uint64) []byte {
+	payload = binary.AppendUvarint(payload, uint64(len(seqs)))
+	gids := make([]core.Gid, 0, len(seqs))
+	for gid := range seqs {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		payload = binary.AppendUvarint(payload, uint64(gid))
+		payload = binary.AppendUvarint(payload, seqs[gid])
+	}
+	return payload
+}
+
+// readSeqMap decodes one per-group sequence map, returning the rest of
+// the payload.
+func readSeqMap(payload []byte) (map[core.Gid]uint64, []byte, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, nil, errors.New("wal: corrupt checkpoint: group count")
+	}
+	payload = payload[n:]
+	seqs := make(map[core.Gid]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		gid, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, nil, errors.New("wal: corrupt checkpoint: gid")
+		}
+		payload = payload[n:]
+		seq, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, nil, errors.New("wal: corrupt checkpoint: seq")
+		}
+		payload = payload[n:]
+		seqs[core.Gid(gid)] = seq
+	}
+	return seqs, payload, nil
+}
+
+// loadCheckpoint reads the last durable checkpoint, if any. A
+// checkpoint written before the applied table existed simply yields an
+// empty table.
 func (w *WAL) loadCheckpoint() error {
 	data, err := os.ReadFile(filepath.Join(w.opts.Dir, checkpointName))
 	if errors.Is(err, os.ErrNotExist) {
@@ -736,26 +945,18 @@ func (w *WAL) loadCheckpoint() error {
 		return errors.New("wal: corrupt checkpoint: store offset")
 	}
 	payload = payload[n:]
-	count, n := binary.Uvarint(payload)
-	if n <= 0 {
-		return errors.New("wal: corrupt checkpoint: group count")
+	seqs, payload, err := readSeqMap(payload)
+	if err != nil {
+		return err
 	}
-	payload = payload[n:]
-	seqs := make(map[core.Gid]uint64, count)
-	for i := uint64(0); i < count; i++ {
-		gid, n := binary.Uvarint(payload)
-		if n <= 0 {
-			return errors.New("wal: corrupt checkpoint: gid")
+	applied := map[core.Gid]uint64{}
+	if len(payload) > 0 {
+		if applied, _, err = readSeqMap(payload); err != nil {
+			return err
 		}
-		payload = payload[n:]
-		seq, n := binary.Uvarint(payload)
-		if n <= 0 {
-			return errors.New("wal: corrupt checkpoint: seq")
-		}
-		payload = payload[n:]
-		seqs[core.Gid(gid)] = seq
 	}
 	w.ckptSeqs = seqs
+	w.ckptApplied = applied
 	w.storeOff = storeOff
 	w.hasCkpt = true
 	return nil

@@ -28,7 +28,7 @@ type replayed struct {
 func collectReplay(t *testing.T, w *WAL) []replayed {
 	t.Helper()
 	var out []replayed
-	if err := w.Replay(func(gid core.Gid, seq uint64, p []core.DataPoint) error {
+	if err := w.Replay(func(gid core.Gid, seq, _ uint64, p []core.DataPoint) error {
 		cp := make([]core.DataPoint, len(p))
 		copy(cp, p)
 		out = append(out, replayed{gid, seq, cp})
@@ -63,7 +63,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		{2, 2, pts(3, 2000, 4)},
 	}
 	for _, r := range want {
-		seq, err := w.Append(r.gid, r.pts)
+		seq, err := w.Append(r.gid, 0, r.pts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func TestRotationAndCheckpointTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		if _, err := w.Append(1, pts(1, int64(i*1000), 2)); err != nil {
+		if _, err := w.Append(1, 0, pts(1, int64(i*1000), 2)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -147,7 +147,7 @@ func TestRotationAndCheckpointTruncation(t *testing.T) {
 		t.Fatalf("replay after full checkpoint = %d records, want 0", len(got))
 	}
 	// New appends continue above the checkpoint, never reusing seqs.
-	seq, err := w.Append(1, pts(1, 99000, 1))
+	seq, err := w.Append(1, 0, pts(1, 99000, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestTornTailSweep(t *testing.T) {
 	var sizes []int64
 	seg := filepath.Join(w.shardOf(1).dir, fmt.Sprintf("%016d%s", 1, segmentSuffix))
 	for i := 0; i < records; i++ {
-		if _, err := w.Append(1, pts(1, int64(i*1000), 2)); err != nil {
+		if _, err := w.Append(1, 0, pts(1, int64(i*1000), 2)); err != nil {
 			t.Fatal(err)
 		}
 		info, err := os.Stat(seg)
@@ -211,7 +211,7 @@ func TestTornTailSweep(t *testing.T) {
 		}
 		// The torn tail is truncated away, and the WAL stays appendable:
 		// the next record lands where the torn one was.
-		if seq, err := w.Append(1, pts(1, 99000, 1)); err != nil || seq != records {
+		if seq, err := w.Append(1, 0, pts(1, 99000, 1)); err != nil || seq != records {
 			t.Fatalf("cut %d: append after truncation = seq %d, %v", cut, seq, err)
 		}
 		if err := w.Close(); err != nil {
@@ -229,7 +229,7 @@ func TestCorruptMiddleRecordDropsTail(t *testing.T) {
 	var sizes []int64
 	seg := filepath.Join(w.shardOf(1).dir, fmt.Sprintf("%016d%s", 1, segmentSuffix))
 	for i := 0; i < 5; i++ {
-		if _, err := w.Append(1, pts(1, int64(i*1000), 2)); err != nil {
+		if _, err := w.Append(1, 0, pts(1, int64(i*1000), 2)); err != nil {
 			t.Fatal(err)
 		}
 		info, _ := os.Stat(seg)
@@ -283,7 +283,7 @@ func TestShardCountPinnedAcrossOpens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Append(5, pts(1, 0, 1)); err != nil {
+	if _, err := w.Append(5, 0, pts(1, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
@@ -308,7 +308,7 @@ func TestAppendAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Close()
-	if _, err := w.Append(1, pts(1, 0, 1)); !errors.Is(err, ErrClosed) {
+	if _, err := w.Append(1, 0, pts(1, 0, 1)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Append after Close = %v, want ErrClosed", err)
 	}
 	if err := w.Close(); !errors.Is(err, ErrClosed) {
@@ -322,5 +322,178 @@ func TestOpenValidatesOptions(t *testing.T) {
 	}
 	if _, err := Open(Options{Dir: t.TempDir(), Sync: "sometimes"}); err == nil {
 		t.Fatal("Open with unknown policy must fail")
+	}
+}
+
+func TestAppliedSeqsSurviveReopenAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 1 applies master batches 1..3, group 2 applies 7; group 3
+	// appends unsequenced (ext 0) and must stay absent from the table.
+	for ext := uint64(1); ext <= 3; ext++ {
+		if _, err := w.Append(1, ext, pts(1, int64(ext*1000), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Append(2, 7, pts(3, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(3, 0, pts(5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := map[core.Gid]uint64{1: 3, 2: 7}
+	if got := w.AppliedSeqs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppliedSeqs = %v, want %v", got, want)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the table rebuilds from the records alone.
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.AppliedSeqs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppliedSeqs after reopen = %v, want %v", got, want)
+	}
+	// Checkpoint everything: the records vanish but the applied table
+	// must survive through the checkpoint file.
+	if err := w2.Checkpoint(map[core.Gid]uint64{1: 3, 2: 1, 3: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectReplay(t, w2); len(got) != 0 {
+		t.Fatalf("replay after full checkpoint = %d records, want 0", len(got))
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if got := w3.AppliedSeqs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppliedSeqs after checkpoint truncation = %v, want %v", got, want)
+	}
+}
+
+func TestReplayExtSeqRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(1, 42, pts(1, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var exts []uint64
+	if err := w2.Replay(func(_ core.Gid, _, ext uint64, _ []core.DataPoint) error {
+		exts = append(exts, ext)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(exts) != 1 || exts[0] != 42 {
+		t.Fatalf("replayed ext seqs = %v, want [42]", exts)
+	}
+}
+
+// TestReplayTwiceMatches: the first Replay consumes the tail captured
+// by the single-pass open; a second Replay falls back to scanning the
+// segment files and must see the same records.
+func TestReplayTwiceMatches(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(core.Gid(i%3+1), uint64(i+1), pts(1, int64(i*1000), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	first := collectReplay(t, w2)
+	second := collectReplay(t, w2)
+	if len(first) != 10 || !reflect.DeepEqual(first, second) {
+		t.Fatalf("replay mismatch: first %d records, second %d", len(first), len(second))
+	}
+}
+
+// TestOpenLegacyV1WAL: a directory written by the pre-applied-field
+// WAL (v1 records: gid, seq, count, points; walmeta holds only the
+// shard count) must open without truncating anything, replay every
+// record with ext 0, and stay appendable — upgrading never destroys
+// an acknowledged durable log.
+func TestOpenLegacyV1WAL(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-build the legacy layout.
+	if err := os.WriteFile(filepath.Join(dir, metaName), []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "shard-000")
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var log []byte
+	log = appendRecord(log, recV1, 1, 1, 0, pts(1, 0, 3))
+	log = appendRecord(log, recV1, 2, 1, 0, pts(3, 0, 2))
+	log = appendRecord(log, recV1, 1, 2, 0, pts(2, 1000, 1))
+	seg := filepath.Join(shardDir, fmt.Sprintf("%016d%s", 1, segmentSuffix))
+	if err := os.WriteFile(seg, log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ver != recV1 {
+		t.Fatalf("ver = %d, want pinned legacy v1", w.ver)
+	}
+	got := collectReplay(t, w)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d legacy records, want 3", len(got))
+	}
+	// Nothing was truncated as corrupt.
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != int64(len(log)) {
+		t.Fatalf("legacy segment truncated: %d bytes of %d", info.Size(), len(log))
+	}
+	// The log stays appendable in its own format across reopens.
+	if seq, err := w.Append(1, 9, pts(1, 99000, 1)); err != nil || seq != 3 {
+		t.Fatalf("append to legacy WAL = seq %d, %v", seq, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := collectReplay(t, w2); len(got) != 4 {
+		t.Fatalf("replay after reopen = %d records, want 4", len(got))
+	}
+	// v1 records cannot carry the applied mark; it must read back 0
+	// rather than garbage.
+	if a := w2.AppliedSeqs(); len(a) != 0 {
+		t.Fatalf("applied seqs from v1 records = %v, want empty", a)
 	}
 }

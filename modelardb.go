@@ -135,6 +135,14 @@ type Config struct {
 	// in time, and the worker-side scan is cancelled. 0 means calls are
 	// bounded only by their caller's context.
 	RPCTimeout time.Duration
+	// RetryBudget bounds how long a cluster master keeps retrying a
+	// call whose worker connection died, reconnecting with exponential
+	// backoff and jitter between attempts. Retried batches carry their
+	// original sequence numbers, so the worker deduplicates replays and
+	// the retries stay exactly-once. 0 means a single immediate
+	// reconnect-and-retry (enough for a worker restarting in place);
+	// raise it to survive longer worker outages.
+	RetryBudget time.Duration
 	// WALDir enables the point-level write-ahead log: every
 	// Append/AppendBatch is logged (and made durable per WALFsync)
 	// before it reaches the in-memory model buffers, and Open replays
@@ -208,6 +216,14 @@ type DB struct {
 type groupShard struct {
 	mu sync.Mutex
 	gi *core.GroupIngestor
+	// applied is the group's dedup high-water mark: the highest
+	// master-assigned batch sequence already ingested. AppendBatchSeq
+	// silently skips batches at or below it, which is what makes
+	// cluster retries and re-queues idempotent. With a WAL the mark is
+	// durable (it rides in the records and checkpoints and is reseeded
+	// on open); without one it protects the current process lifetime —
+	// consistent, since an un-WALed restart loses the data too.
+	applied uint64
 	// walPoint is the single-point scratch batch for Append's WAL
 	// write, reused under the shard lock to keep the hot path
 	// allocation-free.
@@ -332,6 +348,14 @@ func (db *DB) openWAL() error {
 		w.Close()
 		return fmt.Errorf("modelardb: wal replay: %w", err)
 	}
+	// Seed the per-group dedup marks from the WAL's applied table
+	// (checkpoint plus logged records), so a batch the pre-crash process
+	// already ingested is still recognized as a duplicate after restart.
+	for gid, applied := range w.AppliedSeqs() {
+		if sh := db.shards[gid]; sh != nil {
+			sh.applied = applied
+		}
+	}
 	db.wal = w
 	return nil
 }
@@ -343,7 +367,7 @@ func (db *DB) openWAL() error {
 // rejected identically now — it is skipped along with the rest of its
 // record, matching the original append's early return.
 func (db *DB) replayWAL(w *wal.WAL) error {
-	return w.Replay(func(gid core.Gid, seq uint64, pts []core.DataPoint) error {
+	return w.Replay(func(gid core.Gid, seq, _ uint64, pts []core.DataPoint) error {
 		sh := db.shards[gid]
 		if sh == nil {
 			return nil // group no longer exists; nothing to restore
@@ -501,7 +525,7 @@ func (db *DB) Append(tid Tid, ts int64, value float32) error {
 		// checkpoint replays it. The raw value is logged; scaling is
 		// re-applied on replay.
 		sh.walPoint[0] = DataPoint{Tid: tid, TS: ts, Value: value}
-		if _, err := db.wal.Append(series.Gid, sh.walPoint[:]); err != nil {
+		if _, err := db.wal.Append(series.Gid, 0, sh.walPoint[:]); err != nil {
 			return err
 		}
 	}
@@ -528,6 +552,23 @@ func (db *DB) AppendPoint(p DataPoint) error {
 // Cancelling ctx stops between groups and returns ctx.Err(); like a
 // failed Append, points of groups already processed remain ingested.
 func (db *DB) AppendBatch(ctx context.Context, points []DataPoint) error {
+	return db.AppendBatchSeq(ctx, points, nil)
+}
+
+// AppendBatchSeq is AppendBatch with per-group batch sequence numbers
+// for exactly-once delivery: seqs maps a group to the master-assigned
+// monotonic sequence of this batch's slice for that group. A slice
+// whose sequence is at or below the group's applied high-water mark
+// has been ingested before (a retry, a re-queue replay, a duplicated
+// frame) and is silently skipped; a higher sequence advances the mark.
+// Groups absent from seqs (or mapped to 0) bypass deduplication — that
+// is the plain AppendBatch behavior.
+//
+// The mark advances even when a point of the slice is rejected
+// (out-of-order, misaligned): rejection is deterministic, so
+// re-applying the slice would reject the same point again and
+// duplicate the points before it.
+func (db *DB) AppendBatchSeq(ctx context.Context, points []DataPoint, seqs map[Gid]uint64) error {
 	if len(points) == 0 {
 		return nil
 	}
@@ -548,7 +589,7 @@ func (db *DB) AppendBatch(ctx context.Context, points []DataPoint) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := db.appendGroup(gid, byGid[gid]); err != nil {
+		if err := db.appendGroup(gid, byGid[gid], seqs[gid]); err != nil {
 			return err
 		}
 	}
@@ -556,21 +597,28 @@ func (db *DB) AppendBatch(ctx context.Context, points []DataPoint) error {
 }
 
 // appendGroup ingests one group's slice of a batch under its shard
-// lock.
-func (db *DB) appendGroup(gid Gid, points []DataPoint) error {
+// lock. seq is the master-assigned batch sequence (0 = unsequenced).
+func (db *DB) appendGroup(gid Gid, points []DataPoint, seq uint64) error {
 	sh := db.shards[gid]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if seq != 0 && seq <= sh.applied {
+		return nil // duplicate delivery: this batch was already ingested
+	}
 	if db.wal != nil {
 		// One WAL record covers the whole group slice; replay applies
 		// its points in order and stops at the first rejected point,
-		// mirroring the early return below.
-		if _, err := db.wal.Append(gid, points); err != nil {
+		// mirroring the early return below. The record carries seq, so
+		// the dedup mark is durable before the batch is acknowledged.
+		if _, err := db.wal.Append(gid, seq, points); err != nil {
 			return err
 		}
+	}
+	if seq != 0 {
+		sh.applied = seq
 	}
 	for _, p := range points {
 		series := db.series[p.Tid-1]
@@ -580,6 +628,22 @@ func (db *DB) appendGroup(gid Gid, points []DataPoint) error {
 		db.points.Add(1)
 	}
 	return nil
+}
+
+// AppliedSeqs snapshots every group's dedup high-water mark — the
+// highest master-assigned batch sequence applied per group. A cluster
+// master fetches it when (re)connecting so freshly assigned sequences
+// continue above everything the worker has already ingested.
+func (db *DB) AppliedSeqs() map[Gid]uint64 {
+	out := make(map[Gid]uint64)
+	for gid, sh := range db.shards {
+		sh.mu.Lock()
+		if sh.applied != 0 {
+			out[gid] = sh.applied
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Flush finalizes all buffered data points into segments and persists
