@@ -13,12 +13,16 @@ FUZZTIME ?= 60s
 
 # Benchmarks captured by the recorded artifact (bench-record): the
 # parallel-executor speedup table, pruning, the sharded-ingestion
-# suite, the WAL fsync-policy costs and the calibration workload.
-BENCH_RECORD = 'Calibration|Parallel|Pruning|IngestAppend|AppendWAL|AppendBatchWAL'
+# suite, the WAL fsync-policy costs (including group commit, matched
+# by the AppendWAL pattern), the two-worker TCP scatter stream, the
+# sustained-load scenario and the calibration workload.
+BENCH_RECORD = 'Calibration|Parallel|Pruning|IngestAppend|AppendWAL|AppendBatchWAL|ScatterTCPStream|SustainedLoad'
 # Hot-path benchmarks guarded by the regression gate (bench-compare):
-# per-point append, batched append, the heavy parallel scan, plus the
+# per-point append, batched append, the heavy parallel scan, the
+# streamed TCP scatter, the group-commit append (whose fsyncs/point
+# metric compare prints alongside the gated ns/op), plus the
 # calibration workload that normalizes machine speed.
-BENCH_GATE = 'Calibration$$|IngestAppendSerial|IngestAppendBatch|ParallelSumDataPointView'
+BENCH_GATE = 'Calibration$$|IngestAppendSerial|IngestAppendBatch|ParallelSumDataPointView|ScatterTCPStream|AppendWALGroupCommit'
 
 .PHONY: all build vet fmt-check lint vuln test race bench crash ci \
 	bench-record bench-compare fuzz

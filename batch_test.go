@@ -67,11 +67,11 @@ func TestAppendBatchMatchesAppend(t *testing.T) {
 		"SELECT Tid, COUNT_S(*), SUM_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
 		"SELECT Tid, TS, Value FROM DataPoint ORDER BY Tid, TS",
 	} {
-		a, err := one.Query(sql)
+		a, err := one.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := batch.Query(sql)
+		b, err := batch.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestAppendBatchConcurrentDisjointGroups(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query("SELECT COUNT_S(*), SUM_S(*) FROM Segment")
+	res, err := db.Query(context.Background(), "SELECT COUNT_S(*), SUM_S(*) FROM Segment")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestDBQueryRowsAndPrepare(t *testing.T) {
 		t.Fatal(err)
 	}
 	sql := "SELECT Tid, TS, Value FROM DataPoint"
-	want, err := db.Query(sql)
+	want, err := db.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}

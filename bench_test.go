@@ -8,6 +8,7 @@
 package modelardb_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -183,7 +184,7 @@ func benchmarkQuery(b *testing.B, sql string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(sql); err != nil {
+		if _, err := db.Query(context.Background(), sql); err != nil {
 			b.Fatal(err)
 		}
 	}

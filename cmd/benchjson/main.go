@@ -22,6 +22,14 @@
 // that are faster than baseline never fail, and a benchmark present in
 // the baseline but missing from the current run fails loudly — a
 // renamed benchmark must not silently weaken the gate.
+//
+// Custom metrics reported via b.ReportMetric (anything that is not
+// ns/op, B/op or allocs/op — e.g. fsyncs/point from the WAL
+// group-commit benchmark or q-p99-ms from the sustained-load
+// scenario) are printed side by side when both records carry them.
+// They are informational, never gated: they are workload properties,
+// not machine speeds, so the calibration normalization does not apply
+// to them.
 package main
 
 import (
@@ -180,6 +188,21 @@ func parse(r io.Reader) (*Record, error) {
 	return rec, sc.Err()
 }
 
+// customMetrics returns a benchmark's non-standard metric names in
+// sorted order: the b.ReportMetric units (fsyncs/point, q-p99-ms, …),
+// excluding the allocation counters every -benchmem run carries.
+func customMetrics(b Benchmark) []string {
+	var names []string
+	for name := range b.Metrics {
+		if name == "B/op" || name == "allocs/op" {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // markdown renders the record as the table BENCHMARKS.md embeds.
 func markdown(rec *Record) string {
 	var sb strings.Builder
@@ -188,9 +211,14 @@ func markdown(rec *Record) string {
 	if rec.CPUModel != "" {
 		fmt.Fprintf(&sb, "CPU: %s\n\n", rec.CPUModel)
 	}
-	sb.WriteString("| benchmark | ns/op | iterations |\n|---|---:|---:|\n")
+	sb.WriteString("| benchmark | ns/op | iterations | metrics |\n|---|---:|---:|---|\n")
 	for _, b := range rec.Benches {
-		fmt.Fprintf(&sb, "| %s | %.0f | %d |\n", b.Name, b.NsPerOp, b.Iterations)
+		var extras []string
+		for _, m := range customMetrics(b) {
+			extras = append(extras, fmt.Sprintf("%s=%.4g", m, b.Metrics[m]))
+		}
+		fmt.Fprintf(&sb, "| %s | %.0f | %d | %s |\n",
+			b.Name, b.NsPerOp, b.Iterations, strings.Join(extras, ", "))
 	}
 	return sb.String()
 }
@@ -281,6 +309,14 @@ func compare(args []string) error {
 		}
 		fmt.Printf("%s %-50s base %12.1f  cur %12.1f  normalized %+6.1f%%\n",
 			status, name, b.NsPerOp, c.NsPerOp, delta)
+		for _, m := range customMetrics(b) {
+			cv, ok := c.Metrics[m]
+			if !ok {
+				continue
+			}
+			fmt.Printf("     %-50s base %12.4g  cur %12.4g  (%s, informational)\n",
+				"  "+m, b.Metrics[m], cv, m)
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% (or went missing)", failed, *threshold)

@@ -141,7 +141,7 @@ func loadCSV(db *modelardb.DB, path string) (int64, error) {
 		return 0, err
 	}
 	defer f.Close()
-	n, err := db.LoadCSVContext(context.Background(), f)
+	n, err := db.LoadCSV(context.Background(), f)
 	if err != nil {
 		return n, err
 	}
@@ -256,9 +256,14 @@ func handle(ctx context.Context, db *modelardb.DB, w *bufio.Writer, line string)
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return
 		}
-		fmt.Fprintf(w, "OK series=%d groups=%d segments=%d bytes=%d points=%d cache_hits=%d cache_misses=%d wal_bytes=%d\n",
+		// The tail fields are the backpressure signals: WAL growth
+		// since the last checkpoint, fsyncs issued (growing slower
+		// than points under group commit), and streams currently
+		// being produced for remote masters.
+		fmt.Fprintf(w, "OK series=%d groups=%d segments=%d bytes=%d points=%d cache_hits=%d cache_misses=%d wal_bytes=%d wal_pending=%d wal_fsyncs=%d streams=%d\n",
 			st.Series, st.Groups, st.Segments, st.StorageBytes, st.DataPoints,
-			st.CacheHits, st.CacheMisses, st.WALBytes)
+			st.CacheHits, st.CacheMisses, st.WALBytes,
+			st.WALBytesSinceCheckpoint, st.WALFsyncs, st.InFlightStreams)
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", verb)
 	}

@@ -59,6 +59,11 @@ func TestHandleAppendFlushStats(t *testing.T) {
 	if !strings.Contains(out, "cache_hits=") || !strings.Contains(out, "cache_misses=") || !strings.Contains(out, "wal_bytes=") {
 		t.Fatalf("STATS misses cache/WAL counters: %q", out)
 	}
+	for _, field := range []string{"wal_pending=", "wal_fsyncs=", "streams="} {
+		if !strings.Contains(out, field) {
+			t.Fatalf("STATS misses backpressure field %s: %q", field, out)
+		}
+	}
 }
 
 func TestHandleSelect(t *testing.T) {

@@ -1,6 +1,7 @@
 package modelardb
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -41,7 +42,7 @@ func TestOnlineAnalytics(t *testing.T) {
 				return
 			default:
 			}
-			res, err := db.Query("SELECT Park, SUM_S(*), COUNT_S(*) FROM Segment GROUP BY Park")
+			res, err := db.Query(context.Background(), "SELECT Park, SUM_S(*), COUNT_S(*) FROM Segment GROUP BY Park")
 			if err != nil {
 				t.Errorf("online query: %v", err)
 				return
@@ -71,7 +72,7 @@ func TestOnlineAnalytics(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query("SELECT COUNT_S(*) FROM Segment")
+	res, err := db.Query(context.Background(), "SELECT COUNT_S(*) FROM Segment")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestConcurrentQueryAppendFlush(t *testing.T) {
 							return
 						default:
 						}
-						if _, err := db.Query(sql); err != nil {
+						if _, err := db.Query(context.Background(), sql); err != nil {
 							t.Errorf("concurrent query %q: %v", sql, err)
 							return
 						}
@@ -166,7 +167,7 @@ func TestConcurrentQueryAppendFlush(t *testing.T) {
 			if err := db.Flush(); err != nil {
 				t.Fatal(err)
 			}
-			res, err := db.Query("SELECT COUNT_S(*) FROM Segment")
+			res, err := db.Query(context.Background(), "SELECT COUNT_S(*) FROM Segment")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +195,7 @@ func TestParallelQueries(t *testing.T) {
 		db.Append(1, int64(tick)*10, float32(tick%50))
 	}
 	db.Flush()
-	want, err := db.Query("SELECT SUM_S(*) FROM Segment")
+	want, err := db.Query(context.Background(), "SELECT SUM_S(*) FROM Segment")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestParallelQueries(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 20; j++ {
-				res, err := db.Query("SELECT SUM_S(*) FROM Segment")
+				res, err := db.Query(context.Background(), "SELECT SUM_S(*) FROM Segment")
 				if err != nil {
 					t.Errorf("parallel query: %v", err)
 					return

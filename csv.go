@@ -18,16 +18,11 @@ const csvBatchSize = 4096
 // tid,timestamp-ms,value (a header row is skipped if present). Points
 // must be ordered as Append requires: non-decreasing ticks per group.
 // It returns the number of points ingested; the caller should Flush
-// when the load is complete.
-func (db *DB) LoadCSV(r io.Reader) (int64, error) {
-	return db.LoadCSVContext(context.Background(), r)
-}
-
-// LoadCSVContext is LoadCSV under a context: points are ingested in
-// batches through the group-sharded AppendBatch path and cancellation
-// is honored between batches. Points of batches already ingested stay
-// in the database, as with a failed Append.
-func (db *DB) LoadCSVContext(ctx context.Context, r io.Reader) (int64, error) {
+// when the load is complete. Points are ingested in batches through
+// the group-sharded AppendBatch path and cancellation is honored
+// between batches; points of batches already ingested stay in the
+// database, as with a failed Append.
+func (db *DB) LoadCSV(ctx context.Context, r io.Reader) (int64, error) {
 	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
 	cr.ReuseRecord = true
 	var n int64
@@ -83,16 +78,11 @@ func (db *DB) LoadCSVContext(ctx context.Context, r io.Reader) (int64, error) {
 // WriteCSV writes the reconstructed data points of the given series
 // (all series when tids is empty) as tid,ts,value rows, ordered by the
 // store's (Gid, EndTime) scan order. It is the export counterpart of
-// LoadCSV.
-func (db *DB) WriteCSV(w io.Writer, tids ...Tid) (int64, error) {
-	return db.WriteCSVContext(context.Background(), w, tids...)
-}
-
-// WriteCSVContext is WriteCSV under a context. The export streams
-// through a QueryRows cursor, so rows are written as the scan
-// produces them instead of materializing the whole result first, and
-// cancelling ctx stops the scan within one chunk of work.
-func (db *DB) WriteCSVContext(ctx context.Context, w io.Writer, tids ...Tid) (int64, error) {
+// LoadCSV. The export streams through a QueryRows cursor, so rows are
+// written as the scan produces them instead of materializing the
+// whole result first, and cancelling ctx stops the scan within one
+// chunk of work.
+func (db *DB) WriteCSV(ctx context.Context, w io.Writer, tids ...Tid) (int64, error) {
 	sql := "SELECT Tid, TS, Value FROM DataPoint"
 	if len(tids) > 0 {
 		sql += " WHERE Tid IN ("
@@ -122,4 +112,22 @@ func (db *DB) WriteCSVContext(ctx context.Context, w io.Writer, tids ...Tid) (in
 		return n, err
 	}
 	return n, bw.Flush()
+}
+
+// LoadCSVContext ingests data points from a CSV stream.
+//
+// Deprecated: LoadCSV is context-first now; LoadCSVContext remains as
+// a thin wrapper for v1 callers and will be removed in a future
+// release.
+func (db *DB) LoadCSVContext(ctx context.Context, r io.Reader) (int64, error) {
+	return db.LoadCSV(ctx, r)
+}
+
+// WriteCSVContext exports reconstructed data points as CSV rows.
+//
+// Deprecated: WriteCSV is context-first now; WriteCSVContext remains
+// as a thin wrapper for v1 callers and will be removed in a future
+// release.
+func (db *DB) WriteCSVContext(ctx context.Context, w io.Writer, tids ...Tid) (int64, error) {
+	return db.WriteCSV(ctx, w, tids...)
 }

@@ -2,6 +2,7 @@ package modelardb
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -24,7 +25,7 @@ func TestLoadCSVRoundTrip(t *testing.T) {
 	}
 	defer db.Close()
 	in := "tid,ts,value\n1,0,10\n2,0,20\n1,1000,11\n2,1000,21\n1,2000,12\n2,2000,22\n"
-	n, err := db.LoadCSV(strings.NewReader(in))
+	n, err := db.LoadCSV(context.Background(), strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestLoadCSVRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	wn, err := db.WriteCSV(&out, 1)
+	wn, err := db.WriteCSV(context.Background(), &out, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +55,12 @@ func TestWriteCSVAllSeries(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := db.LoadCSV(strings.NewReader("1,0,5\n2,0,6\n")); err != nil {
+	if _, err := db.LoadCSV(context.Background(), strings.NewReader("1,0,5\n2,0,6\n")); err != nil {
 		t.Fatal(err)
 	}
 	db.Flush()
 	var out bytes.Buffer
-	n, err := db.WriteCSV(&out)
+	n, err := db.WriteCSV(context.Background(), &out)
 	if err != nil || n != 2 {
 		t.Fatalf("n=%d err=%v", n, err)
 	}
@@ -79,7 +80,7 @@ func TestLoadCSVErrors(t *testing.T) {
 		"99,0,1\n",         // unknown tid
 	}
 	for _, in := range cases {
-		if _, err := db.LoadCSV(strings.NewReader(in)); err == nil {
+		if _, err := db.LoadCSV(context.Background(), strings.NewReader(in)); err == nil {
 			t.Errorf("LoadCSV(%q) unexpectedly succeeded", in)
 		}
 	}
@@ -99,7 +100,7 @@ func TestSegmentCacheSpeedsRepeatQueries(t *testing.T) {
 	}
 	db.Flush()
 	for i := 0; i < 3; i++ {
-		if _, err := db.Query("SELECT SUM_S(*) FROM Segment"); err != nil {
+		if _, err := db.Query(context.Background(), "SELECT SUM_S(*) FROM Segment"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,11 +119,11 @@ func TestSegmentCacheSpeedsRepeatQueries(t *testing.T) {
 		plain.Append(2, int64(tick)*1000, float32(tick%13))
 	}
 	plain.Flush()
-	a, err := db.Query("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+	a, err := db.Query(context.Background(), "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := plain.Query("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+	b, err := plain.Query(context.Background(), "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}

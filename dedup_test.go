@@ -68,7 +68,7 @@ func deliver(t *testing.T, db *modelardb.DB, b sequencedBatch) {
 
 func tidSums(t *testing.T, db *modelardb.DB) [][2]float64 {
 	t.Helper()
-	res, err := db.Query("SELECT Tid, SUM(Value), COUNT(*) FROM DataPoint GROUP BY Tid ORDER BY Tid")
+	res, err := db.Query(context.Background(), "SELECT Tid, SUM(Value), COUNT(*) FROM DataPoint GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -179,7 +179,7 @@ func main() {
 	}
 	fmt.Printf("model usage with the user-defined Step model: %v\n", usage)
 
-	res, err := db.QueryContext(context.Background(), "SELECT MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment")
+	res, err := db.Query(context.Background(), "SELECT MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,6 @@
 // Quickstart: open an in-memory ModelarDB, ingest two correlated
 // sensors through the batched v2 API, and query the models through
-// the Segment View — materialized (QueryContext), prepared (Prepare)
+// the Segment View — materialized (Query), prepared (Prepare)
 // and streamed (QueryRows).
 package main
 
@@ -66,7 +66,7 @@ func main() {
 		"SELECT Tid, MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
 		"SELECT Turbine, CUBE_SUM_MINUTE(*) FROM Segment GROUP BY Turbine ORDER BY Turbine LIMIT 4",
 	} {
-		res, err := db.QueryContext(ctx, sql)
+		res, err := db.Query(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}

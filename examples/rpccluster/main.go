@@ -94,10 +94,10 @@ func main() {
 	var points int64
 	err = dataset.Points(func(p core.DataPoint) error {
 		points++
-		return c.AppendContext(ctx, p.Tid, p.TS, p.Value)
+		return c.Append(ctx, p.Tid, p.TS, p.Value)
 	})
 	if err == nil {
-		err = c.FlushContext(ctx)
+		err = c.Flush(ctx)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -106,11 +106,11 @@ func main() {
 		points, time.Since(start).Round(time.Millisecond))
 
 	// A validation error is caught on the master: no scatter happens.
-	if _, err := c.QueryContext(ctx, "SELECT Nope FROM Segment"); err != nil {
+	if _, err := c.Query(ctx, "SELECT Nope FROM Segment"); err != nil {
 		fmt.Printf("validated on the master, no RPC issued: %v\n", err)
 	}
 
-	res, err := c.QueryContext(ctx,
+	res, err := c.Query(ctx,
 		"SELECT Category, SUM_S(*), COUNT_S(*) FROM Segment GROUP BY Category ORDER BY Category")
 	if err != nil {
 		log.Fatal(err)
@@ -124,11 +124,11 @@ func main() {
 	// the call returns immediately and Cancel frames stop the workers.
 	qctx, qcancel := context.WithCancel(ctx)
 	qcancel()
-	if _, err := c.QueryContext(qctx, "SELECT SUM_S(*) FROM Segment"); errors.Is(err, context.Canceled) {
+	if _, err := c.Query(qctx, "SELECT SUM_S(*) FROM Segment"); errors.Is(err, context.Canceled) {
 		fmt.Println("\ncancelled scatter returned context.Canceled; workers aborted")
 	}
 
-	stats, err := c.StatsContext(ctx)
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -84,7 +84,7 @@ func main() {
 			"SELECT Mid, COUNT_S(*) FROM Segment GROUP BY Mid ORDER BY Mid"},
 	}
 	for _, q := range queries {
-		res, err := db.QueryContext(ctx, q.sql)
+		res, err := db.Query(ctx, q.sql)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+
 	"fmt"
 
 	"modelardb"
@@ -46,7 +48,7 @@ func (s *MDB) SizeBytes() (int64, error) {
 }
 
 func (s *MDB) sumQuery(sql string) (float64, int64, error) {
-	res, err := s.db.Query(sql)
+	res, err := s.db.Query(context.Background(), sql)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -76,7 +78,7 @@ func (s *MDB) SumSeries(tid core.Tid) (float64, int64, error) {
 
 // ScanRange implements System on the Data Point View.
 func (s *MDB) ScanRange(tid core.Tid, from, to int64, fn func(core.DataPoint) error) error {
-	res, err := s.db.Query(fmt.Sprintf(
+	res, err := s.db.Query(context.Background(), fmt.Sprintf(
 		"SELECT TS, Value FROM DataPoint WHERE Tid = %d AND TS BETWEEN %d AND %d", tid, from, to))
 	if err != nil {
 		return err
@@ -129,7 +131,7 @@ func (s *MDB) MonthlySum(filter MemberFilter, group MemberRef, perTid bool) (map
 	if perTid {
 		sql += ", Tid"
 	}
-	res, err := s.db.Query(sql)
+	res, err := s.db.Query(context.Background(), sql)
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,14 @@ func fleetConfig() modelardb.Config {
 	return cfg
 }
 
+// clientAppend adapts the transport Client's context-first Append to
+// fillCluster's plain signature.
+func clientAppend(c *Client) func(modelardb.Tid, int64, float32) error {
+	return func(tid modelardb.Tid, ts int64, value float32) error {
+		return c.Append(context.Background(), tid, ts, value)
+	}
+}
+
 // fillCluster ingests a deterministic workload.
 func fillCluster(t *testing.T, appendFn func(modelardb.Tid, int64, float32) error, nseries, ticks int) {
 	t.Helper()
@@ -103,11 +111,11 @@ func TestLocalClusterMatchesSingleNode(t *testing.T) {
 		"SELECT Tid, CUBE_SUM_MINUTE(*) FROM Segment WHERE Tid IN (1, 5) GROUP BY Tid",
 	}
 	for _, sql := range queries {
-		want, err := single.Query(sql)
+		want, err := single.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
-		got, err := c.Query(sql)
+		got, err := c.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
@@ -213,11 +221,11 @@ func TestRPCClusterEndToEnd(t *testing.T) {
 	}
 	defer client.Close()
 	client.BatchSize = 64
-	fillCluster(t, client.Append, 8, ticks)
-	if err := client.Flush(); err != nil {
+	fillCluster(t, clientAppend(client), 8, ticks)
+	if err := client.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	res, err := client.Query("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+	res, err := client.Query(context.Background(), "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +258,7 @@ func TestRPCQueryErrorPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.Query("SELECT Nope FROM Segment"); err == nil {
+	if _, err := client.Query(context.Background(), "SELECT Nope FROM Segment"); err == nil {
 		t.Fatal("bad query must propagate an error")
 	}
 }
@@ -328,13 +336,13 @@ func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.Stats(); err != nil {
+	if _, err := client.Stats(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Sever the TCP path under the client; the server keeps accepting.
 	old := client.conn(0)
 	old.conn.Close()
-	if _, err := client.Stats(); err != nil {
+	if _, err := client.Stats(context.Background()); err != nil {
 		t.Fatalf("Stats after connection loss = %v, want reconnect-and-retry to succeed", err)
 	}
 	if client.conn(0) == old {
@@ -343,7 +351,7 @@ func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
 	// The retry is bounded: with the listener gone too, the call fails.
 	ln.Close()
 	client.conn(0).conn.Close()
-	if _, err := client.Stats(); err == nil {
+	if _, err := client.Stats(context.Background()); err == nil {
 		t.Fatal("Stats with worker and listener gone must fail")
 	}
 }
@@ -375,7 +383,7 @@ func TestWorkerRestartWALDurability(t *testing.T) {
 	}
 	defer client.Close()
 	client.BatchSize = 16
-	fillCluster(t, client.Append, 8, ticks)
+	fillCluster(t, clientAppend(client), 8, ticks)
 	// Drain the client-side buffers so every point is acknowledged by
 	// the worker (and therefore on its WAL); the worker never flushes.
 	client.mu.Lock()
@@ -403,17 +411,17 @@ func TestWorkerRestartWALDurability(t *testing.T) {
 	go Serve(db2, ln2)
 	// Flush reaches the restarted worker via reconnect-and-retry and
 	// persists the replayed points; the query then sees all of them.
-	if err := client.Flush(); err != nil {
+	if err := client.Flush(context.Background()); err != nil {
 		t.Fatalf("Flush after worker restart = %v", err)
 	}
-	res, err := client.Query("SELECT COUNT(*) FROM DataPoint")
+	res, err := client.Query(context.Background(), "SELECT COUNT(*) FROM DataPoint")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := res.Rows[0][0]; fmt.Sprint(got) != fmt.Sprint(8*ticks) {
 		t.Fatalf("points after worker restart = %v, want %d", got, 8*ticks)
 	}
-	st, err := client.Stats()
+	st, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -148,10 +149,10 @@ func (p *faultProxy) killAll() {
 // queryTidSums runs the reference aggregate on any Query-capable
 // deployment and returns per-Tid (sum, count) rows.
 func queryTidSums(t *testing.T, q interface {
-	Query(string) (*modelardb.Result, error)
+	Query(context.Context, string) (*modelardb.Result, error)
 }) [][2]float64 {
 	t.Helper()
-	res, err := q.Query("SELECT Tid, SUM(Value), COUNT(*) FROM DataPoint GROUP BY Tid ORDER BY Tid")
+	res, err := q.Query(context.Background(), "SELECT Tid, SUM(Value), COUNT(*) FROM DataPoint GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestExactlyOnceIngestionFaultInjection(t *testing.T) {
 	for tick := 0; tick < half; tick++ {
 		for tid := 1; tid <= 8; tid++ {
 			v := float32(tid*100 + tick%7)
-			if err := client.Append(modelardb.Tid(tid), int64(tick)*1000, v); err != nil {
+			if err := client.Append(context.Background(), modelardb.Tid(tid), int64(tick)*1000, v); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -247,12 +248,12 @@ func TestExactlyOnceIngestionFaultInjection(t *testing.T) {
 	for tick := half; tick < ticks; tick++ {
 		for tid := 1; tid <= 8; tid++ {
 			v := float32(tid*100 + tick%7)
-			if err := client.Append(modelardb.Tid(tid), int64(tick)*1000, v); err != nil {
+			if err := client.Append(context.Background(), modelardb.Tid(tid), int64(tick)*1000, v); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if err := client.Flush(); err != nil {
+	if err := client.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -279,7 +280,7 @@ func TestExactlyOnceIngestionFaultInjection(t *testing.T) {
 	// ingested across both incarnations (replayed points count again in
 	// the restarted session, so compare the authoritative query count
 	// instead of session counters when faults span a restart).
-	st, err := client.Stats()
+	st, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,8 +313,8 @@ func TestMasterRestartSeedsSequences(t *testing.T) {
 		t.Fatal(err)
 	}
 	m1.BatchSize = 8
-	fillCluster(t, m1.Append, 8, ticks/2)
-	if err := m1.Flush(); err != nil {
+	fillCluster(t, clientAppend(m1), 8, ticks/2)
+	if err := m1.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	m1.Close()
@@ -329,15 +330,15 @@ func TestMasterRestartSeedsSequences(t *testing.T) {
 	for tick := ticks / 2; tick < ticks; tick++ {
 		for tid := 1; tid <= 8; tid++ {
 			v := float32(tid*100 + tick%7)
-			if err := m2.Append(modelardb.Tid(tid), int64(tick)*1000, v); err != nil {
+			if err := m2.Append(context.Background(), modelardb.Tid(tid), int64(tick)*1000, v); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if err := m2.Flush(); err != nil {
+	if err := m2.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	res, err := m2.Query("SELECT COUNT(*) FROM DataPoint")
+	res, err := m2.Query(context.Background(), "SELECT COUNT(*) FROM DataPoint")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,9 @@ type LocalCluster struct {
 	// or Flush cannot double-ingest the groups that had already been
 	// applied.
 	seq *sequencer
+	// chunkBytes bounds one streamed partial-result chunk in the
+	// scatter path (Config.StreamChunkBytes); 0 selects the default.
+	chunkBytes int64
 }
 
 // NewLocal creates a cluster of n workers from one database config.
@@ -50,10 +53,9 @@ type LocalCluster struct {
 // deterministic), so they share Tids, Gids and dimension metadata like
 // the paper's metadata cache replicated to every node.
 //
-// ctx bounds the cluster's lifetime: queries issued through the
-// compatibility Query wrapper run under it, and QueryContext contexts
-// are combined with it, so cancelling ctx cancels every in-flight
-// scatter across all workers.
+// ctx bounds the cluster's lifetime: per-query contexts are combined
+// with it, so cancelling ctx cancels every in-flight scatter across
+// all workers.
 //
 // Each worker runs the same parallel segment-scan executor as a
 // single-node database; since scatter queries execute on all workers
@@ -77,9 +79,10 @@ func NewLocal(ctx context.Context, cfg modelardb.Config, n int) (*LocalCluster, 
 		ctx = context.Background()
 	}
 	c := &LocalCluster{
-		assign: make(map[modelardb.Gid]int),
-		base:   ctx,
-		seq:    newSequencer(n),
+		assign:     make(map[modelardb.Gid]int),
+		base:       ctx,
+		seq:        newSequencer(n),
+		chunkBytes: cfg.StreamChunkBytes,
 	}
 	for i := 0; i < n; i++ {
 		db, err := modelardb.Open(cfg)
@@ -210,19 +213,21 @@ func (c *LocalCluster) Flush() error {
 	return nil
 }
 
-// Query scatters the query to all workers in parallel and merges their
-// partial results on the master. It is the compatibility wrapper over
-// QueryContext with the cluster's base context.
-func (c *LocalCluster) Query(sql string) (*modelardb.Result, error) {
-	return c.QueryContext(c.base, sql)
-}
-
-// QueryContext scatters the query to all workers in parallel and
-// merges their partial results on the master. Cancelling ctx (or the
+// Query scatters the query to all workers in parallel and merges
+// their partial results on the master. Cancelling ctx (or the
 // cluster's base context) aborts every worker's scan.
-func (c *LocalCluster) QueryContext(ctx context.Context, sql string) (*modelardb.Result, error) {
+func (c *LocalCluster) Query(ctx context.Context, sql string) (*modelardb.Result, error) {
 	res, _, err := c.QueryWithStats(ctx, sql)
 	return res, err
+}
+
+// QueryContext scatters the query to all workers and merges their
+// partial results.
+//
+// Deprecated: Query is context-first now; QueryContext remains as a
+// thin wrapper for v1 callers and will be removed in a future release.
+func (c *LocalCluster) QueryContext(ctx context.Context, sql string) (*modelardb.Result, error) {
+	return c.Query(ctx, sql)
 }
 
 // QueryWithStats additionally reports each worker's execution time,
@@ -242,6 +247,11 @@ func (c *LocalCluster) QueryWithStats(ctx context.Context, sql string) (*modelar
 	// Combine the per-query context with the cluster's lifetime.
 	ctx, cancel := mergeContexts(ctx, c.base)
 	defer cancel()
+	// Each worker streams its partial result in size-bounded chunks and
+	// the master folds them into a per-worker accumulator as they are
+	// produced — the same incremental-merge contract the transport
+	// client uses, so the in-process and TCP deployments exercise one
+	// code path and return identical results.
 	partials := make([]*query.PartialResult, len(c.workers))
 	times := make([]time.Duration, len(c.workers))
 	errs := make([]error, len(c.workers))
@@ -251,10 +261,16 @@ func (c *LocalCluster) QueryWithStats(ctx context.Context, sql string) (*modelar
 		go func(i int, w *modelardb.DB) {
 			defer wg.Done()
 			start := time.Now()
-			partials[i], errs[i] = w.Engine().ExecutePartial(ctx, q)
+			acc := &query.PartialResult{}
+			errs[i] = w.Engine().ExecutePartialChunks(ctx, q, int(c.chunkBytes), func(part *query.PartialResult) error {
+				query.MergePartial(acc, part)
+				return nil
+			})
 			times[i] = time.Since(start)
 			if errs[i] != nil {
 				cancel() // fail fast: abort the sibling workers' scans
+			} else {
+				partials[i] = acc
 			}
 		}(i, w)
 	}
@@ -303,6 +319,11 @@ func (c *LocalCluster) Stats() (modelardb.Stats, error) {
 		total.CacheHits += s.CacheHits
 		total.CacheMisses += s.CacheMisses
 		total.WALBytes += s.WALBytes
+		total.WALBytesSinceCheckpoint += s.WALBytesSinceCheckpoint
+		total.WALFsyncs += s.WALFsyncs
+	}
+	for _, depth := range c.seq.depths() {
+		total.QueuedBatches += int64(depth)
 	}
 	return total, nil
 }

@@ -34,6 +34,7 @@ func init() {
 type Server struct {
 	db       *modelardb.DB
 	inflight atomic.Int64
+	streams  atomic.Int64
 }
 
 // NewServer wraps a database as a transport worker.
@@ -42,6 +43,11 @@ func NewServer(db *modelardb.DB) *Server { return &Server{db: db} }
 // InFlight reports the number of calls currently executing; tests and
 // monitoring use it to observe that cancelled scans actually drain.
 func (s *Server) InFlight() int { return int(s.inflight.Load()) }
+
+// InFlightStreams reports the number of streaming scatter replies
+// currently being produced — the backpressure signal surfaced through
+// cluster Stats.
+func (s *Server) InFlightStreams() int { return int(s.streams.Load()) }
 
 // AppendArgs is a batch of data points for one worker. Seqs carries
 // the master-assigned batch sequence per group in Points: the worker
@@ -69,6 +75,16 @@ type IngestStateReply struct {
 // rewritten queries to each worker.
 type QueryArgs struct {
 	SQL string
+}
+
+// StreamQueryArgs carries a streaming scatter's SQL plus the master's
+// configured chunk bound: the worker splits its partial result into
+// chunks of roughly ChunkBytes and streams them as chunk frames, so
+// the master's per-worker memory is one chunk instead of the whole
+// reply. ChunkBytes 0 selects the worker's default.
+type StreamQueryArgs struct {
+	SQL        string
+	ChunkBytes int64
 }
 
 // StatsReply mirrors modelardb.Stats over the transport.
@@ -122,10 +138,56 @@ func (s *Server) dispatch(ctx context.Context, method string, body []byte) ([]by
 		if err != nil {
 			return nil, err
 		}
+		// The stream count lives on the server, not the DB: overlay it so
+		// the master's aggregation sees every worker's in-flight streams.
+		st.InFlightStreams = s.streams.Load()
 		return encodeBody(&StatsReply{Stats: st})
 	default:
 		return nil, fmt.Errorf("cluster: unknown method %q", method)
 	}
+}
+
+// dispatchStream runs the streaming scatter method: the partial result
+// leaves the worker as chunk frames while the scan is still running,
+// interleaved with other calls' responses under wmu. connCtx is the
+// connection's context — a chunk write blocked on a dead master is
+// poisoned with a write deadline when it fires, so the serve loop's
+// drain cannot deadlock behind a full send buffer. The caller writes
+// the terminal response frame (carrying any error returned here).
+func (s *Server) dispatchStream(ctx, connCtx context.Context, f *frame, conn net.Conn, wmu *sync.Mutex) error {
+	args := &StreamQueryArgs{}
+	if err := decodeBody(f.Body, args); err != nil {
+		return err
+	}
+	q, err := sqlparse.Parse(args.SQL)
+	if err != nil {
+		return err
+	}
+	s.streams.Add(1)
+	defer s.streams.Add(-1)
+	var seq uint64
+	return s.db.Engine().ExecutePartialChunks(ctx, q, int(args.ChunkBytes), func(part *query.PartialResult) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		body, err := encodeBody(part)
+		if err != nil {
+			return err
+		}
+		cf := &frame{Kind: frameChunk, ID: f.ID, Seq: seq, Body: body}
+		seq++
+		stop := context.AfterFunc(connCtx, func() { conn.SetWriteDeadline(time.Now()) })
+		wmu.Lock()
+		err = writeFrame(conn, cf)
+		wmu.Unlock()
+		if !stop() {
+			conn.SetWriteDeadline(time.Time{})
+			if err == nil {
+				err = connCtx.Err()
+			}
+		}
+		return err
+	})
 }
 
 // ServeConn serves one master connection until it closes. Requests
@@ -157,12 +219,20 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			wg.Add(1)
 			go func(f *frame) {
 				defer wg.Done()
-				body, err := s.dispatch(callCtx, f.Method, f.Body)
+				var body []byte
+				var err error
+				if f.Method == "ExecutePartialStream" {
+					// Streaming calls write their own chunk frames; only the
+					// terminal response goes through the shared path below.
+					err = s.dispatchStream(callCtx, cctx, f, conn, &wmu)
+				} else {
+					body, err = s.dispatch(callCtx, f.Method, f.Body)
+				}
 				mu.Lock()
 				delete(calls, f.ID)
 				mu.Unlock()
 				callCancel()
-				resp := &frame{Kind: frameResponse, ID: f.ID, Body: body}
+				resp := &frame{Kind: frameResponse, ID: f.ID, Final: true, Body: body}
 				if err != nil {
 					resp.Err = err.Error()
 				}
@@ -245,6 +315,9 @@ type Client struct {
 	// RetryBudget bounds the reconnect retry loop per call
 	// (Config.RetryBudget); 0 means one immediate reconnect-and-retry.
 	RetryBudget time.Duration
+	// StreamChunkBytes bounds one streamed partial-result chunk
+	// (Config.StreamChunkBytes); 0 selects the workers' default.
+	StreamChunkBytes int64
 }
 
 // Dial connects the master to worker addresses. cfg must be the same
@@ -270,16 +343,17 @@ func DialContext(ctx context.Context, cfg modelardb.Config, addrs []string) (*Cl
 		return nil, err
 	}
 	c := &Client{
-		meta:        meta,
-		addrs:       addrs,
-		assign:      AssignGroups(meta, len(addrs)),
-		base:        ctx,
-		seq:         newSequencer(len(addrs)),
-		open:        make([][]core.DataPoint, len(addrs)),
-		openGids:    make([][]modelardb.Gid, len(addrs)),
-		BatchSize:   1024,
-		CallTimeout: cfg.RPCTimeout,
-		RetryBudget: cfg.RetryBudget,
+		meta:             meta,
+		addrs:            addrs,
+		assign:           AssignGroups(meta, len(addrs)),
+		base:             ctx,
+		seq:              newSequencer(len(addrs)),
+		open:             make([][]core.DataPoint, len(addrs)),
+		openGids:         make([][]modelardb.Gid, len(addrs)),
+		BatchSize:        1024,
+		CallTimeout:      cfg.RPCTimeout,
+		RetryBudget:      cfg.RetryBudget,
+		StreamChunkBytes: cfg.StreamChunkBytes,
 	}
 	var d net.Dialer
 	for _, addr := range addrs {
@@ -420,18 +494,68 @@ func (c *Client) timeoutCall(ctx context.Context, w *wireConn, method string, ar
 	return w.Call(ctx, method, args, reply)
 }
 
-// Append buffers a data point and sends a batch when full. It is the
-// compatibility wrapper over AppendContext.
-func (c *Client) Append(tid modelardb.Tid, ts int64, value float32) error {
-	return c.AppendContext(context.Background(), tid, ts, value)
+// callStreamRetrying is callRetrying's streaming counterpart, with one
+// crucial restriction: a connection loss is only retried while no
+// chunk has been consumed yet. Once onChunk ran, the caller's
+// accumulator holds part of the old attempt's stream, and replaying
+// from scratch would double-merge it — so a mid-stream loss surfaces
+// as an error and the query fails as a whole (queries are read-only;
+// re-running one is always safe for the caller).
+func (c *Client) callStreamRetrying(ctx context.Context, w int, method string, args any, onChunk func([]byte) error) error {
+	gotChunk := false
+	wrapped := func(body []byte) error {
+		gotChunk = true
+		return onChunk(body)
+	}
+	conn := c.conn(w)
+	err := c.timeoutCallStream(ctx, conn, method, args, wrapped)
+	if err == nil || gotChunk || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
+		return err
+	}
+	var deadline time.Time
+	if c.RetryBudget > 0 {
+		deadline = time.Now().Add(c.RetryBudget)
+	}
+	for attempt := 0; ; attempt++ {
+		next, rerr := c.redial(ctx, w, conn)
+		if rerr == nil {
+			conn = next
+			err = c.timeoutCallStream(ctx, conn, method, args, wrapped)
+			if err == nil || gotChunk || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
+				return err
+			}
+		}
+		if deadline.IsZero() {
+			return err
+		}
+		delay := retryBackoff(attempt)
+		if time.Now().Add(delay).After(deadline) {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
 }
 
-// AppendContext buffers a data point and sends a batch when full. A
-// failed send never loses accepted points: the sealed batch stays at
-// the head of the worker's queue and is retried — with its original
-// sequence numbers, so the worker deduplicates any replay — by the
-// next Append or Flush.
-func (c *Client) AppendContext(ctx context.Context, tid modelardb.Tid, ts int64, value float32) error {
+// timeoutCallStream applies the per-call deadline to a streaming call.
+func (c *Client) timeoutCallStream(ctx context.Context, w *wireConn, method string, args any, onChunk func([]byte) error) error {
+	if c.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.CallTimeout)
+		defer cancel()
+	}
+	return w.CallStream(ctx, method, args, onChunk)
+}
+
+// Append buffers a data point and sends a batch when full. A failed
+// send never loses accepted points: the sealed batch stays at the head
+// of the worker's queue and is retried — with its original sequence
+// numbers, so the worker deduplicates any replay — by the next Append
+// or Flush.
+func (c *Client) Append(ctx context.Context, tid modelardb.Tid, ts int64, value float32) error {
 	gid, err := c.meta.GroupOf(tid)
 	if err != nil {
 		return err
@@ -469,17 +593,11 @@ func (c *Client) drain(ctx context.Context, w int) error {
 	})
 }
 
-// Flush drains batches and flushes every worker. It is the
-// compatibility wrapper over FlushContext.
-func (c *Client) Flush() error {
-	return c.FlushContext(context.Background())
-}
-
-// FlushContext seals the open buffers, drains every worker's batch
-// queue and, if every send succeeded, flushes every worker. Failed
-// batches stay queued with their sequences, so a transient worker
-// failure loses nothing and the eventual retry cannot double-ingest.
-func (c *Client) FlushContext(ctx context.Context) error {
+// Flush seals the open buffers, drains every worker's batch queue
+// and, if every send succeeded, flushes every worker. Failed batches
+// stay queued with their sequences, so a transient worker failure
+// loses nothing and the eventual retry cannot double-ingest.
+func (c *Client) Flush(ctx context.Context) error {
 	c.mu.Lock()
 	for w := range c.open {
 		c.sealLocked(w)
@@ -505,19 +623,16 @@ func (c *Client) FlushContext(ctx context.Context) error {
 	return nil
 }
 
-// Query scatters the query to all workers and merges the partials. It
-// is the compatibility wrapper over QueryContext.
-func (c *Client) Query(sql string) (*modelardb.Result, error) {
-	return c.QueryContext(context.Background(), sql)
-}
-
-// QueryContext parses and validates the query on the master — a parse
-// or semantic error costs no network traffic — then scatters it to all
-// workers in parallel and merges their partial results. The scatter is
+// Query parses and validates the query on the master — a parse or
+// semantic error costs no network traffic — then scatters it to all
+// workers in parallel as streaming calls and merges their partial
+// results chunk by chunk as they arrive: the master never buffers a
+// worker's whole reply, so its peak memory per worker is one chunk
+// (StreamChunkBytes) plus the merged accumulator. The scatter is
 // fail-fast: the first worker error cancels the remaining calls, and
-// Cancel frames abort the other workers' in-flight scans. Cancelling
-// ctx does the same from the caller's side.
-func (c *Client) QueryContext(ctx context.Context, sql string) (*modelardb.Result, error) {
+// Cancel frames abort the other workers' in-flight scans and streams.
+// Cancelling ctx does the same from the caller's side.
+func (c *Client) Query(ctx context.Context, sql string) (*modelardb.Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -530,19 +645,32 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*modelardb.Resul
 	}
 	ctx, cancel := mergeContexts(ctx, c.base)
 	defer cancel()
-	partials := make([]*query.PartialResult, len(c.addrs))
+	// One accumulator per worker, finalized in worker order: folding a
+	// worker's chunks in arrival order rebuilds exactly the partial the
+	// buffered path would have shipped (chunks are scan-ordered row
+	// batches or group-disjoint states — see query.MergePartial), so
+	// streaming changes memory behavior, never results.
+	accs := make([]*query.PartialResult, len(c.addrs))
 	errs := make([]error, len(c.addrs))
 	var wg sync.WaitGroup
 	for i := range c.addrs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reply := &query.PartialResult{}
-			errs[i] = c.callRetrying(ctx, i, "ExecutePartial", &QueryArgs{SQL: sql}, reply)
+			acc := &query.PartialResult{}
+			args := &StreamQueryArgs{SQL: sql, ChunkBytes: c.StreamChunkBytes}
+			errs[i] = c.callStreamRetrying(ctx, i, "ExecutePartialStream", args, func(body []byte) error {
+				part := &query.PartialResult{}
+				if err := decodeBody(body, part); err != nil {
+					return err
+				}
+				query.MergePartial(acc, part)
+				return nil
+			})
 			if errs[i] != nil {
 				cancel() // fail fast: abort the sibling calls and scans
 			} else {
-				partials[i] = reply
+				accs[i] = acc
 			}
 		}(i)
 	}
@@ -550,18 +678,16 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*modelardb.Resul
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
-	return c.meta.Engine().Finalize(q, partials)
+	return c.meta.Engine().Finalize(q, accs)
 }
 
-// Stats aggregates worker statistics. It is the compatibility wrapper
-// over StatsContext.
-func (c *Client) Stats() (modelardb.Stats, error) {
-	return c.StatsContext(context.Background())
-}
-
-// StatsContext aggregates every worker's statistics; series and group
-// counts come from the shared metadata, volume counters sum up.
-func (c *Client) StatsContext(ctx context.Context) (modelardb.Stats, error) {
+// Stats aggregates every worker's statistics; series and group counts
+// come from the shared metadata, volume counters sum up. The
+// backpressure signals ride along: WALBytesSinceCheckpoint and
+// InFlightStreams sum over workers, and QueuedBatches is the master's
+// own send-queue depth — together they describe where a loaded
+// cluster is congested.
+func (c *Client) Stats(ctx context.Context) (modelardb.Stats, error) {
 	var total modelardb.Stats
 	for i := range c.addrs {
 		var reply StatsReply
@@ -579,8 +705,47 @@ func (c *Client) StatsContext(ctx context.Context) (modelardb.Stats, error) {
 		total.CacheHits += s.CacheHits
 		total.CacheMisses += s.CacheMisses
 		total.WALBytes += s.WALBytes
+		total.WALBytesSinceCheckpoint += s.WALBytesSinceCheckpoint
+		total.WALFsyncs += s.WALFsyncs
+		total.InFlightStreams += s.InFlightStreams
+	}
+	for _, depth := range c.seq.depths() {
+		total.QueuedBatches += int64(depth)
 	}
 	return total, nil
+}
+
+// AppendContext buffers a data point and sends a batch when full.
+//
+// Deprecated: Append is context-first now; AppendContext remains as a
+// thin wrapper for v1 callers and will be removed in a future release.
+func (c *Client) AppendContext(ctx context.Context, tid modelardb.Tid, ts int64, value float32) error {
+	return c.Append(ctx, tid, ts, value)
+}
+
+// FlushContext drains batches and flushes every worker.
+//
+// Deprecated: Flush is context-first now; FlushContext remains as a
+// thin wrapper for v1 callers and will be removed in a future release.
+func (c *Client) FlushContext(ctx context.Context) error {
+	return c.Flush(ctx)
+}
+
+// QueryContext scatters the query to all workers and merges the
+// streamed partials.
+//
+// Deprecated: Query is context-first now; QueryContext remains as a
+// thin wrapper for v1 callers and will be removed in a future release.
+func (c *Client) QueryContext(ctx context.Context, sql string) (*modelardb.Result, error) {
+	return c.Query(ctx, sql)
+}
+
+// StatsContext aggregates every worker's statistics.
+//
+// Deprecated: Stats is context-first now; StatsContext remains as a
+// thin wrapper for v1 callers and will be removed in a future release.
+func (c *Client) StatsContext(ctx context.Context) (modelardb.Stats, error) {
+	return c.Stats(ctx)
 }
 
 // firstError picks the scatter's deterministic error: the lowest-

@@ -74,6 +74,21 @@ func (s *sequencer) seal(w int, points []core.DataPoint, gids []modelardb.Gid) {
 	s.queues[w] = append(s.queues[w], &AppendArgs{Points: points, Seqs: seqs})
 }
 
+// depths snapshots each worker's send-queue depth — the number of
+// sealed, unacknowledged batches waiting for that worker. It is the
+// master-side write-backpressure signal surfaced through Stats: depth
+// growing under load means a worker accepts batches slower than the
+// master seals them.
+func (s *sequencer) depths() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.queues))
+	for w, q := range s.queues {
+		out[w] = len(q)
+	}
+	return out
+}
+
 // drain sends worker w's queued batches in order through send. On
 // failure the failed batch — and everything sealed behind it — stays
 // queued for the next append or flush to retry.

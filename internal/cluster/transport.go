@@ -34,6 +34,13 @@ import (
 //   - frameResponse carries the call ID, the gob-encoded reply and an
 //     error string (empty on success). Responses arrive in completion
 //     order, not request order; the client matches them by ID.
+//   - frameChunk carries one piece of a streaming response: the call
+//     ID, a sequence number, and a gob-encoded partial body. A
+//     streaming call is zero or more chunks followed by a terminal
+//     frameResponse (Final set, Err carrying any failure); the master
+//     consumes each chunk as it arrives, so its peak memory is one
+//     chunk, not the whole reply. Chunks for different calls interleave
+//     freely; chunks within one call are ordered by the connection.
 //
 // A dropped connection is equivalent to cancelling every in-flight
 // call on it: the worker's read loop cancels the connection context on
@@ -45,15 +52,18 @@ const (
 	frameRequest frameKind = iota + 1
 	frameResponse
 	frameCancel
+	frameChunk
 )
 
 // frame is one wire message.
 type frame struct {
 	Kind   frameKind
 	ID     uint64
+	Seq    uint64 // chunk frames: 0-based position within the stream
+	Final  bool   // response frames: set on a streaming call's terminal frame
 	Method string // requests only
 	Err    string // responses only; empty on success
-	Body   []byte // gob-encoded arguments or reply
+	Body   []byte // gob-encoded arguments, reply, or stream chunk
 }
 
 // maxFrameSize guards the length prefix against corrupt or hostile
@@ -181,8 +191,25 @@ type wireConn struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan callDone
+	streams map[uint64]*streamState
 	err     error // terminal connection error; nil while healthy
 }
+
+// streamState is the receiving side of one streaming call. chunks is
+// deliberately small: a consumer slower than the wire makes the read
+// loop block on it, which stops frame reads, fills the TCP window and
+// ultimately blocks the worker's chunk writes — backpressure end to
+// end instead of unbounded buffering on the master. quit lets an
+// abandoned stream (caller gone) release a blocked read loop.
+type streamState struct {
+	chunks chan *frame
+	quit   chan struct{}
+}
+
+// streamChunkBuffer is the per-stream chunk queue depth: enough to
+// keep decode and receive overlapped, small enough that master memory
+// per stream stays O(a few chunks).
+const streamChunkBuffer = 4
 
 // newWireConn wraps an established connection and starts its reader.
 func newWireConn(conn net.Conn) *wireConn {
@@ -190,6 +217,7 @@ func newWireConn(conn net.Conn) *wireConn {
 		conn:    conn,
 		bw:      bufio.NewWriter(conn),
 		pending: map[uint64]chan callDone{},
+		streams: map[uint64]*streamState{},
 	}
 	go c.readLoop()
 	return c
@@ -241,15 +269,29 @@ func (c *wireConn) readLoop() {
 			c.fail(err)
 			return
 		}
-		if f.Kind != frameResponse {
-			continue
-		}
-		c.mu.Lock()
-		ch := c.pending[f.ID]
-		delete(c.pending, f.ID)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- callDone{f: f}
+		switch f.Kind {
+		case frameChunk:
+			c.mu.Lock()
+			st := c.streams[f.ID]
+			c.mu.Unlock()
+			if st == nil {
+				continue // stream abandoned; drop late chunks
+			}
+			// Delivered outside mu: a full chunk queue blocks here (and
+			// thereby the whole read loop — that is the backpressure)
+			// without holding the connection lock.
+			select {
+			case st.chunks <- f:
+			case <-st.quit:
+			}
+		case frameResponse:
+			c.mu.Lock()
+			ch := c.pending[f.ID]
+			delete(c.pending, f.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- callDone{f: f}
+			}
 		}
 	}
 }
@@ -310,6 +352,96 @@ func (c *wireConn) Call(ctx context.Context, method string, args, reply any) err
 		go c.sendCancel(id)
 		return ctx.Err()
 	}
+}
+
+// CallStream issues one streaming request: the worker answers with
+// zero or more chunk frames followed by a terminal response frame.
+// onChunk is invoked for every chunk body, in wire order, on the
+// caller's goroutine; an error from onChunk abandons the stream
+// (cancelling the call worker-side) and is returned. Like Call, a
+// cancelled ctx returns ctx.Err() immediately and cancels server-side
+// best effort.
+func (c *wireConn) CallStream(ctx context.Context, method string, args any, onChunk func(body []byte) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	body, err := encodeBody(args)
+	if err != nil {
+		return err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan callDone, 1)
+	st := &streamState{chunks: make(chan *frame, streamChunkBuffer), quit: make(chan struct{})}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.pending[id] = ch
+	c.streams[id] = st
+	c.mu.Unlock()
+	defer c.forgetStream(id, st)
+	if err := c.write(ctx, &frame{Kind: frameRequest, ID: id, Method: method, Body: body}); err != nil {
+		c.forget(id)
+		return fmt.Errorf("cluster: send %s: %w", method, err)
+	}
+	var nextSeq uint64
+	consume := func(f *frame) error {
+		if f.Seq != nextSeq {
+			err := fmt.Errorf("%w: stream %s chunk %d arrived at position %d", ErrConnectionLost, method, f.Seq, nextSeq)
+			c.fail(err)
+			return err
+		}
+		nextSeq++
+		return onChunk(f.Body)
+	}
+	for {
+		select {
+		case f := <-st.chunks:
+			if err := consume(f); err != nil {
+				c.forget(id)
+				go c.sendCancel(id)
+				return err
+			}
+		case d := <-ch:
+			// The read loop is sequential, so by the time the terminal
+			// response was delivered every preceding chunk already sits in
+			// st.chunks: drain them before settling the call.
+			for {
+				select {
+				case f := <-st.chunks:
+					if err := consume(f); err != nil {
+						go c.sendCancel(id)
+						return err
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if d.err != nil {
+				return d.err
+			}
+			if d.f.Err != "" {
+				return &WorkerError{Method: method, Msg: d.f.Err}
+			}
+			return nil
+		case <-ctx.Done():
+			c.forget(id)
+			go c.sendCancel(id)
+			return ctx.Err()
+		}
+	}
+}
+
+// forgetStream unregisters a stream and releases a read loop blocked
+// on its chunk queue.
+func (c *wireConn) forgetStream(id uint64, st *streamState) {
+	c.mu.Lock()
+	delete(c.streams, id)
+	c.mu.Unlock()
+	close(st.quit)
 }
 
 // cancelWriteTimeout bounds the best-effort Cancel frame write; a

@@ -144,7 +144,7 @@ func TestClientAppendRequeueOnFailure(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		p := core.DataPoint{Tid: modelardb.Tid(i + 1), TS: int64(i) * 1000, Value: float32(i)}
 		want = append(want, p)
-		appendErr = client.Append(p.Tid, p.TS, p.Value)
+		appendErr = client.Append(context.Background(), p.Tid, p.TS, p.Value)
 	}
 	// The fourth Append filled the batch and sent it; the send failed.
 	var werr *WorkerError
@@ -153,7 +153,7 @@ func TestClientAppendRequeueOnFailure(t *testing.T) {
 	}
 	// No accepted point was lost: the batch was re-queued and Flush
 	// replays it in its original order.
-	if err := client.Flush(); err != nil {
+	if err := client.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
@@ -285,7 +285,7 @@ func TestRPCWorkerDiesMidQuery(t *testing.T) {
 	// until the surviving sibling's scan is demonstrably in flight,
 	// then closes the connection without a response.
 	dying := startFakeWorker(t, func(f *frame) *frame {
-		if f.Method == "ExecutePartial" {
+		if f.Method == "ExecutePartialStream" {
 			<-scanning
 			return nil
 		}
@@ -305,7 +305,7 @@ func TestRPCWorkerDiesMidQuery(t *testing.T) {
 	}
 
 	start := time.Now()
-	_, err = client.Query("SELECT SUM_S(*) FROM Segment")
+	_, err = client.Query(context.Background(), "SELECT SUM_S(*) FROM Segment")
 	if err == nil {
 		t.Fatal("query against a dying worker must fail")
 	}
@@ -331,7 +331,7 @@ func TestRPCWorkerDiesMidQuery(t *testing.T) {
 func TestClientQueryValidatesOnMaster(t *testing.T) {
 	var scatters atomic.Int64
 	addr := startFakeWorker(t, func(f *frame) *frame {
-		if f.Method == "ExecutePartial" {
+		if f.Method == "ExecutePartialStream" {
 			scatters.Add(1)
 		}
 		return &frame{Kind: frameResponse, ID: f.ID, Err: "must not be reached"}
@@ -346,7 +346,7 @@ func TestClientQueryValidatesOnMaster(t *testing.T) {
 		"SELECT Nope FROM Segment",  // unknown column
 		"SELECT Value FROM Segment", // DataPoint-view column on Segment
 	} {
-		if _, err := client.Query(sql); err == nil {
+		if _, err := client.Query(context.Background(), sql); err == nil {
 			t.Errorf("Query(%q) must fail", sql)
 		}
 	}
@@ -373,7 +373,7 @@ func TestClientCallTimeout(t *testing.T) {
 	}
 	defer client.Close()
 	start := time.Now()
-	_, err = client.Query("SELECT SUM_S(*) FROM Segment")
+	_, err = client.Query(context.Background(), "SELECT SUM_S(*) FROM Segment")
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Query = %v, want context.DeadlineExceeded", err)
 	}

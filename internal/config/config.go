@@ -21,6 +21,11 @@
 //	wal_dir /var/lib/modelardb/wal
 //	wal_fsync interval
 //	wal_segment_bytes 16777216
+//	# background fsync cadence under wal_fsync interval; 0 = default
+//	wal_sync_interval 100ms
+//	# streamed partial-result chunk bound for cluster scatters;
+//	# 0 = default (1 MiB)
+//	stream_chunk_bytes 1048576
 //	dimension Location Park Turbine
 //	correlation Location 1
 //	series s1.gz 100 Location=Aalborg/T1
@@ -122,6 +127,18 @@ func apply(cfg *modelardb.Config, directive, rest string) error {
 			return fmt.Errorf("wal_segment_bytes %q is not a positive integer", rest)
 		}
 		cfg.WALSegmentBytes = v
+	case "wal_sync_interval":
+		v, err := time.ParseDuration(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf("wal_sync_interval %q is not a non-negative duration (e.g. 100ms)", rest)
+		}
+		cfg.WALSyncInterval = v
+	case "stream_chunk_bytes":
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("stream_chunk_bytes %q is not a positive integer", rest)
+		}
+		cfg.StreamChunkBytes = v
 	case "dimension":
 		fields := strings.Fields(rest)
 		if len(fields) < 2 {

@@ -2,9 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
+
+	"modelardb"
 )
 
 // runQuick executes an experiment at QuickScale and sanity-checks the
@@ -30,8 +33,44 @@ func runQuick(t *testing.T, exp Experiment) *Table {
 }
 
 func TestAllExperimentsListed(t *testing.T) {
-	if len(All()) != 17 {
-		t.Fatalf("experiments = %d, want 17 (sec5.2 + figs 13-28)", len(All()))
+	if len(All()) != 18 {
+		t.Fatalf("experiments = %d, want 18 (sec5.2 + figs 13-28 + sustained)", len(All()))
+	}
+}
+
+// TestSustainedLoadQuick runs a small sustained-load profile and
+// checks the report is internally consistent: every budgeted point
+// ingested, at least one query timed, and ordered percentiles.
+func TestSustainedLoadQuick(t *testing.T) {
+	p := LoadProfile{Series: 8, Writers: 4, Points: 20_000, Batch: 64, Queries: DefaultLoadQueries()}
+	cfg := LoadConfig(p)
+	cfg.Path = t.TempDir()
+	cfg.WALDir = t.TempDir()
+	cfg.WALFsync = "interval"
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rep, err := RunSustainedLoad(context.Background(), db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != p.Points {
+		t.Fatalf("ingested %d points, want %d", rep.Points, p.Points)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(context.Background(), "SELECT COUNT(*) FROM DataPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(res.Rows[0][0].(float64)); got != p.Points {
+		t.Fatalf("COUNT(*) after load = %d, want %d", got, p.Points)
+	}
+	if rep.Queries > 0 && rep.P99 < rep.P50 {
+		t.Fatalf("p99 %s < p50 %s", rep.P99, rep.P50)
 	}
 }
 

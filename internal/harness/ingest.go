@@ -80,7 +80,7 @@ func Fig13(scale Scale) (*Table, error) {
 				// Online analytics: aggregate a random-ish series during
 				// ingestion, as the paper's O scenario does.
 				tid := core.Tid(points/queryEvery%int64(len(d.Series))) + 1
-				if _, err := c.Query(fmt.Sprintf("SELECT SUM_S(*) FROM Segment WHERE Tid = %d", tid)); err != nil {
+				if _, err := c.Query(context.Background(), fmt.Sprintf("SELECT SUM_S(*) FROM Segment WHERE Tid = %d", tid)); err != nil {
 					return err
 				}
 			}

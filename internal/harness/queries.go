@@ -449,5 +449,6 @@ func All() []Experiment {
 		{"fig26", Fig26},
 		{"fig27", Fig27},
 		{"fig28", Fig28},
+		{"sustained", SustainedLoad},
 	}
 }

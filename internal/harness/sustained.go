@@ -1,0 +1,239 @@
+package harness
+
+// The sustained-load scenario: concurrent durable writers batching
+// points into disjoint groups while a foreground client runs a mixed
+// query stream against the same node. Unlike the paper's figures,
+// which measure ingestion and queries in isolation, this measures the
+// interference between them — the regime the streaming scatter and
+// WAL group-commit work targets — and reports query latency
+// percentiles (p50/p99) rather than means, since tail latency is what
+// backpressure problems show up in first.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"modelardb"
+)
+
+// LoadProfile describes one sustained-load run.
+type LoadProfile struct {
+	Series  int      // single-series groups in the schema
+	Writers int      // concurrent AppendBatch writers
+	Points  int64    // total points across all writers
+	Batch   int      // ticks per group per AppendBatch call
+	Queries []string // mixed query set, issued round-robin
+}
+
+// DefaultLoadQueries is the mixed read workload: a multi-dimensional
+// aggregate, a windowed raw-point scan and a full count — the three
+// query shapes whose costs dominate the paper's query figures.
+func DefaultLoadQueries() []string {
+	return []string{
+		"SELECT Tid, COUNT(*), SUM(Value) FROM DataPoint GROUP BY Tid ORDER BY Tid",
+		"SELECT Tid, TS, Value FROM DataPoint WHERE TS < 100000 ORDER BY Tid, TS",
+		"SELECT COUNT(*) FROM DataPoint",
+	}
+}
+
+// DefaultLoadProfile sizes a run that sustains ingestion for long
+// enough to produce a stable latency distribution on one core.
+func DefaultLoadProfile() LoadProfile {
+	return LoadProfile{
+		Series:  16,
+		Writers: 4,
+		Points:  200_000,
+		Batch:   128,
+		Queries: DefaultLoadQueries(),
+	}
+}
+
+// LoadReport is the outcome of one sustained-load run.
+type LoadReport struct {
+	Points     int64         // points actually ingested
+	IngestWall time.Duration // wall time until the last writer finished
+	Queries    int           // queries completed while ingesting
+	P50, P99   time.Duration // query latency percentiles
+}
+
+// LoadConfig builds the single-node schema a profile runs against:
+// Series single-series groups so Writers writers touch disjoint
+// shard locks, matching the paper's one-group-per-entity layout.
+func LoadConfig(p LoadProfile) modelardb.Config {
+	cfg := modelardb.Config{
+		ErrorBound: modelardb.RelBound(0),
+		Dimensions: []modelardb.Dimension{{Name: "Location", Levels: []string{"Park"}}},
+	}
+	for i := 0; i < p.Series; i++ {
+		cfg.Series = append(cfg.Series, modelardb.SeriesConfig{
+			SI: 100, Members: map[string][]string{"Location": {fmt.Sprintf("P%d", i)}},
+		})
+	}
+	return cfg
+}
+
+// RunSustainedLoad drives the profile against an open database:
+// p.Writers goroutines each own a disjoint subset of the series and
+// append batches until the point budget is spent, while the calling
+// goroutine cycles through p.Queries and records each query's
+// latency. It returns once the writers finish and the in-flight query
+// completes. Percentiles are computed over every query issued while
+// at least one writer was still running.
+func RunSustainedLoad(ctx context.Context, db *modelardb.DB, p LoadProfile) (*LoadReport, error) {
+	if p.Writers < 1 || p.Series < p.Writers || p.Batch < 1 || len(p.Queries) == 0 {
+		return nil, fmt.Errorf("harness: invalid load profile %+v", p)
+	}
+	perWriter := p.Points / int64(p.Writers)
+	if perWriter < 1 {
+		perWriter = 1
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, p.Writers)
+	for w := 0; w < p.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Writer w owns tids w+1, w+1+Writers, ... so per-group
+			// tick order is preserved without cross-writer locking.
+			var tids []modelardb.Tid
+			for t := w; t < p.Series; t += p.Writers {
+				tids = append(tids, modelardb.Tid(t+1))
+			}
+			batch := make([]modelardb.DataPoint, 0, p.Batch*len(tids))
+			var sent int64
+			for tick := 0; sent < perWriter; {
+				batch = batch[:0]
+				for b := 0; b < p.Batch && sent < perWriter; b++ {
+					for _, tid := range tids {
+						if sent >= perWriter {
+							break
+						}
+						batch = append(batch, modelardb.DataPoint{
+							Tid: tid, TS: int64(tick) * 100, Value: float32(tick % 50),
+						})
+						sent++
+					}
+					tick++
+				}
+				if err := db.AppendBatch(ctx, batch); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	writersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+
+	var lat []time.Duration
+	var ingestWall time.Duration
+	for i := 0; ; i++ {
+		select {
+		case <-writersDone:
+			ingestWall = time.Since(start)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		if ingestWall > 0 {
+			break
+		}
+		q := p.Queries[i%len(p.Queries)]
+		qStart := time.Now()
+		if _, err := db.Query(ctx, q); err != nil {
+			return nil, fmt.Errorf("harness: %q under load: %w", q, err)
+		}
+		lat = append(lat, time.Since(qStart))
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &LoadReport{
+		Points:     perWriter * int64(p.Writers),
+		IngestWall: ingestWall,
+		Queries:    len(lat),
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rep.P50 = lat[len(lat)*50/100]
+		i99 := len(lat) * 99 / 100
+		if i99 >= len(lat) {
+			i99 = len(lat) - 1
+		}
+		rep.P99 = lat[i99]
+	}
+	return rep, nil
+}
+
+// SustainedLoad is the experiment wrapper: the default profile run at
+// increasing writer counts against a WAL-durable node, one row per
+// writer count. The quick scale shrinks the point budget.
+func SustainedLoad(scale Scale) (*Table, error) {
+	profile := DefaultLoadProfile()
+	if scale.EPTicks < DefaultScale().EPTicks {
+		profile.Points /= 10
+	}
+	t := &Table{
+		ID:     "sustained",
+		Title:  "Sustained load: query latency under concurrent durable ingestion",
+		Header: []string{"Writers", "Points", "Ingest rate", "Queries", "p50", "p99"},
+		Notes: []string{
+			"WAL on (interval fsync); queries run concurrently with ingestion",
+		},
+	}
+	for _, writers := range []int{1, 2, 4} {
+		p := profile
+		p.Writers = writers
+		dir, err := os.MkdirTemp("", "mdb-sustained-*")
+		if err != nil {
+			return nil, err
+		}
+		walDir, err := os.MkdirTemp("", "mdb-sustained-wal-*")
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		cfg := LoadConfig(p)
+		cfg.Path = dir
+		cfg.WALDir = walDir
+		cfg.WALFsync = "interval"
+		db, err := modelardb.Open(cfg)
+		if err == nil {
+			var rep *LoadReport
+			rep, err = RunSustainedLoad(context.Background(), db, p)
+			if cerr := db.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%d", writers),
+					fmt.Sprintf("%d", rep.Points),
+					fmtRate(rep.Points, rep.IngestWall),
+					fmt.Sprintf("%d", rep.Queries),
+					// Round finer than fmtDur: early queries against a
+					// still-small store complete in single microseconds.
+					rep.P50.Round(time.Microsecond).String(),
+					rep.P99.Round(time.Microsecond).String(),
+				})
+			}
+		}
+		os.RemoveAll(dir)
+		os.RemoveAll(walDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

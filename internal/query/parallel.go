@@ -19,6 +19,16 @@ import (
 // (§6.2: iterate on workers, merge and finalize on the master — here
 // the "workers" are goroutines instead of cluster nodes).
 //
+// Load balancing is work stealing across groups: every worker pulls
+// its next chunk from one shared job queue, so a worker that drew
+// cheap chunks (a sparsely sampled group, a time window clipping most
+// segments) keeps taking work from the stream while a worker stuck on
+// an expensive chunk does not strand the chunks behind it. The store's
+// adaptive sizing weights chunks by decode cost (stored bytes plus
+// storage.PointWeight per covered sampling interval), so the stolen
+// units are of roughly equal scan effort even when compression ratios
+// differ wildly between groups.
+//
 // Determinism: chunks are numbered in scan order and their results are
 // combined in that order, so a parallel run is reproducible regardless
 // of goroutine scheduling, and non-aggregate queries return rows in

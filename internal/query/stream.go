@@ -1,0 +1,212 @@
+package query
+
+import (
+	"context"
+	"sort"
+
+	"modelardb/internal/core"
+	"modelardb/internal/sqlparse"
+)
+
+// Streaming partial execution: the worker-side counterpart of the
+// chunked response frames in the cluster transport. ExecutePartial
+// materializes one monolithic PartialResult — fine locally, but over
+// the wire it means the master buffers a whole worker's result before
+// merging. ExecutePartialChunks instead emits the same result as a
+// sequence of size-bounded PartialResult chunks, each independently
+// mergeable through MergePartial, so a consumer's peak memory is one
+// chunk (plus whatever it accumulates) instead of the full reply.
+//
+// Determinism: a consumer that folds every chunk from one worker into
+// one accumulator (MergePartial) and then finalizes the per-worker
+// accumulators in worker order reproduces the buffered path exactly.
+// Non-aggregate chunks carry row batches in scan order, so
+// concatenation is the sequential row order; aggregate chunks are
+// group-disjoint — each group's complete state travels in exactly one
+// chunk, in sorted key order — so folding them rebuilds the worker's
+// groups map without re-associating any floating-point merges.
+
+// DefaultStreamChunkBytes bounds a response chunk when the caller does
+// not configure stream_chunk_bytes: large enough to amortize framing,
+// small enough that a master merging many workers stays far below the
+// monolithic reply's footprint.
+const DefaultStreamChunkBytes = 1 << 20
+
+// ExecutePartialChunks runs the worker-side part of a query like
+// ExecutePartial, but emits the result incrementally as size-bounded
+// chunks. emit runs on the calling goroutine, in order; a non-nil
+// error from it aborts the scan and is returned. Every query emits at
+// least one chunk (a result can be empty, its Columns are not), and a
+// chunk may exceed maxBytes by at most one row or group — the bound is
+// an estimate, not a promise. maxBytes <= 0 selects
+// DefaultStreamChunkBytes.
+func (e *Engine) ExecutePartialChunks(ctx context.Context, q *sqlparse.Query, maxBytes int, emit func(*PartialResult) error) error {
+	p, err := e.compile(q)
+	if err != nil {
+		return err
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultStreamChunkBytes
+	}
+	if p.isAggregate {
+		part, err := e.runAggregate(ctx, p)
+		if err != nil {
+			return err
+		}
+		return emitGroupChunks(p, part, maxBytes, emit)
+	}
+	return e.runSelectChunks(ctx, p, maxBytes, emit)
+}
+
+// emitGroupChunks splits a finished aggregate partial into
+// group-disjoint chunks in sorted key order. Aggregation cannot stream
+// mid-scan — a group's state is mergeable but only complete once every
+// segment contributed — so the scan runs to completion and only the
+// reply is chunked; what streaming buys here is the master never
+// holding more than one chunk of any worker's groups un-merged.
+func emitGroupChunks(p *plan, part *PartialResult, maxBytes int, emit func(*PartialResult) error) error {
+	keys := make([]string, 0, len(part.Groups))
+	for key := range part.Groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	chunk := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
+	size := 0
+	emitted := false
+	flush := func() error {
+		out := chunk
+		chunk = &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
+		size = 0
+		emitted = true
+		return emit(out)
+	}
+	for _, key := range keys {
+		g := part.Groups[key]
+		chunk.Groups[key] = g
+		size += groupSize(key, g)
+		if size >= maxBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(chunk.Groups) > 0 || !emitted {
+		return flush()
+	}
+	return nil
+}
+
+// runSelectChunks streams a non-aggregate query's rows in scan order,
+// flushing a chunk whenever the estimated size reaches maxBytes. The
+// parallel path flushes from scanParallel's in-order consumer; the
+// sequential path flushes between segments — either way rows leave the
+// worker as they are produced, never accumulating past one chunk.
+func (e *Engine) runSelectChunks(ctx context.Context, p *plan, maxBytes int, emit func(*PartialResult) error) error {
+	var buf [][]any
+	size := 0
+	emitted := false
+	flush := func() error {
+		out := &PartialResult{Columns: p.outColumns, Rows: buf}
+		buf = nil
+		size = 0
+		emitted = true
+		return emit(out)
+	}
+	add := func(rows [][]any) error {
+		for _, row := range rows {
+			buf = append(buf, row)
+			size += rowSize(row)
+			if size >= maxBytes {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	var err error
+	if n := e.workers(); n > 1 {
+		err = e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
+			var rows [][]any
+			for _, seg := range segs {
+				if err := e.hookSegment(ctx); err != nil {
+					return nil, err
+				}
+				if err := e.selectSegment(p, seg, &rows); err != nil {
+					return nil, err
+				}
+			}
+			return rows, nil
+		}, func(part any) error {
+			return add(part.([][]any))
+		})
+	} else {
+		err = e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
+			if err := e.hookSegment(ctx); err != nil {
+				return err
+			}
+			var rows [][]any
+			if err := e.selectSegment(p, seg, &rows); err != nil {
+				return err
+			}
+			return add(rows)
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 || !emitted {
+		return flush()
+	}
+	return nil
+}
+
+// MergePartial folds one streamed chunk into an accumulator. Folding
+// every chunk from one worker and finalizing the accumulators in
+// worker order (Engine.Finalize) reproduces the buffered scatter
+// exactly; see the package comment above for why.
+func MergePartial(dst, src *PartialResult) {
+	if dst.Columns == nil {
+		dst.Columns = src.Columns
+	}
+	if src.IsAggregate {
+		dst.IsAggregate = true
+		if dst.Groups == nil {
+			dst.Groups = map[string]*GroupState{}
+		}
+		mergeGroups(dst.Groups, src.Groups)
+	}
+	dst.Rows = append(dst.Rows, src.Rows...)
+}
+
+// rowSize estimates one projected row's in-memory footprint: the
+// interface headers plus per-cell payload. It only steers chunk
+// boundaries, so a cheap approximation beats an exact one.
+func rowSize(row []any) int {
+	size := 24 // slice header + backing array rounding
+	for _, v := range row {
+		switch s := v.(type) {
+		case string:
+			size += 16 + len(s)
+		default:
+			size += 16
+		}
+	}
+	return size
+}
+
+// groupSize estimates one group's footprint inside a chunk.
+func groupSize(key string, g *GroupState) int {
+	size := 32 + len(key) + 64*len(g.Scalars)
+	for _, v := range g.Key {
+		if s, ok := v.(string); ok {
+			size += 16 + len(s)
+		} else {
+			size += 16
+		}
+	}
+	for _, c := range g.Cubes {
+		size += 48 * len(c)
+	}
+	return size
+}

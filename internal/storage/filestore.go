@@ -47,11 +47,14 @@ type FileStore struct {
 	size     int64
 }
 
-// recordRef locates one segment in the log.
+// recordRef locates one segment in the log. weight is the segment's
+// decode-cost chunk weight (segmentWeight), computed once at index time
+// so the adaptive ScanChunks sizing never re-decodes records.
 type recordRef struct {
 	endTime   int64
 	startTime int64
 	offset    int64
+	weight    int64
 	length    int32
 }
 
@@ -152,7 +155,13 @@ func (s *FileStore) decode(payload []byte) (*core.Segment, error) {
 
 func (s *FileStore) addIndex(seg *core.Segment, offset int64, length int32) {
 	refs := s.index[seg.Gid]
-	ref := recordRef{endTime: seg.EndTime, startTime: seg.StartTime, offset: offset, length: length}
+	ref := recordRef{
+		endTime:   seg.EndTime,
+		startTime: seg.StartTime,
+		offset:    offset,
+		weight:    segmentWeight(int64(length-frameHeader), seg),
+		length:    length,
+	}
 	i := sort.Search(len(refs), func(i int) bool { return refs[i].endTime > seg.EndTime })
 	refs = append(refs, recordRef{})
 	copy(refs[i+1:], refs[i:])
@@ -382,8 +391,9 @@ func (c fileChunk) Segments() ([]*core.Segment, error) { return c.store.readRefs
 
 // ScanChunks implements SegmentStore. Only the index is consulted up
 // front; each chunk holds record locations and reads the log lazily.
-// The adaptive sizing (chunkSize <= 0) budgets chunks by exact on-disk
-// record length, so one chunk decodes roughly ChunkByteBudget of log.
+// The adaptive sizing (chunkSize <= 0) budgets chunks by the
+// decode-cost weight recorded at index time, so one chunk carries
+// roughly ChunkByteBudget of decode work, not merely of log bytes.
 func (s *FileStore) ScanChunks(ctx context.Context, f Filter, chunkSize int, emit func(Chunk) error) error {
 	refs, err := s.collectRefs(f)
 	if err != nil {
@@ -393,7 +403,7 @@ func (s *FileStore) ScanChunks(ctx context.Context, f Filter, chunkSize int, emi
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		end := chunkEnd(i, len(refs), chunkSize, func(j int) int64 { return int64(refs[j].length) })
+		end := chunkEnd(i, len(refs), chunkSize, func(j int) int64 { return refs[j].weight })
 		if err := emit(fileChunk{store: s, refs: refs[i:end:end]}); err != nil {
 			return err
 		}

@@ -135,7 +135,9 @@ func memSegSize(seg *core.Segment) int64 {
 }
 
 // ScanChunks implements SegmentStore. Memory segments are already
-// decoded, so chunks are plain sub-slices of the matched snapshot.
+// decoded, so chunks are plain sub-slices of the matched snapshot;
+// adaptive chunks are budgeted by decode-cost weight so long, highly
+// compressed segments do not concentrate scan work into one chunk.
 func (s *MemStore) ScanChunks(ctx context.Context, f Filter, chunkSize int, emit func(Chunk) error) error {
 	s.mu.RLock()
 	matched := s.collect(f)
@@ -144,7 +146,9 @@ func (s *MemStore) ScanChunks(ctx context.Context, f Filter, chunkSize int, emit
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		end := chunkEnd(i, len(matched), chunkSize, func(j int) int64 { return memSegSize(matched[j]) })
+		end := chunkEnd(i, len(matched), chunkSize, func(j int) int64 {
+			return segmentWeight(memSegSize(matched[j]), matched[j])
+		})
 		if err := emit(memChunk(matched[i:end:end])); err != nil {
 			return err
 		}

@@ -52,32 +52,53 @@ type Chunk interface {
 
 // Adaptive chunk sizing: when ScanChunks is called with chunkSize <= 0
 // the store sizes chunks itself, accumulating segments until a chunk
-// reaches ChunkByteBudget bytes of stored data or AdaptiveMaxSegments
-// segments, whichever comes first. Tiny segments (small groups, short
-// models) coalesce into full-sized units of work instead of producing
+// reaches ChunkByteBudget of weight or AdaptiveMaxSegments segments,
+// whichever comes first. Tiny segments (small groups, short models)
+// coalesce into full-sized units of work instead of producing
 // degenerate one-segment chunks, while a few large segments still form
 // a chunk quickly.
+//
+// A chunk's weight is decode-cost-aware, not raw stored bytes: a
+// highly compressed segment (a constant model covering thousands of
+// sampling intervals in a handful of bytes) is cheap to store but
+// expensive to scan, because reconstructing or aggregating it touches
+// every covered interval. Budgeting by stored size alone would pack
+// wildly uneven amounts of scan work into equal-byte chunks, and the
+// query executor's shared job queue — the mechanism by which idle scan
+// workers steal chunks across groups — would balance bytes instead of
+// work. segmentWeight therefore adds PointWeight per covered sampling
+// interval on top of the stored size, so equal-weight chunks take
+// roughly equal time regardless of how well their models compressed.
 const (
-	// ChunkByteBudget is the target stored size of one adaptive chunk.
+	// ChunkByteBudget is the target weight of one adaptive chunk.
 	ChunkByteBudget = 256 << 10
 	// AdaptiveMaxSegments caps an adaptive chunk's segment count so a
 	// long run of empty-ish segments cannot grow a chunk without bound.
 	AdaptiveMaxSegments = 1024
+	// PointWeight is the scan-cost surcharge per covered sampling
+	// interval, in stored-byte equivalents.
+	PointWeight = 8
 )
 
+// segmentWeight returns a segment's decode-cost weight given its
+// stored (or estimated) size.
+func segmentWeight(stored int64, seg *core.Segment) int64 {
+	return stored + PointWeight*int64(seg.Length())
+}
+
 // chunkEnd returns the exclusive end index of the chunk starting at
-// start over n records: fixed-size when chunkSize > 0, byte-budgeted
-// (sizeAt reports record i's stored size) when chunkSize <= 0.
-func chunkEnd(start, n, chunkSize int, sizeAt func(int) int64) int {
+// start over n records: fixed-size when chunkSize > 0, weight-budgeted
+// (weightAt reports record i's decode-cost weight) when chunkSize <= 0.
+func chunkEnd(start, n, chunkSize int, weightAt func(int) int64) int {
 	if chunkSize > 0 {
 		return min(start+chunkSize, n)
 	}
-	var bytes int64
+	var weight int64
 	i := start
 	for i < n && i-start < AdaptiveMaxSegments {
-		bytes += sizeAt(i)
+		weight += weightAt(i)
 		i++
-		if bytes >= ChunkByteBudget {
+		if weight >= ChunkByteBudget {
 			break
 		}
 	}

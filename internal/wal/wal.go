@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"modelardb/internal/core"
@@ -147,10 +148,25 @@ type tailRecord struct {
 // lock, so appends to groups of different shards do not serialize.
 type shard struct {
 	mu   sync.Mutex
+	cond *sync.Cond // group-commit wakeups (synced advanced, leader done)
 	dir  string
 	file *os.File
 	buf  []byte // pending writes not yet handed to the OS
 	size int64  // current segment size including buffered bytes
+
+	// Group-commit bookkeeping. logicalEnd counts every record byte ever
+	// appended to this shard; unlike size it is monotonic across segment
+	// rotations and checkpoint truncations, so it names a durability
+	// point that never moves backwards. synced is the logical prefix
+	// made durable, and syncing marks a leader's fsync running outside
+	// the lock — rotation, truncation and close wait it out (waitSync)
+	// so the file is never closed or truncated under an in-flight fsync.
+	logicalEnd int64
+	synced     int64
+	syncing    bool
+	// fsyncs counts fsyncs issued on this shard (observability: the
+	// group-commit benchmark reports fsyncs per point).
+	fsyncs int64
 
 	index  uint64 // current segment's index
 	curMax map[core.Gid]uint64
@@ -188,6 +204,10 @@ type WAL struct {
 	ckptApplied map[core.Gid]uint64
 	storeOff    int64
 	hasCkpt     bool
+
+	// appended counts record bytes appended since the last checkpoint —
+	// the write-side backpressure signal surfaced through Stats.
+	appended atomic.Int64
 
 	stop     chan struct{}
 	syncDone chan struct{}
@@ -316,6 +336,7 @@ func openShard(dir string, ver int, ckpt map[core.Gid]uint64) (*shard, error) {
 		applied: map[core.Gid]uint64{},
 		tailOK:  true,
 	}
+	s.cond = sync.NewCond(&s.mu)
 	files, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -557,6 +578,8 @@ func (w *WAL) Append(gid core.Gid, ext uint64, pts []core.DataPoint) (uint64, er
 	}
 	s.buf = append(s.buf, s.scratch...)
 	s.size += int64(len(s.scratch))
+	s.logicalEnd += int64(len(s.scratch))
+	w.appended.Add(int64(len(s.scratch)))
 	s.seqs[gid] = seq
 	if ext > s.applied[gid] {
 		s.applied[gid] = ext
@@ -565,8 +588,10 @@ func (w *WAL) Append(gid core.Gid, ext uint64, pts []core.DataPoint) (uint64, er
 		s.curMax[gid] = seq
 	}
 	if w.opts.Sync == SyncAlways {
-		if err := s.flushAndSync(); err != nil {
-			s.err = err
+		// Group commit: wait until this record's bytes are durable, but
+		// let one fsync cover every concurrent appender's records instead
+		// of paying one fsync per append (commitTo coalesces).
+		if err := s.commitTo(s.logicalEnd); err != nil {
 			return 0, err
 		}
 	} else {
@@ -595,16 +620,81 @@ func (s *shard) flushBuf() error {
 	return nil
 }
 
-// flushAndSync drains the buffer and fsyncs the current segment.
+// flushAndSync drains the buffer and fsyncs the current segment under
+// the shard lock. It first waits out any group-commit leader fsyncing
+// outside the lock, so rotation and explicit syncs never race it.
 func (s *shard) flushAndSync() error {
+	s.waitSync()
 	if err := s.flushBuf(); err != nil {
 		return err
 	}
+	flushed := s.logicalEnd
 	if err := s.file.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	s.fsyncs++
+	if flushed > s.synced {
+		s.synced = flushed
+	}
 	s.dirty = false
 	return nil
+}
+
+// waitSync blocks until no group-commit leader is fsyncing outside the
+// lock. Callers about to rotate, truncate or close the segment file
+// must not yank it from under an in-flight fsync. The caller holds
+// s.mu.
+func (s *shard) waitSync() {
+	for s.syncing {
+		s.cond.Wait()
+	}
+}
+
+// commitTo makes the shard durable at least through logical offset
+// target, coalescing concurrent SyncAlways appenders onto one fsync
+// (group commit). The first arrival becomes the leader: it drains the
+// buffer under the lock, then fsyncs with the lock released so later
+// appenders keep buffering records — they wait on the condition
+// variable and either ride the in-flight fsync (their bytes were
+// already flushed) or batch onto the next one. The caller holds s.mu;
+// an fsync failure is sticky, failing this and every waiting append.
+func (s *shard) commitTo(target int64) error {
+	for {
+		if s.err != nil {
+			return s.err
+		}
+		if s.synced >= target {
+			return nil
+		}
+		if s.syncing {
+			s.cond.Wait()
+			continue
+		}
+		// Become the leader for everything appended so far.
+		if err := s.flushBuf(); err != nil {
+			s.err = err
+			s.cond.Broadcast()
+			return err
+		}
+		flushed := s.logicalEnd
+		file := s.file
+		s.syncing = true
+		s.mu.Unlock()
+		err := file.Sync()
+		s.mu.Lock()
+		s.syncing = false
+		s.fsyncs++
+		if err != nil {
+			s.err = fmt.Errorf("wal: fsync: %w", err)
+			s.cond.Broadcast()
+			return s.err
+		}
+		if flushed > s.synced {
+			s.synced = flushed
+		}
+		s.dirty = s.synced < s.logicalEnd
+		s.cond.Broadcast()
+	}
 }
 
 // rotate seals the current segment and opens the next one. The sealed
@@ -781,6 +871,7 @@ func (w *WAL) Checkpoint(seqs map[core.Gid]uint64, storeOffset int64) error {
 	if err := w.writeCheckpoint(merged, applied, storeOffset); err != nil {
 		return err
 	}
+	w.appended.Store(0)
 	w.ckptSeqs = merged
 	w.ckptApplied = applied
 	w.storeOff = storeOffset
@@ -798,6 +889,7 @@ func (w *WAL) Checkpoint(seqs map[core.Gid]uint64, storeOffset int64) error {
 func (s *shard) truncateBelow(ckpt map[core.Gid]uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.waitSync()
 	// keep is a fresh slice, never aliasing s.sealed: a Remove failing
 	// mid-loop must leave s.sealed listing exactly the surviving
 	// segments (kept ones plus not-yet-visited), so the next checkpoint
@@ -823,6 +915,10 @@ func (s *shard) truncateBelow(ckpt map[core.Gid]uint64) error {
 			return fmt.Errorf("wal: seek: %w", err)
 		}
 		s.size = 0
+		// The dropped buffer's bytes are settled by the checkpoint, not
+		// by a write; advance the durability mark so no group-commit
+		// waiter spins on bytes that will never be written.
+		s.synced = s.logicalEnd
 		s.curMax = map[core.Gid]uint64{}
 		s.dirty = false
 	}
@@ -1023,12 +1119,35 @@ func (w *WAL) Close() error {
 func (w *WAL) closeShards() {
 	for _, s := range w.shards {
 		s.mu.Lock()
+		s.waitSync()
 		if s.file != nil {
 			s.file.Close()
 			s.file = nil
 		}
 		s.mu.Unlock()
 	}
+}
+
+// BytesSinceCheckpoint reports how many record bytes have been
+// appended since the last checkpoint — the write-side backpressure
+// signal: a value racing ahead of the checkpoint cadence means flushes
+// are not keeping up with ingestion. With a memory-backed store the
+// WAL is never checkpoint-truncated, so the counter grows with the
+// journal.
+func (w *WAL) BytesSinceCheckpoint() int64 { return w.appended.Load() }
+
+// FsyncCount reports the total number of fsyncs issued across all
+// shards. The group-commit benchmark divides it by points appended:
+// under SyncAlways with concurrent appenders the ratio drops below one
+// as appends coalesce onto shared fsyncs.
+func (w *WAL) FsyncCount() int64 {
+	var n int64
+	for _, s := range w.shards {
+		s.mu.Lock()
+		n += s.fsyncs
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // SizeBytes reports the WAL's current on-log volume (sealed plus

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"modelardb/internal/core"
@@ -496,4 +497,59 @@ func TestOpenLegacyV1WAL(t *testing.T) {
 	if a := w2.AppliedSeqs(); len(a) != 0 {
 		t.Fatalf("applied seqs from v1 records = %v, want empty", a)
 	}
+}
+
+// TestGroupCommitCoalescesFsyncs: concurrent SyncAlways appends to one
+// shard must share fsyncs (group commit) rather than paying one fsync
+// per append, while every acknowledged batch still survives a crash.
+func TestGroupCommitCoalescesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncAlways, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, batches = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gid := core.Gid(g + 1)
+			for i := 0; i < batches; i++ {
+				if _, err := w.Append(gid, 0, pts(core.Tid(g+1), int64(i)*1000, 2)); err != nil {
+					t.Errorf("append gid %d: %v", gid, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = writers * batches
+	fsyncs := w.FsyncCount()
+	if fsyncs <= 0 {
+		t.Fatal("SyncAlways appends recorded no fsyncs")
+	}
+	if fsyncs >= total {
+		t.Fatalf("%d appends cost %d fsyncs; group commit must coalesce some", total, fsyncs)
+	}
+	// Crash: no Close. Every acknowledged append was fsynced (alone or
+	// as a group-commit follower), so a fresh open replays all of them.
+	reopened, err := Open(Options{Dir: dir, Sync: SyncAlways, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	perGid := map[core.Gid]int{}
+	if err := reopened.Replay(func(gid core.Gid, _, _ uint64, p []core.DataPoint) error {
+		perGid[gid] += len(p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < writers; g++ {
+		if got := perGid[core.Gid(g+1)]; got != batches*2 {
+			t.Errorf("gid %d replayed %d points, want %d", g+1, got, batches*2)
+		}
+	}
+	w.Close()
 }

@@ -26,7 +26,7 @@
 //	...
 //	db.Append(1, ts, 13.37)
 //	db.Flush()
-//	res, err := db.Query("SELECT Turbine, AVG_S(*) FROM Segment GROUP BY Turbine")
+//	res, err := db.Query(ctx, "SELECT Turbine, AVG_S(*) FROM Segment GROUP BY Turbine")
 package modelardb
 
 import (
@@ -161,6 +161,17 @@ type Config struct {
 	// WALSegmentBytes rotates WAL segment files at this size; 0 selects
 	// the default (16 MiB).
 	WALSegmentBytes int64
+	// WALSyncInterval is the background fsync cadence under
+	// WALFsync "interval"; 0 selects the default (100ms). A shorter
+	// interval narrows the crash-loss window, a longer one batches more
+	// appends per fsync.
+	WALSyncInterval time.Duration
+	// StreamChunkBytes bounds one streamed partial-result chunk in the
+	// cluster's scatter path: a worker's reply travels as a sequence of
+	// chunks of roughly this size and the master merges each chunk as it
+	// arrives, so master peak memory per worker is one chunk instead of
+	// the whole reply. 0 selects the default (1 MiB).
+	StreamChunkBytes int64
 }
 
 // DefaultConfig returns the paper's evaluated configuration (Table 1):
@@ -244,6 +255,12 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.WALSegmentBytes < 0 {
 		return nil, fmt.Errorf("modelardb: WALSegmentBytes %d is negative; use 0 for the default (%d) or a positive segment size", cfg.WALSegmentBytes, wal.DefaultSegmentBytes)
 	}
+	if cfg.WALSyncInterval < 0 {
+		return nil, fmt.Errorf("modelardb: WALSyncInterval %v is negative; use 0 for the default (%v) or a positive interval", cfg.WALSyncInterval, wal.DefaultSyncInterval)
+	}
+	if cfg.StreamChunkBytes < 0 {
+		return nil, fmt.Errorf("modelardb: StreamChunkBytes %d is negative; use 0 for the default (%d) or a positive chunk size", cfg.StreamChunkBytes, query.DefaultStreamChunkBytes)
+	}
 	if _, err := wal.ParsePolicy(cfg.WALFsync); err != nil {
 		return nil, fmt.Errorf("modelardb: %w", err)
 	}
@@ -315,6 +332,7 @@ func (db *DB) openWAL() error {
 		Dir:          db.cfg.WALDir,
 		Sync:         policy,
 		SegmentBytes: db.cfg.WALSegmentBytes,
+		SyncInterval: db.cfg.WALSyncInterval,
 	})
 	if err != nil {
 		return fmt.Errorf("modelardb: %w", err)
@@ -736,17 +754,20 @@ func (db *DB) checkpointShards() error {
 	return db.wal.Sync()
 }
 
-// Query parses and executes a SQL query (§6.1). It is the
-// compatibility wrapper over QueryContext with a background context.
-func (db *DB) Query(sql string) (*Result, error) {
-	return db.QueryContext(context.Background(), sql)
+// Query parses and executes a SQL query (§6.1). Cancelling ctx aborts
+// the scan within one chunk of work per executor goroutine and returns
+// ctx.Err(). Pass context.Background() when no cancellation or
+// deadline is needed.
+func (db *DB) Query(ctx context.Context, sql string) (*Result, error) {
+	return db.engine.Execute(ctx, sql)
 }
 
-// QueryContext parses and executes a SQL query. Cancelling ctx aborts
-// the scan within one chunk of work per executor goroutine and returns
-// ctx.Err().
+// QueryContext parses and executes a SQL query.
+//
+// Deprecated: Query is context-first now; QueryContext remains as a
+// thin wrapper for v1 callers and will be removed in a future release.
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	return db.engine.Execute(ctx, sql)
+	return db.Query(ctx, sql)
 }
 
 // QueryRows executes a SQL query and returns a streaming cursor
@@ -765,8 +786,8 @@ func (db *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
 }
 
 // QueryParsed executes an already-parsed query.
-func (db *DB) QueryParsed(q *sqlparse.Query) (*Result, error) {
-	return db.engine.ExecuteQuery(context.Background(), q)
+func (db *DB) QueryParsed(ctx context.Context, q *sqlparse.Query) (*Result, error) {
+	return db.engine.ExecuteQuery(ctx, q)
 }
 
 // Engine exposes the query engine for distributed execution (partial
@@ -813,6 +834,28 @@ type Stats struct {
 	// WALBytes is the write-ahead log's current on-disk volume; zero
 	// when the WAL is disabled.
 	WALBytes int64
+	// WALBytesSinceCheckpoint is the write-side backpressure signal:
+	// record bytes appended to the WAL since its last checkpoint. A
+	// value racing ahead of the flush cadence means checkpoints are not
+	// keeping up with ingestion; throttle writers or flush. Zero when
+	// the WAL is disabled.
+	WALBytesSinceCheckpoint int64
+	// WALFsyncs counts fsyncs issued by the WAL. Under the "always"
+	// policy group commit coalesces concurrent appends onto shared
+	// fsyncs, so WALFsyncs growing slower than DataPoints is the
+	// coalescing working. Zero when the WAL is disabled.
+	WALFsyncs int64
+	// InFlightStreams is the number of streaming scatter replies a
+	// worker is currently producing (cluster Stats only; a standalone
+	// DB reports zero). Each in-flight stream holds O(chunk) memory on
+	// the master, so this bounds scatter memory alongside
+	// StreamChunkBytes.
+	InFlightStreams int64
+	// QueuedBatches is the number of sealed ingestion batches waiting
+	// in the master's per-worker send queues (cluster Stats only). A
+	// growing queue is the read-side of write backpressure: a worker is
+	// accepting batches slower than the master seals them.
+	QueuedBatches int64
 }
 
 // Stats returns current statistics.
@@ -826,19 +869,23 @@ func (db *DB) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	hits, misses := db.engine.CacheStats()
-	var walBytes int64
+	var walBytes, walSince, walFsyncs int64
 	if db.wal != nil {
 		walBytes = db.wal.SizeBytes()
+		walSince = db.wal.BytesSinceCheckpoint()
+		walFsyncs = db.wal.FsyncCount()
 	}
 	return Stats{
-		Series:       db.meta.NumSeries(),
-		Groups:       len(db.meta.Groups()),
-		Segments:     segs,
-		StorageBytes: size,
-		DataPoints:   db.points.Load(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		WALBytes:     walBytes,
+		Series:                  db.meta.NumSeries(),
+		Groups:                  len(db.meta.Groups()),
+		Segments:                segs,
+		StorageBytes:            size,
+		DataPoints:              db.points.Load(),
+		CacheHits:               hits,
+		CacheMisses:             misses,
+		WALBytes:                walBytes,
+		WALBytesSinceCheckpoint: walSince,
+		WALFsyncs:               walFsyncs,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package modelardb
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -91,7 +92,7 @@ func TestIngestQueryEndToEnd(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+	res, err := db.Query(context.Background(), "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestDiskPersistenceRoundTrip(t *testing.T) {
 	if db2.NumSeries() != 3 {
 		t.Fatalf("series after reopen = %d, want 3", db2.NumSeries())
 	}
-	res, err := db2.Query("SELECT SUM_S(*) FROM Segment WHERE Tid = 1")
+	res, err := db2.Query(context.Background(), "SELECT SUM_S(*) FROM Segment WHERE Tid = 1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestDiskPersistenceRoundTrip(t *testing.T) {
 		t.Fatalf("sum after reopen = %g, want 1400", got)
 	}
 	// Dimension columns survive too.
-	res, err = db2.Query("SELECT Park, COUNT_S(*) FROM Segment GROUP BY Park")
+	res, err = db2.Query(context.Background(), "SELECT Park, COUNT_S(*) FROM Segment GROUP BY Park")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestScalingFromCorrelationClause(t *testing.T) {
 	}
 	db.Flush()
 	// The scaling constant (2.0) must cancel out at query time.
-	res, err := db.Query("SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+	res, err := db.Query(context.Background(), "SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestUserDefinedModel(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query("SELECT AVG_S(*) FROM Segment WHERE Tid = 3")
+	res, err := db.Query(context.Background(), "SELECT AVG_S(*) FROM Segment WHERE Tid = 3")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package modelardb_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -56,7 +57,7 @@ func benchmarkWorkers(b *testing.B, sql string) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := db.Query(sql); err != nil {
+				if _, err := db.Query(context.Background(), sql); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -103,7 +104,7 @@ func BenchmarkPruningTimeWindow(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := db.Query(tc.sql); err != nil {
+				if _, err := db.Query(context.Background(), tc.sql); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,39 @@
+// Benchmark wrapper around the harness sustained-load scenario:
+// concurrent durable writers plus a mixed query stream on one node,
+// with b.N as the total point budget. ns/op is therefore cost per
+// ingested point under query load, and the reported q-p50-ms /
+// q-p99-ms are the query latency percentiles observed while the
+// writers were running — the numbers the backpressure work moves.
+// Run with: go test -bench=SustainedLoad -benchtime 200000x
+package modelardb_test
+
+import (
+	"context"
+	"testing"
+
+	"modelardb"
+	"modelardb/internal/harness"
+)
+
+func BenchmarkSustainedLoad(b *testing.B) {
+	p := harness.DefaultLoadProfile()
+	p.Points = int64(b.N)
+	cfg := harness.LoadConfig(p)
+	cfg.Path = b.TempDir()
+	cfg.WALDir = b.TempDir()
+	cfg.WALFsync = "interval"
+	db, err := modelardb.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := harness.RunSustainedLoad(context.Background(), db, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.P50.Microseconds())/1000, "q-p50-ms")
+	b.ReportMetric(float64(rep.P99.Microseconds())/1000, "q-p99-ms")
+}

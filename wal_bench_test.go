@@ -7,9 +7,12 @@ package modelardb_test
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"modelardb"
+	"modelardb/internal/wal"
 )
 
 var walBenchModes = []string{"off", "never", "interval", "always"}
@@ -76,6 +79,96 @@ func BenchmarkAppendBatchWAL(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkAppendWALGroupCommit measures wal_fsync=always with
+// concurrent appenders. Groups map to WAL shards by gid, so the
+// writers are placed on series whose groups share one shard: their
+// fsyncs can only proceed one at a time, which is exactly the regime
+// group commit targets — while the leader's fsync is in flight the
+// other writers' records pile into the shard buffer and ride the next
+// fsync. The reported fsyncs/point falls below 1 as soon as any
+// coalescing happens; a strictly fsync-per-append log would pin it at
+// 1. Writer counts 1/4/8 show the trend (1 writer cannot coalesce).
+func BenchmarkAppendWALGroupCommit(b *testing.B) {
+	const series = 64
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			cfg := modelardb.Config{
+				ErrorBound: modelardb.RelBound(0),
+				Dimensions: []modelardb.Dimension{{Name: "Location", Levels: []string{"Park"}}},
+				Path:       b.TempDir(),
+				WALDir:     b.TempDir(),
+				WALFsync:   "always",
+			}
+			for i := 0; i < series; i++ {
+				cfg.Series = append(cfg.Series, modelardb.SeriesConfig{
+					SI: 100, Members: map[string][]string{"Location": {fmt.Sprintf("P%d", i)}},
+				})
+			}
+			db, err := modelardb.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			// Pick writer tids whose groups collide on one WAL shard so
+			// the writers actually contend for the same fsync.
+			byShard := make(map[int][]modelardb.Tid)
+			best := 0
+			for tid := modelardb.Tid(1); tid <= series; tid++ {
+				gid, err := db.GroupOf(tid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := int(gid) % wal.DefaultShards
+				byShard[s] = append(byShard[s], tid)
+				if len(byShard[s]) > len(byShard[best]) {
+					best = s
+				}
+			}
+			if len(byShard[best]) < writers {
+				b.Fatalf("only %d groups share a WAL shard, need %d", len(byShard[best]), writers)
+			}
+			tids := byShard[best][:writers]
+
+			before, err := db.Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			per := b.N/writers + 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make([]error, writers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					tid := tids[w]
+					for i := 0; i < per; i++ {
+						if err := db.Append(tid, int64(i)*100, float32(i%50)); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			after, err := db.Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			points := int64(per) * int64(writers)
+			fsyncs := after.WALFsyncs - before.WALFsyncs
+			b.ReportMetric(float64(fsyncs)/float64(points), "fsyncs/point")
 		})
 	}
 }
