@@ -88,11 +88,14 @@ bench-compare:
 crash:
 	$(GO) test -race -run 'WAL|Crash|Recover|Torn|Reopen' -count=$(CRASH_COUNT) -timeout $(CRASH_TIMEOUT) ./...
 
-# Fuzz smoke over the two on-disk record parsers (WAL segments and the
-# segment log), seeded from the torn-tail sweep fixtures. `go test
-# -fuzz` accepts one target per package invocation, hence two runs.
+# Fuzz smoke over the untrusted-bytes parsers: the two on-disk record
+# formats (WAL segments and the segment log), seeded from the
+# torn-tail sweep fixtures, plus the typed-column chunk-frame decoder
+# the cluster transport feeds with peer-controlled bytes. `go test
+# -fuzz` accepts one target per package invocation, hence three runs.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWALScanSegment$$' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzFileStoreRecover$$' -fuzztime $(FUZZTIME) ./internal/storage
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePartial$$' -fuzztime $(FUZZTIME) ./internal/query
 
 ci: build lint vuln race bench crash

@@ -23,6 +23,15 @@
 // the baseline but missing from the current run fails loudly — a
 // renamed benchmark must not silently weaken the gate.
 //
+// B/op and allocs/op are gated with the same threshold but WITHOUT
+// calibration scaling: allocation counts and bytes are properties of
+// the code, not of machine speed, so they compare raw across
+// machines. A benchmark whose baseline carries an allocation metric
+// must report it in the current run too (a dropped b.ReportAllocs
+// must not silently weaken the gate), and a baseline of zero allocs
+// fails on any current allocation at all — there is no ratio to
+// threshold against zero.
+//
 // Custom metrics reported via b.ReportMetric (anything that is not
 // ns/op, B/op or allocs/op — e.g. fsyncs/point from the WAL
 // group-commit benchmark or q-p99-ms from the sustained-load
@@ -309,6 +318,37 @@ func compare(args []string) error {
 		}
 		fmt.Printf("%s %-50s base %12.1f  cur %12.1f  normalized %+6.1f%%\n",
 			status, name, b.NsPerOp, c.NsPerOp, delta)
+		// Allocation gates: raw comparison, no machine-speed scaling.
+		for _, m := range []string{"B/op", "allocs/op"} {
+			bv, ok := b.Metrics[m]
+			if !ok {
+				continue
+			}
+			cv, ok := c.Metrics[m]
+			if !ok {
+				fmt.Printf("FAIL %-50s %s in baseline but missing from current run\n", "  "+name, m)
+				failed++
+				continue
+			}
+			var mDelta float64
+			mStatus := "ok  "
+			switch {
+			case bv == 0 && cv > 0:
+				mStatus = "FAIL"
+				failed++
+				mDelta = 100
+			case bv == 0:
+				mDelta = 0
+			default:
+				mDelta = (cv/bv - 1) * 100
+				if mDelta > *threshold {
+					mStatus = "FAIL"
+					failed++
+				}
+			}
+			fmt.Printf("%s %-50s base %12.0f  cur %12.0f  raw        %+6.1f%%  (%s)\n",
+				mStatus, "  "+name, bv, cv, mDelta, m)
+		}
 		for _, m := range customMetrics(b) {
 			cv, ok := c.Metrics[m]
 			if !ok {

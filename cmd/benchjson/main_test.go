@@ -94,3 +94,82 @@ func TestCompareCalibrationNormalizes(t *testing.T) {
 		t.Fatal("missing gated benchmark must fail")
 	}
 }
+
+// writeBenches writes a record with full Benchmark values (metrics
+// included) for the allocation-gate tests.
+func writeBenches(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	rec := &Record{GoOS: "linux", GoArch: "amd64", CPUs: 4, Benches: benches}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGatesAllocations(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenches(t, dir, "base.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 200,
+			Metrics: map[string]float64{"B/op": 1024, "allocs/op": 100}},
+	})
+	// A 2x-slower machine scales ns/op via calibration, but it must NOT
+	// scale the allocation gate: allocs doubled is a real regression no
+	// matter the machine, so this fails.
+	cur := writeBenches(t, dir, "cur.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 2000},
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 400,
+			Metrics: map[string]float64{"B/op": 1024, "allocs/op": 200}},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur, "-threshold", "15"}); err == nil {
+		t.Fatal("2x allocs/op regression must fail regardless of machine scale")
+	}
+	// Fewer allocations than baseline always passes.
+	cur2 := writeBenches(t, dir, "cur2.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 200,
+			Metrics: map[string]float64{"B/op": 64, "allocs/op": 2}},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur2, "-threshold", "15"}); err != nil {
+		t.Fatalf("improved allocations must pass: %v", err)
+	}
+	// A baseline metric missing from the current run fails loudly — a
+	// dropped b.ReportAllocs must not silently weaken the gate.
+	cur3 := writeBenches(t, dir, "cur3.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 200},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur3, "-threshold", "15"}); err == nil {
+		t.Fatal("allocation metric dropped from current run must fail")
+	}
+}
+
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenches(t, dir, "base.json", []Benchmark{
+		{Name: "BenchmarkTight", Iterations: 1, NsPerOp: 100,
+			Metrics: map[string]float64{"B/op": 0, "allocs/op": 0}},
+	})
+	// Zero-alloc baseline: any current allocation fails — there is no
+	// ratio to threshold against zero.
+	cur := writeBenches(t, dir, "cur.json", []Benchmark{
+		{Name: "BenchmarkTight", Iterations: 1, NsPerOp: 100,
+			Metrics: map[string]float64{"B/op": 16, "allocs/op": 1}},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur, "-threshold", "15"}); err == nil {
+		t.Fatal("allocation introduced against a zero-alloc baseline must fail")
+	}
+	// Still zero: passes.
+	cur2 := writeBenches(t, dir, "cur2.json", []Benchmark{
+		{Name: "BenchmarkTight", Iterations: 1, NsPerOp: 100,
+			Metrics: map[string]float64{"B/op": 0, "allocs/op": 0}},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur2, "-threshold", "15"}); err != nil {
+		t.Fatalf("zero-alloc fixpoint must pass: %v", err)
+	}
+}

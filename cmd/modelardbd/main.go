@@ -203,15 +203,24 @@ func handle(ctx context.Context, db *modelardb.DB, w *bufio.Writer, line string)
 			return
 		}
 		defer rows.Close()
-		fmt.Fprintln(w, strings.Join(rows.Columns(), "\t"))
+		cols := rows.Columns()
+		fmt.Fprintln(w, strings.Join(cols, "\t"))
 		n := 0
+		var buf []byte
 		for rows.Next() {
-			row := rows.Row()
-			cells := make([]string, len(row))
-			for i, v := range row {
-				cells[i] = fmt.Sprint(v)
+			// Render each cell straight from the cursor's typed columns
+			// into a reused buffer: no per-row []string, no fmt boxing.
+			buf = buf[:0]
+			for c := range cols {
+				if c > 0 {
+					buf = append(buf, '\t')
+				}
+				buf = rows.AppendColumnText(buf, c)
 			}
-			fmt.Fprintln(w, strings.Join(cells, "\t"))
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
 			// Flush periodically so a disconnected client surfaces as a
 			// write error here and the deferred Close cancels the scan,
 			// instead of streaming the whole result into a dead socket.

@@ -101,9 +101,22 @@ func (db *DB) WriteCSV(ctx context.Context, w io.Writer, tids ...Tid) (int64, er
 	defer rows.Close()
 	bw := bufio.NewWriter(w)
 	var n int64
+	var (
+		tid, ts int64
+		v       float64
+		buf     []byte
+	)
 	for rows.Next() {
-		row := rows.Row()
-		if _, err := fmt.Fprintf(bw, "%d,%d,%g\n", row[0].(int64), row[1].(int64), row[2].(float64)); err != nil {
+		if err := rows.Scan(&tid, &ts, &v); err != nil {
+			return n, err
+		}
+		buf = strconv.AppendInt(buf[:0], tid, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, ts, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return n, err
 		}
 		n++

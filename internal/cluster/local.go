@@ -279,6 +279,9 @@ func (c *LocalCluster) QueryWithStats(ctx context.Context, sql string) (*modelar
 		return nil, nil, err
 	}
 	res, err := c.workers[0].Engine().Finalize(q, partials)
+	for _, p := range partials {
+		p.ReleaseBatch()
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -129,7 +129,12 @@ func (s *Server) dispatch(ctx context.Context, method string, body []byte) ([]by
 		if err != nil {
 			return nil, err
 		}
-		return encodeBody(partial)
+		// The gob body delegates to the typed-vector codec
+		// (PartialResult.GobEncode), so the buffered reply shares the
+		// stream chunks' wire format; the batch pools once encoded.
+		body, err := encodeBody(partial)
+		partial.ReleaseBatch()
+		return body, err
 	case "Stats":
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -166,15 +171,18 @@ func (s *Server) dispatchStream(ctx, connCtx context.Context, f *frame, conn net
 	s.streams.Add(1)
 	defer s.streams.Add(-1)
 	var seq uint64
+	// Chunk frames carry the typed-vector wire format directly — no gob
+	// interface cells — and one encode buffer serves the whole stream.
+	// The chunk (and its pooled batch) is only valid during this emit
+	// call, so it is encoded before returning; writeFrame below copies
+	// the body into its own pooled frame buffer.
+	var encBuf []byte
 	return s.db.Engine().ExecutePartialChunks(ctx, q, int(args.ChunkBytes), func(part *query.PartialResult) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		body, err := encodeBody(part)
-		if err != nil {
-			return err
-		}
-		cf := &frame{Kind: frameChunk, ID: f.ID, Seq: seq, Body: body}
+		encBuf = query.EncodePartial(encBuf[:0], part)
+		cf := &frame{Kind: frameChunk, ID: f.ID, Seq: seq, Body: encBuf}
 		seq++
 		stop := context.AfterFunc(connCtx, func() { conn.SetWriteDeadline(time.Now()) })
 		wmu.Lock()
@@ -658,15 +666,19 @@ func (c *Client) Query(ctx context.Context, sql string) (*modelardb.Result, erro
 		go func(i int) {
 			defer wg.Done()
 			acc := &query.PartialResult{}
+			// One decode target per stream: DecodePartial reuses its
+			// pooled batch across the stream's chunks, so decoding N
+			// chunks costs one batch, not N.
+			part := &query.PartialResult{}
 			args := &StreamQueryArgs{SQL: sql, ChunkBytes: c.StreamChunkBytes}
 			errs[i] = c.callStreamRetrying(ctx, i, "ExecutePartialStream", args, func(body []byte) error {
-				part := &query.PartialResult{}
-				if err := decodeBody(body, part); err != nil {
+				if err := query.DecodePartial(body, part); err != nil {
 					return err
 				}
 				query.MergePartial(acc, part)
 				return nil
 			})
+			part.ReleaseBatch()
 			if errs[i] != nil {
 				cancel() // fail fast: abort the sibling calls and scans
 			} else {
@@ -678,7 +690,11 @@ func (c *Client) Query(ctx context.Context, sql string) (*modelardb.Result, erro
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
-	return c.meta.Engine().Finalize(q, accs)
+	res, err := c.meta.Engine().Finalize(q, accs)
+	for _, acc := range accs {
+		acc.ReleaseBatch()
+	}
+	return res, err
 }
 
 // Stats aggregates every worker's statistics; series and group counts

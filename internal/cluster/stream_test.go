@@ -52,11 +52,11 @@ func TestStreamingScatterChunked(t *testing.T) {
 		&StreamQueryArgs{SQL: sql, ChunkBytes: 2048}, func(body []byte) error {
 			chunks++
 			part := &query.PartialResult{}
-			if err := decodeBody(body, part); err != nil {
+			if err := query.DecodePartial(body, part); err != nil {
 				return err
 			}
-			if len(part.Rows) > maxChunkRows {
-				maxChunkRows = len(part.Rows)
+			if part.NumRows() > maxChunkRows {
+				maxChunkRows = part.NumRows()
 			}
 			query.MergePartial(acc, part)
 			return nil
@@ -67,7 +67,7 @@ func TestStreamingScatterChunked(t *testing.T) {
 	if chunks < 2 {
 		t.Fatalf("result above the chunk bound arrived in %d frame(s), want >= 2", chunks)
 	}
-	if maxChunkRows == len(acc.Rows) {
+	if maxChunkRows == acc.NumRows() {
 		t.Fatalf("one chunk carried all %d rows; streaming did not bound chunk size", maxChunkRows)
 	}
 	got, err := db.Engine().Finalize(q, []*query.PartialResult{acc})

@@ -70,12 +70,29 @@ type frame struct {
 // peers; a partial result for a huge scatter stays far below it.
 const maxFrameSize = 1 << 30
 
+// frameBufPool recycles the per-frame encode buffers: a streamed
+// scatter writes thousands of chunk frames, and re-growing a fresh
+// bytes.Buffer to chunk size for each was a large share of the
+// transport's allocations.
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// frameBufMax bounds pooled buffer retention so one giant frame does
+// not pin its memory for the life of the process.
+const frameBufMax = 4 << 20
+
 // writeFrame encodes f with its length prefix into w. Callers
-// serialize writes per connection.
+// serialize writes per connection; the encode buffer is pooled and w
+// owns a full copy of the bytes once Write returns.
 func writeFrame(w io.Writer, f *frame) error {
-	var buf bytes.Buffer
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= frameBufMax {
+			frameBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 0})
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+	if err := gob.NewEncoder(buf).Encode(f); err != nil {
 		return err
 	}
 	b := buf.Bytes()

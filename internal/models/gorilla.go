@@ -32,11 +32,27 @@ func (GorillaType) New(bound ErrorBound, nseries int) Model {
 // aggregates on Gorilla segments cost time linear in the range, unlike
 // the constant-time PMC and Swing fast paths.
 func (GorillaType) View(params []byte, nseries, length int) (AggView, error) {
-	values, err := gorillaDecode(params, nseries*length)
+	values, err := gorillaDecodeInto(nil, params, nseries*length)
 	if err != nil {
 		return nil, err
 	}
 	return &gorillaView{values: values, nseries: nseries, length: length}, nil
+}
+
+// ViewInto implements ViewReuser: the decoded value grid reuses the
+// previous view's capacity, so a scan over many Gorilla segments pays
+// for the grid allocation only while it is still growing.
+func (t GorillaType) ViewInto(prev AggView, params []byte, nseries, length int) (AggView, error) {
+	p, ok := prev.(*gorillaView)
+	if !ok {
+		return t.View(params, nseries, length)
+	}
+	values, err := gorillaDecodeInto(p.values[:0], params, nseries*length)
+	if err != nil {
+		return nil, err
+	}
+	p.values, p.nseries, p.length = values, nseries, length
+	return p, nil
 }
 
 // gorillaEncoder holds the XOR-compression state for a stream of
@@ -85,14 +101,18 @@ func (e *gorillaEncoder) append(v float32) {
 	e.prevLead, e.prevMLen = lead, mlen
 }
 
-// gorillaDecode reconstructs count float32 values from a stream
-// produced by gorillaEncoder.
-func gorillaDecode(params []byte, count int) ([]float32, error) {
+// gorillaDecodeInto reconstructs count float32 values from a stream
+// produced by gorillaEncoder, appending to dst (pass dst[:0] to reuse
+// its capacity).
+func gorillaDecodeInto(dst []float32, params []byte, count int) ([]float32, error) {
 	if count == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	r := bits.NewReader(params)
-	out := make([]float32, 0, count)
+	out := dst
+	if cap(out) < count {
+		out = make([]float32, 0, count)
+	}
 	first, err := r.ReadBits(32)
 	if err != nil {
 		return nil, fmt.Errorf("models: gorilla decode: %w", err)
@@ -171,7 +191,7 @@ func (m *gorillaModel) Bytes(length int) ([]byte, error) {
 	// Re-encode the prefix. This path is only taken when a verified
 	// prefix is shorter than the fitted length, which lossless Gorilla
 	// never triggers during normal ingestion.
-	values, err := gorillaDecode(m.enc.w.Bytes(), length*m.nseries)
+	values, err := gorillaDecodeInto(nil, m.enc.w.Bytes(), length*m.nseries)
 	if err != nil {
 		return nil, err
 	}

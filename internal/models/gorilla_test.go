@@ -163,7 +163,7 @@ func TestGorillaDecodeTruncatedStream(t *testing.T) {
 	}
 	params, _ := m.Bytes(10)
 	// Asking for more values than the stream holds must error, not hang.
-	if _, err := gorillaDecode(params[:2], 10); err == nil {
+	if _, err := gorillaDecodeInto(nil, params[:2], 10); err == nil {
 		t.Fatal("decode of truncated stream must fail")
 	}
 }

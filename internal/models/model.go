@@ -218,6 +218,29 @@ func (r *Registry) View(mid MID, params []byte, nseries, length int) (AggView, e
 	return mt.View(params, nseries, length)
 }
 
+// ViewReuser is the optional ModelType capability behind the scan
+// executor's allocation-free view path: decoding new parameters into a
+// view the same type produced earlier, instead of allocating a fresh
+// one per segment. prev must not be shared (in particular, never a
+// cached view) — ViewInto may mutate it in place and return it.
+type ViewReuser interface {
+	ViewInto(prev AggView, params []byte, nseries, length int) (AggView, error)
+}
+
+// ViewInto decodes params like View, reusing prev when the registered
+// model type supports it and prev came from the same type. Pass the
+// returned view back as prev for the next segment of the same MID.
+func (r *Registry) ViewInto(prev AggView, mid MID, params []byte, nseries, length int) (AggView, error) {
+	mt, ok := r.byMID[mid]
+	if !ok {
+		return nil, fmt.Errorf("%w: MID %d", ErrUnknownModel, mid)
+	}
+	if vr, ok := mt.(ViewReuser); ok && prev != nil {
+		return vr.ViewInto(prev, params, nseries, length)
+	}
+	return mt.View(params, nseries, length)
+}
+
 // minMax returns the smallest and largest of values.
 func minMax(values []float32) (mn, mx float64) {
 	mn, mx = float64(values[0]), float64(values[0])

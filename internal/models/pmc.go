@@ -30,7 +30,22 @@ func (PMCType) View(params []byte, nseries, length int) (AggView, error) {
 		return nil, fmt.Errorf("models: PMC parameters must be 4 bytes, got %d", len(params))
 	}
 	v := math.Float32frombits(binary.LittleEndian.Uint32(params))
-	return pmcView{value: v, nseries: nseries, length: length}, nil
+	return &pmcView{value: v, nseries: nseries, length: length}, nil
+}
+
+// ViewInto implements ViewReuser: decoding into a previous PMC view
+// costs no allocation.
+func (t PMCType) ViewInto(prev AggView, params []byte, nseries, length int) (AggView, error) {
+	p, ok := prev.(*pmcView)
+	if !ok {
+		return t.View(params, nseries, length)
+	}
+	if len(params) != 4 {
+		return nil, fmt.Errorf("models: PMC parameters must be 4 bytes, got %d", len(params))
+	}
+	p.value = math.Float32frombits(binary.LittleEndian.Uint32(params))
+	p.nseries, p.length = nseries, length
+	return p, nil
 }
 
 // pmcModel tracks the running mean of every appended value and the
@@ -92,14 +107,14 @@ type pmcView struct {
 	length  int
 }
 
-func (v pmcView) Length() int    { return v.length }
-func (v pmcView) NumSeries() int { return v.nseries }
+func (v *pmcView) Length() int    { return v.length }
+func (v *pmcView) NumSeries() int { return v.nseries }
 
-func (v pmcView) ValueAt(series, i int) float32 { return v.value }
+func (v *pmcView) ValueAt(series, i int) float32 { return v.value }
 
-func (v pmcView) SumRange(series, i0, i1 int) float64 {
+func (v *pmcView) SumRange(series, i0, i1 int) float64 {
 	return float64(v.value) * float64(i1-i0+1)
 }
 
-func (v pmcView) MinRange(series, i0, i1 int) float64 { return float64(v.value) }
-func (v pmcView) MaxRange(series, i0, i1 int) float64 { return float64(v.value) }
+func (v *pmcView) MinRange(series, i0, i1 int) float64 { return float64(v.value) }
+func (v *pmcView) MaxRange(series, i0, i1 int) float64 { return float64(v.value) }

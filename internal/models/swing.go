@@ -37,7 +37,27 @@ func (SwingType) View(params []byte, nseries, length int) (AggView, error) {
 	if length > 1 {
 		slope = (float64(last) - float64(first)) / float64(length-1)
 	}
-	return swingView{first: float64(first), slope: slope, nseries: nseries, length: length}, nil
+	return &swingView{first: float64(first), slope: slope, nseries: nseries, length: length}, nil
+}
+
+// ViewInto implements ViewReuser: decoding into a previous Swing view
+// costs no allocation.
+func (t SwingType) ViewInto(prev AggView, params []byte, nseries, length int) (AggView, error) {
+	p, ok := prev.(*swingView)
+	if !ok {
+		return t.View(params, nseries, length)
+	}
+	if len(params) != 8 {
+		return nil, fmt.Errorf("models: Swing parameters must be 8 bytes, got %d", len(params))
+	}
+	first := math.Float32frombits(binary.LittleEndian.Uint32(params[:4]))
+	last := math.Float32frombits(binary.LittleEndian.Uint32(params[4:]))
+	slope := 0.0
+	if length > 1 {
+		slope = (float64(last) - float64(first)) / float64(length-1)
+	}
+	*p = swingView{first: float64(first), slope: slope, nseries: nseries, length: length}
+	return p, nil
 }
 
 // swingModel fits v(i) = v1 + slope*i with v1 fixed from the first
@@ -125,16 +145,16 @@ type swingView struct {
 	length  int
 }
 
-func (v swingView) Length() int    { return v.length }
-func (v swingView) NumSeries() int { return v.nseries }
+func (v *swingView) Length() int    { return v.length }
+func (v *swingView) NumSeries() int { return v.nseries }
 
-func (v swingView) at(i int) float64 {
+func (v *swingView) at(i int) float64 {
 	return v.first + v.slope*float64(i)
 }
 
-func (v swingView) ValueAt(series, i int) float32 { return float32(v.at(i)) }
+func (v *swingView) ValueAt(series, i int) float32 { return float32(v.at(i)) }
 
-func (v swingView) SumRange(series, i0, i1 int) float64 {
+func (v *swingView) SumRange(series, i0, i1 int) float64 {
 	n := float64(i1 - i0 + 1)
 	// Sum of the float32-quantized endpoints' arithmetic series; use the
 	// exact real-valued line, matching reconstruction to float32 only at
@@ -142,14 +162,14 @@ func (v swingView) SumRange(series, i0, i1 int) float64 {
 	return (v.at(i0) + v.at(i1)) / 2 * n
 }
 
-func (v swingView) MinRange(series, i0, i1 int) float64 {
+func (v *swingView) MinRange(series, i0, i1 int) float64 {
 	if v.slope >= 0 {
 		return v.at(i0)
 	}
 	return v.at(i1)
 }
 
-func (v swingView) MaxRange(series, i0, i1 int) float64 {
+func (v *swingView) MaxRange(series, i0, i1 int) float64 {
 	if v.slope >= 0 {
 		return v.at(i1)
 	}

@@ -1,0 +1,267 @@
+package query
+
+import "sync"
+
+// ColumnBatch is the executor's row representation: one typed vector
+// per output column instead of a [][]any of boxed cells. Every stage
+// that used to pass boxed rows — the segment projector, the parallel
+// workers' per-chunk results, streamed chunk frames, the cursor —
+// passes batches instead, so a projected cell costs a typed append
+// into a reused vector rather than an interface allocation, and the
+// wire encoding is a memcpy of vectors rather than per-cell gob.
+//
+// The column types are fixed at construction (derived from the plan's
+// output schema; see plan.colTypes) and every column holds exactly
+// Len() values. Batches are not safe for concurrent use; the parallel
+// executor gives each worker chunk its own batch and merges them in
+// scan order.
+type ColumnBatch struct {
+	types []ColType
+	n     int
+	// Per column, exactly one of the three vectors (matching types[c])
+	// is in use; the others stay nil.
+	i64 [][]int64
+	f64 [][]float64
+	str [][]string
+	// bytes tracks the estimated in-memory footprint of the appended
+	// cells, steering stream-chunk flushes (ByteSize).
+	bytes int
+}
+
+// ColType is the dynamic type of one batch column. The views expose
+// exactly three cell types: timestamps and identifiers are int64,
+// reconstructed values are float64, and dimension members (plus the
+// Gaps rendering) are strings.
+type ColType uint8
+
+const (
+	ColInt64 ColType = iota + 1
+	ColFloat64
+	ColString
+)
+
+// goName returns the Go type name Scan error messages use.
+func (t ColType) goName() string {
+	switch t {
+	case ColInt64:
+		return "int64"
+	case ColFloat64:
+		return "float64"
+	case ColString:
+		return "string"
+	default:
+		return "unknown"
+	}
+}
+
+// NewColumnBatch returns an empty batch with the given column types.
+// The types slice is retained; callers must not mutate it.
+func NewColumnBatch(types []ColType) *ColumnBatch {
+	b := &ColumnBatch{}
+	b.retype(types)
+	return b
+}
+
+// retype rebuilds the batch for a new column layout, dropping any
+// vectors whose type no longer matches.
+func (b *ColumnBatch) retype(types []ColType) {
+	b.types = types
+	b.n = 0
+	b.bytes = 0
+	n := len(types)
+	b.i64 = resliceVecs(b.i64, n)
+	b.f64 = resliceVecs(b.f64, n)
+	b.str = resliceVecs(b.str, n)
+	for c, t := range types {
+		switch t {
+		case ColInt64:
+			b.i64[c] = b.i64[c][:0]
+			b.f64[c], b.str[c] = nil, nil
+		case ColFloat64:
+			b.f64[c] = b.f64[c][:0]
+			b.i64[c], b.str[c] = nil, nil
+		case ColString:
+			b.str[c] = b.str[c][:0]
+			b.i64[c], b.f64[c] = nil, nil
+		}
+	}
+}
+
+// resliceVecs resizes a column-vector table to n columns, keeping the
+// backing vectors of surviving columns for reuse.
+func resliceVecs[T any](vecs [][]T, n int) [][]T {
+	if cap(vecs) < n {
+		next := make([][]T, n)
+		copy(next, vecs)
+		return next
+	}
+	return vecs[:n]
+}
+
+// typesEqual reports whether two column layouts match.
+func typesEqual(a, b []ColType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Types returns the batch's column types; callers must not mutate it.
+func (b *ColumnBatch) Types() []ColType { return b.types }
+
+// Len returns the number of rows in the batch.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// NumCols returns the number of columns.
+func (b *ColumnBatch) NumCols() int { return len(b.types) }
+
+// ByteSize estimates the batch's in-memory footprint: 8 bytes per
+// numeric cell plus header-and-payload for strings. Like the boxed
+// rowSize estimate it replaces, it only steers chunk boundaries.
+func (b *ColumnBatch) ByteSize() int { return b.bytes }
+
+// The typed appends fill one cell of the next row; the caller appends
+// every column exactly once, then calls finishRow. The projector
+// (plan.appendRow) is the only writer, so the invariant is local.
+
+func (b *ColumnBatch) appendInt64(c int, v int64) {
+	b.i64[c] = append(b.i64[c], v)
+	b.bytes += 8
+}
+
+func (b *ColumnBatch) appendFloat64(c int, v float64) {
+	b.f64[c] = append(b.f64[c], v)
+	b.bytes += 8
+}
+
+func (b *ColumnBatch) appendString(c int, v string) {
+	b.str[c] = append(b.str[c], v)
+	b.bytes += 16 + len(v)
+}
+
+func (b *ColumnBatch) finishRow() { b.n++ }
+
+// Int64At returns the int64 cell at (row, col); the column must be
+// ColInt64.
+func (b *ColumnBatch) Int64At(row, col int) int64 { return b.i64[col][row] }
+
+// Float64At returns the float64 cell at (row, col); the column must be
+// ColFloat64.
+func (b *ColumnBatch) Float64At(row, col int) float64 { return b.f64[col][row] }
+
+// StringAt returns the string cell at (row, col); the column must be
+// ColString.
+func (b *ColumnBatch) StringAt(row, col int) string { return b.str[col][row] }
+
+// ValueAt boxes the cell at (row, col). The compatibility surfaces
+// (Result.Rows, Rows.Row, *any Scan destinations) pay this boxing;
+// the typed paths never call it.
+func (b *ColumnBatch) ValueAt(row, col int) any {
+	switch b.types[col] {
+	case ColInt64:
+		return b.i64[col][row]
+	case ColFloat64:
+		return b.f64[col][row]
+	default:
+		return b.str[col][row]
+	}
+}
+
+// AppendBatch appends a copy of src's rows; src must have the same
+// column layout.
+func (b *ColumnBatch) AppendBatch(src *ColumnBatch) {
+	for c, t := range b.types {
+		switch t {
+		case ColInt64:
+			b.i64[c] = append(b.i64[c], src.i64[c]...)
+		case ColFloat64:
+			b.f64[c] = append(b.f64[c], src.f64[c]...)
+		case ColString:
+			b.str[c] = append(b.str[c], src.str[c]...)
+		}
+	}
+	b.n += src.n
+	b.bytes += src.bytes
+}
+
+// appendRowOf appends a copy of src's row i.
+func (b *ColumnBatch) appendRowOf(src *ColumnBatch, i int) {
+	for c, t := range b.types {
+		switch t {
+		case ColInt64:
+			b.appendInt64(c, src.i64[c][i])
+		case ColFloat64:
+			b.appendFloat64(c, src.f64[c][i])
+		case ColString:
+			b.appendString(c, src.str[c][i])
+		}
+	}
+	b.n++
+}
+
+// Truncate keeps the first n rows (LIMIT on a streaming producer).
+func (b *ColumnBatch) Truncate(n int) {
+	if n >= b.n {
+		return
+	}
+	for c, t := range b.types {
+		switch t {
+		case ColInt64:
+			b.i64[c] = b.i64[c][:n]
+		case ColFloat64:
+			b.f64[c] = b.f64[c][:n]
+		case ColString:
+			b.str[c] = b.str[c][:n]
+		}
+	}
+	b.n = n
+	// bytes is a flush estimate; a truncated batch is about to be
+	// handed off, so recomputing it buys nothing.
+}
+
+// batchPool recycles batches across queries and across the parallel
+// worker pool: a released batch keeps its vectors, and getBatch hands
+// them back resliced to length zero, so a steady stream of per-chunk
+// batches allocates vectors only until the pool warms up.
+var batchPool = sync.Pool{New: func() any { return &ColumnBatch{} }}
+
+// getBatch returns an empty pooled batch with the given column types.
+func getBatch(types []ColType) *ColumnBatch {
+	b := batchPool.Get().(*ColumnBatch)
+	if typesEqual(b.types, types) {
+		// Same layout as the batch's previous life: keep the vectors,
+		// reslice to empty.
+		b.n = 0
+		b.bytes = 0
+		for c, t := range types {
+			switch t {
+			case ColInt64:
+				b.i64[c] = b.i64[c][:0]
+			case ColFloat64:
+				b.f64[c] = b.f64[c][:0]
+			case ColString:
+				b.str[c] = b.str[c][:0]
+			}
+		}
+		return b
+	}
+	b.retype(types)
+	return b
+}
+
+// release returns the batch to the pool. The caller must not touch it
+// afterwards. Values previously copied out of the batch (Scan, boxed
+// Result rows) stay valid: numeric cells are copied by value and
+// string cells share immutable backing arrays that reuse never
+// overwrites.
+func (b *ColumnBatch) release() {
+	if b == nil {
+		return
+	}
+	batchPool.Put(b)
+}

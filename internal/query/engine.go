@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"modelardb/internal/core"
@@ -53,12 +54,34 @@ type GroupState struct {
 	Cubes   []CubeState
 }
 
-// PartialResult is one node's contribution to a query.
+// PartialResult is one node's contribution to a query. Non-aggregate
+// rows travel as a typed columnar batch; aggregates travel as
+// mergeable per-group states. On the wire a PartialResult uses the
+// typed-vector chunk format (wire.go) for both TCP streams and the
+// buffered gob body.
 type PartialResult struct {
 	Columns     []string
 	IsAggregate bool
 	Groups      map[string]*GroupState
-	Rows        [][]any
+	Batch       *ColumnBatch
+}
+
+// NumRows returns the number of materialized rows in the partial.
+func (p *PartialResult) NumRows() int {
+	if p.Batch == nil {
+		return 0
+	}
+	return p.Batch.Len()
+}
+
+// ReleaseBatch hands the partial's batch back to the package pool once
+// the caller has merged or encoded it. Safe on nil batches.
+func (p *PartialResult) ReleaseBatch() {
+	if p == nil || p.Batch == nil {
+		return
+	}
+	p.Batch.release()
+	p.Batch = nil
 }
 
 // Execute parses, plans, runs and finalizes a query on this node.
@@ -82,7 +105,11 @@ func (e *Engine) ExecuteQuery(ctx context.Context, q *sqlparse.Query) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return e.finalizePlan(p, []*PartialResult{partial})
+	res, err := e.finalizePlan(p, []*PartialResult{partial})
+	// The boxed result copies numeric cells and shares immutable string
+	// backings, so the batch can go back to the pool immediately.
+	partial.ReleaseBatch()
+	return res, err
 }
 
 // ExecutePartial runs the worker-side part of a query: scan, iterate
@@ -143,6 +170,10 @@ type plan struct {
 	nScalars    int
 	nCubes      int
 	outColumns  []string
+	// colTypes is the typed column layout of projected rows, derived
+	// from the select items' resolved references (non-aggregate plans
+	// only; aggregates materialize rows at finalize).
+	colTypes []ColType
 }
 
 type planItem struct {
@@ -260,6 +291,12 @@ func (e *Engine) compile(q *sqlparse.Query) (*plan, error) {
 			p.outColumns = append(p.outColumns, pi.ref.name)
 		} else {
 			p.outColumns = append(p.outColumns, pi.sel.Label())
+		}
+	}
+	if !p.isAggregate {
+		p.colTypes = make([]ColType, len(p.items))
+		for i, pi := range p.items {
+			p.colTypes[i] = colTypeOf(pi.ref)
 		}
 	}
 	return p, nil
@@ -414,62 +451,104 @@ type logicalRow struct {
 	isPoint bool
 }
 
-func (e *Engine) accessor(r *logicalRow) rowAccessor {
-	return func(ref columnRef) (any, bool) {
-		switch ref.kind {
-		case colTid:
-			return int64(r.ts.Tid), true
-		case colGid:
-			return int64(r.ts.Gid), true
-		case colSI:
-			return r.ts.SI, true
-		case colMember:
-			return r.ts.Member(ref.dimension, ref.level), true
-		case colStartTime:
-			if r.seg != nil && !r.isPoint {
-				return r.seg.StartTime, true
-			}
-		case colEndTime:
-			if r.seg != nil && !r.isPoint {
-				return r.seg.EndTime, true
-			}
-		case colMid:
-			if r.seg != nil {
-				return int64(r.seg.MID), true
-			}
-		case colGaps:
-			if r.seg != nil && !r.isPoint {
-				return fmt.Sprint(r.seg.GapTids), true
-			}
-		case colTS:
-			if r.isPoint {
-				return r.pointTS, true
-			}
-		case colValue:
-			if r.isPoint {
-				return r.value, true
-			}
+// value boxes one column of the row for residual predicate evaluation
+// and group materialization; the hot projection and group-key paths
+// use typed appends instead (plan.appendRow, plan.appendGroupKey).
+func (r *logicalRow) valueOf(ref columnRef) (any, bool) {
+	switch ref.kind {
+	case colTid:
+		return int64(r.ts.Tid), true
+	case colGid:
+		return int64(r.ts.Gid), true
+	case colSI:
+		return r.ts.SI, true
+	case colMember:
+		return r.ts.Member(ref.dimension, ref.level), true
+	case colStartTime:
+		if r.seg != nil && !r.isPoint {
+			return r.seg.StartTime, true
 		}
-		return nil, false
+	case colEndTime:
+		if r.seg != nil && !r.isPoint {
+			return r.seg.EndTime, true
+		}
+	case colMid:
+		if r.seg != nil {
+			return int64(r.seg.MID), true
+		}
+	case colGaps:
+		if r.seg != nil && !r.isPoint {
+			return fmt.Sprint(r.seg.GapTids), true
+		}
+	case colTS:
+		if r.isPoint {
+			return r.pointTS, true
+		}
+	case colValue:
+		if r.isPoint {
+			return r.value, true
+		}
 	}
+	return nil, false
 }
 
-// groupKey renders the GROUP BY key of a row.
-func (p *plan) groupKey(row rowAccessor) (string, []any, error) {
-	if len(p.groupRefs) == 0 {
-		return "", nil, nil
+// appendGroupKey renders the GROUP BY key of a row into dst and
+// returns the extended slice. The rendering is byte-for-byte the old
+// fmt.Fprintf("%v\x00") form — int64 in base 10, float64 in shortest
+// %g, strings raw, NUL-terminated — so the sorted-key merge order in
+// finalizePlan is unchanged; only the boxing and Builder allocations
+// are gone.
+func (p *plan) appendGroupKey(dst []byte, r *logicalRow) ([]byte, error) {
+	for _, ref := range p.groupRefs {
+		switch ref.kind {
+		case colTid:
+			dst = strconv.AppendInt(dst, int64(r.ts.Tid), 10)
+		case colGid:
+			dst = strconv.AppendInt(dst, int64(r.ts.Gid), 10)
+		case colSI:
+			dst = strconv.AppendInt(dst, r.ts.SI, 10)
+		case colMember:
+			dst = append(dst, r.ts.Member(ref.dimension, ref.level)...)
+		default:
+			v, ok := r.valueOf(ref)
+			if !ok {
+				return dst, fmt.Errorf("query: cannot GROUP BY %s here", ref.name)
+			}
+			switch x := v.(type) {
+			case int64:
+				dst = strconv.AppendInt(dst, x, 10)
+			case float64:
+				dst = strconv.AppendFloat(dst, x, 'g', -1, 64)
+			case string:
+				dst = append(dst, x...)
+			}
+		}
+		dst = append(dst, 0)
 	}
-	var sb strings.Builder
+	return dst, nil
+}
+
+// groupVals boxes the GROUP BY column values for a new group's Key.
+func (p *plan) groupVals(r *logicalRow) []any {
+	if len(p.groupRefs) == 0 {
+		return nil
+	}
 	vals := make([]any, len(p.groupRefs))
 	for i, ref := range p.groupRefs {
-		v, ok := row(ref)
-		if !ok {
-			return "", nil, fmt.Errorf("query: cannot GROUP BY %s here", ref.name)
-		}
-		vals[i] = v
-		fmt.Fprintf(&sb, "%v\x00", v)
+		vals[i], _ = r.valueOf(ref)
 	}
-	return sb.String(), vals, nil
+	return vals
+}
+
+// pointGroupKey reports whether the GROUP BY key varies per data point
+// (references TS or Value), forcing a per-point group lookup.
+func (p *plan) pointGroupKey() bool {
+	for _, ref := range p.groupRefs {
+		if ref.kind == colTS || ref.kind == colValue {
+			return true
+		}
+	}
+	return false
 }
 
 // scanFilter converts a push-down to a store filter.
@@ -485,11 +564,13 @@ func (e *Engine) runAggregate(ctx context.Context, p *plan) (*PartialResult, err
 		return e.runAggregatePar(ctx, p, n)
 	}
 	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
+	sc := getScratch()
+	defer sc.release()
 	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
 		if err := e.hookSegment(ctx); err != nil {
 			return err
 		}
-		return e.aggregateSegment(p, seg, out.Groups)
+		return e.aggregateSegment(p, seg, out.Groups, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -497,8 +578,8 @@ func (e *Engine) runAggregate(ctx context.Context, p *plan) (*PartialResult, err
 	return out, nil
 }
 
-func (e *Engine) aggregateSegment(p *plan, seg *core.Segment, groups map[string]*GroupState) error {
-	members := e.meta.TidsOf(seg.Gid)
+func (e *Engine) aggregateSegment(p *plan, seg *core.Segment, groups map[string]*GroupState, sc *scanScratch) error {
+	members := sc.membersOf(e.meta, seg.Gid)
 	active := activeTids(members, seg.GapTids)
 	i0, i1, ok := seg.IndexRange(p.push.trange.from, p.push.trange.to)
 	if !ok {
@@ -506,15 +587,15 @@ func (e *Engine) aggregateSegment(p *plan, seg *core.Segment, groups map[string]
 	}
 	var view models.AggView
 	needView := p.q.From == sqlparse.TableDataPoint || p.needsValues()
+	row := logicalRow{seg: seg, isPoint: p.q.From == sqlparse.TableDataPoint}
 	for pos, tid := range active {
 		ts, err := e.meta.Series(tid)
 		if err != nil {
 			return err
 		}
-		row := &logicalRow{ts: ts, seg: seg, isPoint: p.q.From == sqlparse.TableDataPoint}
-		acc := e.accessor(row)
+		row.ts = ts
 		if p.q.From == sqlparse.TableSegment {
-			match, err := e.evalResidual(p.residual, acc)
+			match, err := e.evalResidual(p.residual, &row)
 			if err != nil {
 				return err
 			}
@@ -523,18 +604,18 @@ func (e *Engine) aggregateSegment(p *plan, seg *core.Segment, groups map[string]
 			}
 		}
 		if view == nil && needView {
-			v, err := e.view(seg, len(active))
+			v, err := e.viewFor(sc, seg, len(active))
 			if err != nil {
 				return fmt.Errorf("query: segment (gid=%d, end=%d): %w", seg.Gid, seg.EndTime, err)
 			}
 			view = v
 		}
 		if p.q.From == sqlparse.TableSegment {
-			if err := e.aggregateSeries(p, seg, view, pos, ts, acc, i0, i1, groups); err != nil {
+			if err := e.aggregateSeries(p, seg, view, pos, &row, i0, i1, groups); err != nil {
 				return err
 			}
 		} else {
-			if err := e.aggregatePoints(p, seg, view, pos, ts, row, i0, i1, groups); err != nil {
+			if err := e.aggregatePoints(p, seg, view, pos, &row, i0, i1, groups); err != nil {
 				return err
 			}
 		}
@@ -553,17 +634,21 @@ func (p *plan) needsValues() bool {
 	return false
 }
 
-func (p *plan) group(groups map[string]*GroupState, key string, vals []any) *GroupState {
-	g, ok := groups[key]
+// groupFor returns the group for a rendered key, creating it on first
+// sight. The map index on string(key) does not allocate (the compiler
+// elides the conversion for lookups); the key string and boxed Key
+// values are materialized only for new groups.
+func (p *plan) groupFor(groups map[string]*GroupState, key []byte, r *logicalRow) *GroupState {
+	g, ok := groups[string(key)]
 	if !ok {
-		g = &GroupState{Key: vals, Scalars: make([]ScalarState, p.nScalars), Cubes: make([]CubeState, p.nCubes)}
+		g = &GroupState{Key: p.groupVals(r), Scalars: make([]ScalarState, p.nScalars), Cubes: make([]CubeState, p.nCubes)}
 		for i := range g.Scalars {
 			g.Scalars[i] = NewScalarState()
 		}
 		for i := range g.Cubes {
 			g.Cubes[i] = CubeState{}
 		}
-		groups[key] = g
+		groups[string(key)] = g
 	}
 	return g
 }
@@ -571,13 +656,13 @@ func (p *plan) group(groups map[string]*GroupState, key string, vals []any) *Gro
 // aggregateSeries is the Segment-view fast path: one AddRange per
 // (segment, series) using the model's constant-time aggregates where
 // the model supports them (Algorithm 5's iterate).
-func (e *Engine) aggregateSeries(p *plan, seg *core.Segment, view models.AggView, pos int, ts *core.TimeSeries, acc rowAccessor, i0, i1 int, groups map[string]*GroupState) error {
-	key, vals, err := p.groupKey(acc)
+func (e *Engine) aggregateSeries(p *plan, seg *core.Segment, view models.AggView, pos int, row *logicalRow, i0, i1 int, groups map[string]*GroupState) error {
+	key, err := p.appendGroupKey(nil, row)
 	if err != nil {
 		return err
 	}
-	g := p.group(groups, key, vals)
-	scale := float64(ts.Scaling)
+	g := p.groupFor(groups, key, row)
+	scale := float64(row.ts.Scaling)
 	count := int64(i1 - i0 + 1)
 	for _, pi := range p.items {
 		switch {
@@ -623,24 +708,44 @@ func (e *Engine) aggregateSeries(p *plan, seg *core.Segment, view models.AggView
 // aggregatePoints feeds reconstructed data points into scalar states
 // (Data Point View aggregation: the slow path the paper compares
 // against).
-func (e *Engine) aggregatePoints(p *plan, seg *core.Segment, view models.AggView, pos int, ts *core.TimeSeries, row *logicalRow, i0, i1 int, groups map[string]*GroupState) error {
-	scale := float64(ts.Scaling)
-	acc := e.accessor(row)
+func (e *Engine) aggregatePoints(p *plan, seg *core.Segment, view models.AggView, pos int, row *logicalRow, i0, i1 int, groups map[string]*GroupState) error {
+	scale := float64(row.ts.Scaling)
+	// With no residual to filter points and a group key that is constant
+	// across the series, the group lookup hoists out of the point loop.
+	// (With a residual the group may only exist if some point matches,
+	// so the lookup stays inside.)
+	if p.residual == nil && !p.pointGroupKey() {
+		key, err := p.appendGroupKey(nil, row)
+		if err != nil {
+			return err
+		}
+		g := p.groupFor(groups, key, row)
+		for i := i0; i <= i1; i++ {
+			v := float64(view.ValueAt(pos, i)) / scale
+			for _, pi := range p.items {
+				if pi.scalarIdx >= 0 {
+					g.Scalars[pi.scalarIdx].AddPoint(v)
+				}
+			}
+		}
+		return nil
+	}
+	var keyBuf []byte
 	for i := i0; i <= i1; i++ {
 		row.pointTS = seg.TimestampAt(i)
 		row.value = float64(view.ValueAt(pos, i)) / scale
-		match, err := e.evalResidual(p.residual, acc)
+		match, err := e.evalResidual(p.residual, row)
 		if err != nil {
 			return err
 		}
 		if !match {
 			continue
 		}
-		key, vals, err := p.groupKey(acc)
+		keyBuf, err = p.appendGroupKey(keyBuf[:0], row)
 		if err != nil {
 			return err
 		}
-		g := p.group(groups, key, vals)
+		g := p.groupFor(groups, keyBuf, row)
 		for _, pi := range p.items {
 			if pi.scalarIdx >= 0 {
 				g.Scalars[pi.scalarIdx].AddPoint(row.value)
@@ -657,82 +762,103 @@ func (e *Engine) runSelect(ctx context.Context, p *plan) (*PartialResult, error)
 	if n := e.workers(); n > 1 {
 		return e.runSelectPar(ctx, p, n)
 	}
-	out := &PartialResult{Columns: p.outColumns}
+	out := &PartialResult{Columns: p.outColumns, Batch: getBatch(p.colTypes)}
+	sc := getScratch()
+	defer sc.release()
 	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
 		if err := e.hookSegment(ctx); err != nil {
 			return err
 		}
-		return e.selectSegment(p, seg, &out.Rows)
+		return e.selectSegment(p, seg, out.Batch, sc)
 	})
 	if err != nil {
+		out.ReleaseBatch()
 		return nil, err
 	}
 	return out, nil
 }
 
-// selectSegment appends one segment's projected rows to rows.
-func (e *Engine) selectSegment(p *plan, seg *core.Segment, rows *[][]any) error {
-	members := e.meta.TidsOf(seg.Gid)
+// selectSegment appends one segment's projected rows to the batch.
+func (e *Engine) selectSegment(p *plan, seg *core.Segment, b *ColumnBatch, sc *scanScratch) error {
+	members := sc.membersOf(e.meta, seg.Gid)
 	active := activeTids(members, seg.GapTids)
 	i0, i1, ok := seg.IndexRange(p.push.trange.from, p.push.trange.to)
 	if !ok {
 		return nil
 	}
 	var view models.AggView
+	row := logicalRow{seg: seg, isPoint: p.q.From == sqlparse.TableDataPoint}
 	for pos, tid := range active {
 		ts, err := e.meta.Series(tid)
 		if err != nil {
 			return err
 		}
+		row.ts = ts
 		if p.q.From == sqlparse.TableSegment {
-			row := &logicalRow{ts: ts, seg: seg}
-			acc := e.accessor(row)
-			match, err := e.evalResidual(p.residual, acc)
+			match, err := e.evalResidual(p.residual, &row)
 			if err != nil {
 				return err
 			}
 			if !match {
 				continue
 			}
-			*rows = append(*rows, p.projectRow(acc))
+			p.appendRow(b, &row)
 			continue
 		}
 		if view == nil {
-			v, err := e.view(seg, len(active))
+			v, err := e.viewFor(sc, seg, len(active))
 			if err != nil {
 				return err
 			}
 			view = v
 		}
-		row := &logicalRow{ts: ts, seg: seg, isPoint: true}
-		acc := e.accessor(row)
 		scale := float64(ts.Scaling)
 		for i := i0; i <= i1; i++ {
 			row.pointTS = seg.TimestampAt(i)
 			row.value = float64(view.ValueAt(pos, i)) / scale
-			match, err := e.evalResidual(p.residual, acc)
+			match, err := e.evalResidual(p.residual, &row)
 			if err != nil {
 				return err
 			}
 			if !match {
 				continue
 			}
-			*rows = append(*rows, p.projectRow(acc))
+			p.appendRow(b, &row)
 		}
 	}
 	return nil
 }
 
-func (p *plan) projectRow(acc rowAccessor) []any {
-	row := make([]any, 0, len(p.items))
-	for _, pi := range p.items {
-		v, ok := acc(pi.ref)
-		if !ok {
-			v = nil
+// appendRow projects one logical row into the batch: a typed append
+// per column, no boxing. Unavailable columns cannot occur here —
+// compile's checkColumnTable rejects cross-view references, and the
+// executor always has the segment at hand.
+func (p *plan) appendRow(b *ColumnBatch, r *logicalRow) {
+	for c, pi := range p.items {
+		switch pi.ref.kind {
+		case colTid:
+			b.appendInt64(c, int64(r.ts.Tid))
+		case colGid:
+			b.appendInt64(c, int64(r.ts.Gid))
+		case colSI:
+			b.appendInt64(c, r.ts.SI)
+		case colMember:
+			b.appendString(c, r.ts.Member(pi.ref.dimension, pi.ref.level))
+		case colStartTime:
+			b.appendInt64(c, r.seg.StartTime)
+		case colEndTime:
+			b.appendInt64(c, r.seg.EndTime)
+		case colMid:
+			b.appendInt64(c, int64(r.seg.MID))
+		case colGaps:
+			b.appendString(c, fmt.Sprint(r.seg.GapTids))
+		case colTS:
+			b.appendInt64(c, r.pointTS)
+		case colValue:
+			b.appendFloat64(c, r.value)
 		}
-		row = append(row, v)
 	}
-	return row
+	b.finishRow()
 }
 
 // Finalize merges partial results from all nodes and produces the
@@ -751,8 +877,29 @@ func (e *Engine) finalizePlan(p *plan, partials []*PartialResult) (*Result, erro
 	q := p.q
 	res := &Result{Columns: p.outColumns}
 	if !p.isAggregate {
+		// Box the typed batches into the public [][]any result once, at
+		// the very end: one flat cell array backs every row, so the only
+		// per-cell cost is the interface boxing the public API demands.
+		total := 0
 		for _, part := range partials {
-			res.Rows = append(res.Rows, part.Rows...)
+			total += part.NumRows()
+		}
+		ncols := len(p.outColumns)
+		res.Rows = make([][]any, 0, total)
+		cells := make([]any, total*ncols)
+		for _, part := range partials {
+			b := part.Batch
+			if b == nil {
+				continue
+			}
+			for i := 0; i < b.Len(); i++ {
+				row := cells[:ncols:ncols]
+				cells = cells[ncols:]
+				for c := range row {
+					row[c] = b.ValueAt(i, c)
+				}
+				res.Rows = append(res.Rows, row)
+			}
 		}
 	} else {
 		merged := map[string]*GroupState{}

@@ -196,11 +196,13 @@ func (e *Engine) runAggregatePar(ctx context.Context, p *plan, n int) (*PartialR
 	out := &PartialResult{Columns: p.outColumns, IsAggregate: true, Groups: map[string]*GroupState{}}
 	err := e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
 		groups := map[string]*GroupState{}
+		sc := getScratch()
+		defer sc.release()
 		for _, seg := range segs {
 			if err := e.hookSegment(ctx); err != nil {
 				return nil, err
 			}
-			if err := e.aggregateSegment(p, seg, groups); err != nil {
+			if err := e.aggregateSegment(p, seg, groups, sc); err != nil {
 				return nil, err
 			}
 		}
@@ -234,26 +236,37 @@ func mergeGroups(dst, src map[string]*GroupState) {
 }
 
 // runSelectPar is the parallel counterpart of runSelect: each chunk
-// projects its rows independently and the per-chunk row slices
+// projects its rows into its own pooled batch and the batches
 // concatenate in scan order, reproducing the sequential row order.
+// Worker batches go back to the pool as soon as they are merged, so a
+// steady scan recycles one batch per in-flight chunk.
 func (e *Engine) runSelectPar(ctx context.Context, p *plan, n int) (*PartialResult, error) {
-	out := &PartialResult{Columns: p.outColumns}
+	out := &PartialResult{Columns: p.outColumns, Batch: getBatch(p.colTypes)}
 	err := e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
-		var rows [][]any
+		b := getBatch(p.colTypes)
+		sc := getScratch()
+		defer sc.release()
 		for _, seg := range segs {
 			if err := e.hookSegment(ctx); err != nil {
+				b.release()
 				return nil, err
 			}
-			if err := e.selectSegment(p, seg, &rows); err != nil {
+			if err := e.selectSegment(p, seg, b, sc); err != nil {
+				b.release()
 				return nil, err
 			}
 		}
-		return rows, nil
+		return b, nil
 	}, func(part any) error {
-		out.Rows = append(out.Rows, part.([][]any)...)
+		src := part.(*ColumnBatch)
+		out.Batch.AppendBatch(src)
+		src.release()
 		return nil
 	})
 	if err != nil {
+		// Aborted scans may strand un-consumed chunk batches in the
+		// collector's pending map; those fall to the GC, not the pool.
+		out.ReleaseBatch()
 		return nil, err
 	}
 	return out, nil

@@ -341,15 +341,25 @@ func literalTime(lit sqlparse.Literal) (int64, error) {
 	return 0, fmt.Errorf("query: cannot parse %q as a timestamp", lit.Str)
 }
 
-// rowAccessor provides column values of one logical row for residual
-// predicate evaluation.
-type rowAccessor func(ref columnRef) (any, bool)
+// colTypeOf maps a resolved column to its batch vector type: values
+// are float64, dimension members and the Gaps rendering are strings,
+// everything else (timestamps, identifiers, intervals) is int64.
+func colTypeOf(ref columnRef) ColType {
+	switch ref.kind {
+	case colValue:
+		return ColFloat64
+	case colMember, colGaps:
+		return ColString
+	default:
+		return ColInt64
+	}
+}
 
 // evalResidual evaluates the full WHERE expression against a row.
 // Columns the row cannot provide (e.g. TS on a Segment View row whose
 // range was already clamped) evaluate as satisfied, matching the
 // conservative push-down.
-func (e *Engine) evalResidual(expr sqlparse.Expr, row rowAccessor) (bool, error) {
+func (e *Engine) evalResidual(expr sqlparse.Expr, row *logicalRow) (bool, error) {
 	if expr == nil {
 		return true, nil
 	}
@@ -379,7 +389,7 @@ func (e *Engine) evalResidual(expr sqlparse.Expr, row rowAccessor) (bool, error)
 		if err != nil {
 			return false, err
 		}
-		v, ok := row(ref)
+		v, ok := row.valueOf(ref)
 		if !ok {
 			return true, nil
 		}
@@ -398,7 +408,7 @@ func (e *Engine) evalResidual(expr sqlparse.Expr, row rowAccessor) (bool, error)
 		if err != nil {
 			return false, err
 		}
-		v, ok := row(ref)
+		v, ok := row.valueOf(ref)
 		if !ok {
 			return true, nil
 		}
@@ -412,7 +422,7 @@ func (e *Engine) evalResidual(expr sqlparse.Expr, row rowAccessor) (bool, error)
 	}
 }
 
-func (e *Engine) evalComparison(x *sqlparse.BinaryExpr, row rowAccessor) (bool, error) {
+func (e *Engine) evalComparison(x *sqlparse.BinaryExpr, row *logicalRow) (bool, error) {
 	ident, ok := x.L.(*sqlparse.Ident)
 	if !ok {
 		return false, fmt.Errorf("query: comparison must have a column on the left")
@@ -425,7 +435,7 @@ func (e *Engine) evalComparison(x *sqlparse.BinaryExpr, row rowAccessor) (bool, 
 	if err != nil {
 		return false, err
 	}
-	v, ok := row(ref)
+	v, ok := row.valueOf(ref)
 	if !ok {
 		return true, nil
 	}

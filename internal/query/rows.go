@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"modelardb/internal/core"
 	"modelardb/internal/sqlparse"
@@ -12,12 +13,19 @@ import (
 // Rows is a database/sql-style streaming cursor over a query's result.
 // Non-aggregate queries without ORDER BY stream rows incrementally from
 // the scan — the parallel executor's in-order merge feeds the cursor
-// chunk by chunk, so the first row is available long before the scan
+// batch by batch, so the first row is available long before the scan
 // completes and an early Close (or a cancelled context) stops the scan
 // and drains the worker pool within one chunk of work per goroutine.
 // Aggregate and ORDER BY queries cannot produce a row before the whole
 // scan finishes; for those the cursor materializes the result first
 // and then iterates it, so the API is uniform across query shapes.
+//
+// Streamed rows live in typed columnar batches: Scan into typed
+// destinations copies straight out of the column vectors without
+// boxing a single cell, and a consumed batch goes back to the package
+// pool. Values a caller has Scanned stay valid after the batch is
+// recycled — numerics are copied, and string cells share immutable
+// backing arrays that pool reuse never overwrites.
 //
 // A Rows must be used from a single goroutine:
 //
@@ -31,24 +39,27 @@ import (
 //	}
 //	if err := rows.Err(); err != nil ...
 type Rows struct {
-	cols []string
+	cols  []string
+	types []ColType // streaming mode only
 
-	// Streaming state; batches is nil once the producer has finished
-	// (or when the cursor was built from a materialized result).
-	batches chan [][]any
+	// Materialized mode (aggregate / ORDER BY): the finished rows.
+	mat          [][]any
+	materialized bool
+
+	// Streaming state; batches is nil once the producer has finished.
+	// Batches arriving on the channel are owned by the cursor and
+	// released to the pool as iteration moves past them.
+	batches chan *ColumnBatch
 	errc    chan error
 	cancel  context.CancelFunc
+	cur     *ColumnBatch
 
-	cur    [][]any
-	idx    int
-	row    []any
-	err    error
-	closed bool
+	idx     int // rows consumed from cur (or mat); current row is idx-1
+	onRow   bool
+	scratch []any // reused boxed row backing Row() in streaming mode
+	err     error
+	closed  bool
 }
-
-// rowsBatchSize bounds how many buffered rows a streaming producer
-// accumulates before handing a batch to the cursor.
-const rowsBatchSize = 256
 
 // errRowsLimit stops a streaming producer once LIMIT rows were
 // delivered; it never escapes to callers.
@@ -71,15 +82,17 @@ func (e *Engine) QueryRows(ctx context.Context, q *sqlparse.Query) (*Rows, error
 			return nil, err
 		}
 		res, err := e.finalizePlan(p, []*PartialResult{partial})
+		partial.ReleaseBatch()
 		if err != nil {
 			return nil, err
 		}
-		return &Rows{cols: res.Columns, cur: res.Rows}, nil
+		return &Rows{cols: res.Columns, mat: res.Rows, materialized: true}, nil
 	}
 	rctx, cancel := context.WithCancel(ctx)
 	r := &Rows{
 		cols:    p.outColumns,
-		batches: make(chan [][]any, 1),
+		types:   p.colTypes,
+		batches: make(chan *ColumnBatch, 1),
 		errc:    make(chan error, 1),
 		cancel:  cancel,
 	}
@@ -88,62 +101,73 @@ func (e *Engine) QueryRows(ctx context.Context, q *sqlparse.Query) (*Rows, error
 }
 
 // streamRows is the cursor's producer goroutine: it runs the scan
-// (parallel or sequential), pushes row batches to the cursor in scan
-// order and reports the terminal error. ctx is the caller's context,
-// rctx the cursor-scoped one cancelled by Close.
+// (parallel or sequential), hands pooled row batches to the cursor in
+// scan order and reports the terminal error. Batch ownership transfers
+// through the channel — the producer never touches a batch after a
+// successful send. ctx is the caller's context, rctx the cursor-scoped
+// one cancelled by Close.
 func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Rows) {
 	sent := 0
-	push := func(rows [][]any) error {
-		for len(rows) > 0 {
-			n := min(len(rows), rowsBatchSize)
-			batch := rows[:n:n]
-			rows = rows[n:]
-			if limit >= 0 {
-				if sent >= limit {
-					return errRowsLimit
-				}
-				if sent+len(batch) > limit {
-					batch = batch[:limit-sent]
-				}
-			}
-			select {
-			case r.batches <- batch:
-				sent += len(batch)
-			case <-rctx.Done():
-				return rctx.Err()
-			}
-			if limit >= 0 && sent >= limit {
+	push := func(b *ColumnBatch) error {
+		if b.Len() == 0 {
+			b.release()
+			return nil
+		}
+		if limit >= 0 {
+			if sent >= limit {
+				b.release()
 				return errRowsLimit
 			}
+			if sent+b.Len() > limit {
+				b.Truncate(limit - sent)
+			}
+		}
+		n := b.Len()
+		select {
+		case r.batches <- b:
+			sent += n
+		case <-rctx.Done():
+			b.release()
+			return rctx.Err()
+		}
+		if limit >= 0 && sent >= limit {
+			return errRowsLimit
 		}
 		return nil
 	}
 	var err error
 	if n := e.workers(); n > 1 {
 		err = e.scanParallel(rctx, p, n, func(segs []*core.Segment) (any, error) {
-			var rows [][]any
+			b := getBatch(p.colTypes)
+			sc := getScratch()
+			defer sc.release()
 			for _, seg := range segs {
 				if err := e.hookSegment(rctx); err != nil {
+					b.release()
 					return nil, err
 				}
-				if err := e.selectSegment(p, seg, &rows); err != nil {
+				if err := e.selectSegment(p, seg, b, sc); err != nil {
+					b.release()
 					return nil, err
 				}
 			}
-			return rows, nil
+			return b, nil
 		}, func(part any) error {
-			return push(part.([][]any))
+			return push(part.(*ColumnBatch))
 		})
 	} else {
+		sc := getScratch()
+		defer sc.release()
 		err = e.store.Scan(rctx, p.scanFilter(), func(seg *core.Segment) error {
 			if err := e.hookSegment(rctx); err != nil {
 				return err
 			}
-			var rows [][]any
-			if err := e.selectSegment(p, seg, &rows); err != nil {
+			b := getBatch(p.colTypes)
+			if err := e.selectSegment(p, seg, b, sc); err != nil {
+				b.release()
 				return err
 			}
-			return push(rows)
+			return push(b)
 		})
 	}
 	switch {
@@ -167,10 +191,23 @@ func (r *Rows) Columns() []string { return r.cols }
 // cursor was closed. After Next returns false, Err separates clean
 // exhaustion from failure.
 func (r *Rows) Next() bool {
+	r.onRow = false
 	if r.closed || r.err != nil {
 		return false
 	}
-	for r.idx >= len(r.cur) {
+	if r.materialized {
+		if r.idx >= len(r.mat) {
+			return false
+		}
+		r.idx++
+		r.onRow = true
+		return true
+	}
+	for r.cur == nil || r.idx >= r.cur.Len() {
+		if r.cur != nil {
+			r.cur.release()
+			r.cur = nil
+		}
 		if r.batches == nil {
 			return false
 		}
@@ -178,53 +215,104 @@ func (r *Rows) Next() bool {
 		if !ok {
 			r.err = <-r.errc
 			r.batches = nil
-			r.cur, r.idx = nil, 0
+			r.idx = 0
 			return false
 		}
 		r.cur, r.idx = batch, 0
 	}
-	r.row = r.cur[r.idx]
 	r.idx++
+	r.onRow = true
 	return true
 }
 
-// Row returns the current row's values. The slice is only valid until
-// the next call to Next.
+// Row returns the current row's values. The slice (and, for streamed
+// rows, its contents) is only valid until the next call to Next or
+// Row; callers that retain rows must copy. Scan into typed
+// destinations avoids the boxing entirely.
 func (r *Rows) Row() []any {
-	return r.row
+	if !r.onRow {
+		return nil
+	}
+	if r.materialized {
+		return r.mat[r.idx-1]
+	}
+	if len(r.scratch) != len(r.types) {
+		r.scratch = make([]any, len(r.types))
+	}
+	for c := range r.scratch {
+		r.scratch[c] = r.cur.ValueAt(r.idx-1, c)
+	}
+	return r.scratch
 }
 
 // Scan copies the current row into dest, which must hold one pointer
 // per column: *any accepts every value, and *int64, *float64, *string
-// must match the column's dynamic type.
+// must match the column's dynamic type. For streamed rows a typed
+// destination copies straight from the column vector — no allocation
+// per row.
 func (r *Rows) Scan(dest ...any) error {
-	if r.row == nil {
+	if !r.onRow {
 		return errors.New("query: Scan called without a successful Next")
 	}
-	if len(dest) != len(r.row) {
-		return fmt.Errorf("query: Scan got %d destinations for %d columns", len(dest), len(r.row))
+	if r.materialized {
+		return scanBoxed(r.cols, r.mat[r.idx-1], dest)
+	}
+	if len(dest) != len(r.types) {
+		return fmt.Errorf("query: Scan got %d destinations for %d columns", len(dest), len(r.types))
+	}
+	i := r.idx - 1
+	for c, d := range dest {
+		switch p := d.(type) {
+		case *any:
+			*p = r.cur.ValueAt(i, c)
+		case *int64:
+			if r.types[c] != ColInt64 {
+				return fmt.Errorf("query: column %s is %s, not int64", r.cols[c], r.types[c].goName())
+			}
+			*p = r.cur.Int64At(i, c)
+		case *float64:
+			if r.types[c] != ColFloat64 {
+				return fmt.Errorf("query: column %s is %s, not float64", r.cols[c], r.types[c].goName())
+			}
+			*p = r.cur.Float64At(i, c)
+		case *string:
+			if r.types[c] != ColString {
+				return fmt.Errorf("query: column %s is %s, not string", r.cols[c], r.types[c].goName())
+			}
+			*p = r.cur.StringAt(i, c)
+		default:
+			return fmt.Errorf("query: unsupported Scan destination %T", d)
+		}
+	}
+	return nil
+}
+
+// scanBoxed is Scan over a materialized boxed row.
+func scanBoxed(cols []string, row []any, dest []any) error {
+	if len(dest) != len(row) {
+		return fmt.Errorf("query: Scan got %d destinations for %d columns", len(dest), len(row))
 	}
 	for i, d := range dest {
-		v := r.row[i]
+		v := row[i]
 		switch p := d.(type) {
 		case *any:
 			*p = v
 		case *int64:
 			x, ok := v.(int64)
 			if !ok {
-				return fmt.Errorf("query: column %s is %T, not int64", r.cols[i], v)
+				return fmt.Errorf("query: column %s is %T, not int64", cols[i], v)
 			}
 			*p = x
 		case *float64:
 			x, ok := v.(float64)
 			if !ok {
-				return fmt.Errorf("query: column %s is %T, not float64", r.cols[i], v)
+				return fmt.Errorf("query: column %s is %T, not float64", cols[i], v)
 			}
 			*p = x
 		case *string:
 			x, ok := v.(string)
 			if !ok {
-				return fmt.Errorf("query: column %s is %T, not string", r.cols[i], v)
+				return fmt.Errorf("query: column %s is %T, not string", cols[i], v)
 			}
 			*p = x
 		default:
@@ -234,30 +322,60 @@ func (r *Rows) Scan(dest ...any) error {
 	return nil
 }
 
+// AppendColumnText appends the current row's column c rendered as text
+// (fmt %v formatting) to dst and returns the extended slice. Servers
+// rendering rows to a text protocol use it to avoid boxing and
+// fmt.Sprint allocations per cell.
+func (r *Rows) AppendColumnText(dst []byte, c int) []byte {
+	if !r.onRow {
+		return dst
+	}
+	if r.materialized {
+		return fmt.Append(dst, r.mat[r.idx-1][c])
+	}
+	i := r.idx - 1
+	switch r.types[c] {
+	case ColInt64:
+		return strconv.AppendInt(dst, r.cur.Int64At(i, c), 10)
+	case ColFloat64:
+		return strconv.AppendFloat(dst, r.cur.Float64At(i, c), 'g', -1, 64)
+	default:
+		return append(dst, r.cur.StringAt(i, c)...)
+	}
+}
+
 // Err returns the error that terminated iteration, if any. A cursor
 // closed early, or one that delivered all rows, reports nil.
 func (r *Rows) Err() error { return r.err }
 
 // Close releases the cursor: the scan is cancelled, the worker pool
-// drained and remaining rows discarded. Close is idempotent and safe
-// after exhaustion; it never discards a real query error already
-// observed (Err stays set).
+// drained and buffered batches returned to the pool. Close is
+// idempotent and safe after exhaustion; it never discards a real query
+// error already observed (Err stays set). Values Scanned before Close
+// remain valid — the pool only ever overwrites vector cells, never the
+// string backings or copied numerics a caller holds.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	r.onRow = false
 	if r.cancel != nil {
 		r.cancel()
+	}
+	if r.cur != nil {
+		r.cur.release()
+		r.cur = nil
 	}
 	if r.batches != nil {
 		// Unblock and wait out the producer so no goroutine outlives the
 		// cursor; its terminal error is irrelevant after an early close.
-		for range r.batches {
+		for b := range r.batches {
+			b.release()
 		}
 		<-r.errc
 		r.batches = nil
 	}
-	r.cur, r.row = nil, nil
+	r.mat, r.scratch = nil, nil
 	return nil
 }

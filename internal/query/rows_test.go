@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -23,10 +24,14 @@ import (
 // package — cancellation, early close, the abort paths of the worker
 // pool — must leave no executor goroutine behind. The check waits out
 // short-lived shutdown races before failing, and dumps all stacks when
-// a leak is real.
+// a leak is real. Fuzzing runs skip the gate: the fuzz engine installs
+// an os/signal handler goroutine of its own that never exits.
 func TestMain(m *testing.M) {
 	base := runtime.NumGoroutine()
 	code := m.Run()
+	if f := flag.Lookup("test.fuzz"); f != nil && f.Value.String() != "" {
+		os.Exit(code)
+	}
 	if code == 0 {
 		deadline := time.Now().Add(3 * time.Second)
 		for runtime.NumGoroutine() > base && time.Now().Before(deadline) {

@@ -102,21 +102,27 @@ func emitGroupChunks(p *plan, part *PartialResult, maxBytes int, emit func(*Part
 // sequential path flushes between segments — either way rows leave the
 // worker as they are produced, never accumulating past one chunk.
 func (e *Engine) runSelectChunks(ctx context.Context, p *plan, maxBytes int, emit func(*PartialResult) error) error {
-	var buf [][]any
-	size := 0
+	// One reused buffer batch backs every emitted chunk: a chunk (and
+	// its Batch) is valid only for the duration of the emit call, and
+	// consumers must copy (MergePartial) or encode (the rpc stream)
+	// before returning. Every in-repo consumer does; the contract is
+	// what lets a whole stream run on two batches (producer + scratch).
+	buf := getBatch(p.colTypes)
+	defer buf.release()
+	out := &PartialResult{Columns: p.outColumns}
 	emitted := false
 	flush := func() error {
-		out := &PartialResult{Columns: p.outColumns, Rows: buf}
-		buf = nil
-		size = 0
+		out.Batch = buf
 		emitted = true
-		return emit(out)
+		err := emit(out)
+		out.Batch = nil
+		buf = getReused(buf)
+		return err
 	}
-	add := func(rows [][]any) error {
-		for _, row := range rows {
-			buf = append(buf, row)
-			size += rowSize(row)
-			if size >= maxBytes {
+	add := func(src *ColumnBatch) error {
+		for i := 0; i < src.Len(); i++ {
+			buf.appendRowOf(src, i)
+			if buf.ByteSize() >= maxBytes {
 				if err := flush(); err != nil {
 					return err
 				}
@@ -127,35 +133,46 @@ func (e *Engine) runSelectChunks(ctx context.Context, p *plan, maxBytes int, emi
 	var err error
 	if n := e.workers(); n > 1 {
 		err = e.scanParallel(ctx, p, n, func(segs []*core.Segment) (any, error) {
-			var rows [][]any
+			b := getBatch(p.colTypes)
+			sc := getScratch()
+			defer sc.release()
 			for _, seg := range segs {
 				if err := e.hookSegment(ctx); err != nil {
+					b.release()
 					return nil, err
 				}
-				if err := e.selectSegment(p, seg, &rows); err != nil {
+				if err := e.selectSegment(p, seg, b, sc); err != nil {
+					b.release()
 					return nil, err
 				}
 			}
-			return rows, nil
+			return b, nil
 		}, func(part any) error {
-			return add(part.([][]any))
+			src := part.(*ColumnBatch)
+			err := add(src)
+			src.release()
+			return err
 		})
 	} else {
+		scratch := getBatch(p.colTypes)
+		defer scratch.release()
+		sc := getScratch()
+		defer sc.release()
 		err = e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
 			if err := e.hookSegment(ctx); err != nil {
 				return err
 			}
-			var rows [][]any
-			if err := e.selectSegment(p, seg, &rows); err != nil {
+			scratch = getReused(scratch)
+			if err := e.selectSegment(p, seg, scratch, sc); err != nil {
 				return err
 			}
-			return add(rows)
+			return add(scratch)
 		})
 	}
 	if err != nil {
 		return err
 	}
-	if len(buf) > 0 || !emitted {
+	if buf.Len() > 0 || !emitted {
 		return flush()
 	}
 	return nil
@@ -176,23 +193,14 @@ func MergePartial(dst, src *PartialResult) {
 		}
 		mergeGroups(dst.Groups, src.Groups)
 	}
-	dst.Rows = append(dst.Rows, src.Rows...)
-}
-
-// rowSize estimates one projected row's in-memory footprint: the
-// interface headers plus per-cell payload. It only steers chunk
-// boundaries, so a cheap approximation beats an exact one.
-func rowSize(row []any) int {
-	size := 24 // slice header + backing array rounding
-	for _, v := range row {
-		switch s := v.(type) {
-		case string:
-			size += 16 + len(s)
-		default:
-			size += 16
+	if src.Batch != nil {
+		if dst.Batch == nil {
+			// The accumulator copies, never aliases: chunk batches are
+			// only valid during emit (or until the decoder reuses them).
+			dst.Batch = NewColumnBatch(src.Batch.Types())
 		}
+		dst.Batch.AppendBatch(src.Batch)
 	}
-	return size
 }
 
 // groupSize estimates one group's footprint inside a chunk.

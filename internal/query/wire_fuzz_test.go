@@ -1,0 +1,134 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzSeedRows builds a valid non-aggregate partial with all three
+// column types populated, matching what a worker streams for a
+// SELECT over the data-point view.
+func fuzzSeedRows() *PartialResult {
+	b := NewColumnBatch([]ColType{ColInt64, ColFloat64, ColString})
+	for i := 0; i < 5; i++ {
+		b.appendInt64(0, int64(i*1000))
+		b.appendFloat64(1, float64(i)+0.5)
+		b.appendString(2, []string{"", "park-a", "park-b"}[i%3])
+		b.finishRow()
+	}
+	return &PartialResult{
+		Columns: []string{"TS", "Value", "Park"},
+		Batch:   b,
+	}
+}
+
+// fuzzSeedAggregate builds a valid aggregate partial with group keys
+// of every tag, scalar states, and a time-bucketed cube.
+func fuzzSeedAggregate() *PartialResult {
+	return &PartialResult{
+		Columns:     []string{"Tid", "SUM(Value)"},
+		IsAggregate: true,
+		Groups: map[string]*GroupState{
+			"1\x00": {
+				Key:     []any{int64(1), 2.5, "park-a"},
+				Scalars: []ScalarState{{Count: 3, Sum: 6, Min: 1, Max: 3}},
+				Cubes:   []CubeState{{0: {Count: 1, Sum: 1, Min: 1, Max: 1}, 60000: {Count: 2, Sum: 5, Min: 2, Max: 3}}},
+			},
+			"2\x00": {
+				Key:     []any{int64(2)},
+				Scalars: []ScalarState{{Count: 1, Sum: math.Inf(1), Min: math.Inf(1), Max: math.Inf(-1)}},
+			},
+		},
+	}
+}
+
+// FuzzDecodePartial drives the typed-column chunk-frame decoder with
+// arbitrary bytes: whatever the input, the decode must not panic and
+// must never allocate beyond what the frame's size can justify (the
+// count guards), and any frame that decodes successfully must
+// round-trip — re-encoding the decoded partial and decoding that must
+// yield the same rows, columns and group shapes. The seed corpus is
+// valid encodes of both partial kinds plus truncations at varied
+// offsets and bit flips, the frames a torn TCP stream or broken peer
+// would actually produce.
+func FuzzDecodePartial(f *testing.F) {
+	for _, part := range []*PartialResult{fuzzSeedRows(), fuzzSeedAggregate(), {}} {
+		valid := EncodePartial(nil, part)
+		f.Add(valid)
+		for cut := 1; cut < len(valid); cut += 3 {
+			f.Add(append([]byte(nil), valid[:cut]...))
+		}
+		if len(valid) > 2 {
+			flipped := append([]byte(nil), valid...)
+			flipped[len(flipped)/2] ^= 0xFF
+			f.Add(flipped)
+			// Corrupt the flags byte and the first count specifically:
+			// those steer every later branch of the decoder.
+			reflagged := append([]byte(nil), valid...)
+			reflagged[1] ^= 0x03
+			f.Add(reflagged)
+			recounted := append([]byte(nil), valid...)
+			recounted[2] = 0xFF
+			f.Add(recounted)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{partialWireVersion + 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d1 := &PartialResult{}
+		if err := DecodePartial(data, d1); err != nil {
+			return // rejected cleanly; that is the contract
+		}
+		// Round-trip: what decoded must re-encode to a decodable frame
+		// describing the same result.
+		enc := EncodePartial(nil, d1)
+		d2 := &PartialResult{}
+		if err := DecodePartial(enc, d2); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if d2.IsAggregate != d1.IsAggregate || d2.NumRows() != d1.NumRows() ||
+			len(d2.Columns) != len(d1.Columns) || len(d2.Groups) != len(d1.Groups) {
+			t.Fatalf("round-trip changed shape: rows %d->%d cols %d->%d groups %d->%d",
+				d1.NumRows(), d2.NumRows(), len(d1.Columns), len(d2.Columns), len(d1.Groups), len(d2.Groups))
+		}
+		for i, col := range d1.Columns {
+			if d2.Columns[i] != col {
+				t.Fatalf("round-trip changed column %d: %q -> %q", i, col, d2.Columns[i])
+			}
+		}
+		if d1.Batch != nil {
+			if d2.Batch == nil || !typesEqual(d1.Batch.Types(), d2.Batch.Types()) {
+				t.Fatal("round-trip changed batch column types")
+			}
+			// Compare cells by bit pattern so NaNs produced by corrupted
+			// float bytes still compare equal to themselves.
+			for c, ct := range d1.Batch.Types() {
+				for i := 0; i < d1.Batch.Len(); i++ {
+					switch ct {
+					case ColInt64:
+						if d1.Batch.Int64At(i, c) != d2.Batch.Int64At(i, c) {
+							t.Fatalf("round-trip changed cell (%d,%d)", i, c)
+						}
+					case ColFloat64:
+						if math.Float64bits(d1.Batch.Float64At(i, c)) != math.Float64bits(d2.Batch.Float64At(i, c)) {
+							t.Fatalf("round-trip changed cell (%d,%d)", i, c)
+						}
+					case ColString:
+						if d1.Batch.StringAt(i, c) != d2.Batch.StringAt(i, c) {
+							t.Fatalf("round-trip changed cell (%d,%d)", i, c)
+						}
+					}
+				}
+			}
+		}
+		for key, g1 := range d1.Groups {
+			g2 := d2.Groups[key]
+			if g2 == nil {
+				t.Fatalf("round-trip lost group %q", key)
+			}
+			if len(g2.Key) != len(g1.Key) || len(g2.Scalars) != len(g1.Scalars) || len(g2.Cubes) != len(g1.Cubes) {
+				t.Fatalf("round-trip changed group %q shape", key)
+			}
+		}
+	})
+}
