@@ -36,9 +36,16 @@
 // ns/op, B/op or allocs/op — e.g. fsyncs/point from the WAL
 // group-commit benchmark or q-p99-ms from the sustained-load
 // scenario) are printed side by side when both records carry them.
-// They are informational, never gated: they are workload properties,
-// not machine speeds, so the calibration normalization does not apply
-// to them.
+// By default they are informational, but metrics named in the
+// -gate-metrics allowlist (default "fsyncs/point") are gated like
+// allocations: compared raw — they are workload properties, not
+// machine speeds, so the calibration normalization does not apply —
+// against their own -metric-threshold. The separate threshold exists
+// because behavioural metrics such as fsyncs/point depend on timing
+// (how many appends a group commit coalesces) and need more headroom
+// than ns/op. A gated metric present in the baseline but missing from
+// the current run fails loudly, and a baseline of zero fails on any
+// current value at all.
 package main
 
 import (
@@ -95,7 +102,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   benchjson record  -o out.json [-md out.md] [bench.txt]
-  benchjson compare -baseline base.json -current cur.json [-threshold 15] [-calibration BenchmarkCalibration]`)
+  benchjson compare -baseline base.json -current cur.json [-threshold 15] [-calibration BenchmarkCalibration]
+                    [-gate-metrics fsyncs/point] [-metric-threshold 30]`)
 	os.Exit(2)
 }
 
@@ -258,6 +266,10 @@ func compare(args []string) error {
 	curPath := fs.String("current", "", "current JSON (required)")
 	threshold := fs.Float64("threshold", 15, "max allowed per-op regression in percent")
 	calibration := fs.String("calibration", "BenchmarkCalibration", "calibration benchmark used to normalize machine speed; \"\" disables")
+	gateMetrics := fs.String("gate-metrics", "fsyncs/point",
+		"comma-separated custom metrics gated against -metric-threshold instead of printed informationally; \"\" disables")
+	metricThreshold := fs.Float64("metric-threshold", 30,
+		"max allowed regression in percent for -gate-metrics metrics")
 	fs.Parse(args)
 	if *basePath == "" || *curPath == "" {
 		return fmt.Errorf("compare: -baseline and -current are required")
@@ -271,6 +283,12 @@ func compare(args []string) error {
 		return err
 	}
 	baseBy, curBy := base.byName(), cur.byName()
+	gated := map[string]bool{}
+	for _, m := range strings.Split(*gateMetrics, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			gated[m] = true
+		}
+	}
 
 	// Machine-speed normalization: scale is how much slower the current
 	// machine runs the fixed calibration workload than the baseline
@@ -349,13 +367,42 @@ func compare(args []string) error {
 			fmt.Printf("%s %-50s base %12.0f  cur %12.0f  raw        %+6.1f%%  (%s)\n",
 				mStatus, "  "+name, bv, cv, mDelta, m)
 		}
+		// Custom metrics: allowlisted ones gate raw (no calibration — they
+		// are workload properties) against their own threshold; the rest
+		// print informationally when both records carry them.
 		for _, m := range customMetrics(b) {
+			bv := b.Metrics[m]
 			cv, ok := c.Metrics[m]
-			if !ok {
+			if !gated[m] {
+				if ok {
+					fmt.Printf("     %-50s base %12.4g  cur %12.4g  (%s, informational)\n",
+						"  "+m, bv, cv, m)
+				}
 				continue
 			}
-			fmt.Printf("     %-50s base %12.4g  cur %12.4g  (%s, informational)\n",
-				"  "+m, b.Metrics[m], cv, m)
+			if !ok {
+				fmt.Printf("FAIL %-50s %s in baseline but missing from current run\n", "  "+name, m)
+				failed++
+				continue
+			}
+			var mDelta float64
+			mStatus := "ok  "
+			switch {
+			case bv == 0 && cv > 0:
+				mStatus = "FAIL"
+				failed++
+				mDelta = 100
+			case bv == 0:
+				mDelta = 0
+			default:
+				mDelta = (cv/bv - 1) * 100
+				if mDelta > *metricThreshold {
+					mStatus = "FAIL"
+					failed++
+				}
+			}
+			fmt.Printf("%s %-50s base %12.4g  cur %12.4g  raw        %+6.1f%%  (%s, gated at %.0f%%)\n",
+				mStatus, "  "+name, bv, cv, mDelta, m, *metricThreshold)
 		}
 	}
 	if failed > 0 {

@@ -149,6 +149,53 @@ func TestCompareGatesAllocations(t *testing.T) {
 	}
 }
 
+func TestCompareGatesAllowlistedMetrics(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenches(t, dir, "base.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkGroupCommit", Iterations: 1, NsPerOp: 200,
+			Metrics: map[string]float64{"fsyncs/point": 0.02, "q-p99-ms": 5}},
+	})
+	// fsyncs/point doubled: beyond the 30% metric threshold, fails even
+	// though ns/op is unchanged. q-p99-ms stays informational — its 10x
+	// jump alone must not fail the gate.
+	cur := writeBenches(t, dir, "cur.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkGroupCommit", Iterations: 1, NsPerOp: 200,
+			Metrics: map[string]float64{"fsyncs/point": 0.04, "q-p99-ms": 50}},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur}); err == nil {
+		t.Fatal("2x fsyncs/point regression must fail the metric gate")
+	}
+	// Within the metric threshold: passes.
+	cur2 := writeBenches(t, dir, "cur2.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkGroupCommit", Iterations: 1, NsPerOp: 200,
+			Metrics: map[string]float64{"fsyncs/point": 0.025, "q-p99-ms": 50}},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur2}); err != nil {
+		t.Fatalf("+25%% fsyncs/point within the 30%% metric threshold must pass: %v", err)
+	}
+	// A gated metric dropped from the current run fails loudly — a
+	// removed b.ReportMetric must not silently weaken the gate.
+	cur3 := writeBenches(t, dir, "cur3.json", []Benchmark{
+		{Name: "BenchmarkCalibration", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkGroupCommit", Iterations: 1, NsPerOp: 200,
+			Metrics: map[string]float64{"q-p99-ms": 5}},
+	})
+	if err := compare([]string{"-baseline", base, "-current", cur3}); err == nil {
+		t.Fatal("gated metric missing from current run must fail")
+	}
+	// -gate-metrics "" demotes everything back to informational.
+	if err := compare([]string{"-baseline", base, "-current", cur, "-gate-metrics", ""}); err != nil {
+		t.Fatalf("empty allowlist must not gate custom metrics: %v", err)
+	}
+	// A tighter -metric-threshold fails what the default admits.
+	if err := compare([]string{"-baseline", base, "-current", cur2, "-metric-threshold", "10"}); err == nil {
+		t.Fatal("+25% fsyncs/point must fail a 10% metric threshold")
+	}
+}
+
 func TestCompareZeroAllocBaseline(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBenches(t, dir, "base.json", []Benchmark{

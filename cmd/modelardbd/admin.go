@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"modelardb"
+)
+
+// startAdmin serves the observability endpoints on addr:
+//
+//	/metrics           Prometheus text exposition of the DB's registry
+//	/statusz           the registry snapshot as a JSON object
+//	/debug/pprof/...   the standard runtime profiles
+//
+// The handlers live on a dedicated mux — nothing is registered on
+// http.DefaultServeMux — and the bound listener is returned so the
+// caller can log the resolved address (addr may carry port 0).
+func startAdmin(db *modelardb.DB, addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := db.Metrics().WritePrometheus(w); err != nil {
+			log.Printf("admin: write /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// json.Marshal emits map keys sorted, so the snapshot renders
+		// deterministically.
+		if err := json.NewEncoder(w).Encode(db.Snapshot()); err != nil {
+			log.Printf("admin: write /statusz: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("admin endpoint stopped: %v", err)
+		}
+	}()
+	return ln, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches a path from the admin listener and returns the body.
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAdminEndpoint boots the admin listener against a live DB and
+// checks the three surfaces: Prometheus exposition with the key metric
+// families, the JSON snapshot, and a pprof profile.
+func TestAdminEndpoint(t *testing.T) {
+	db := testDB(t)
+	if err := db.Append(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(1, 1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(context.Background(), "SELECT SUM_S(*) FROM Segment"); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := startAdmin(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	code, body := get(t, base, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE modelardb_ingested_points_total counter",
+		"# TYPE modelardb_query_seconds histogram",
+		"# TYPE modelardb_query_stage_seconds histogram",
+		"# TYPE modelardb_series gauge",
+		`modelardb_query_stage_seconds_count{stage="scan"} 1`,
+		"modelardb_ingested_points_total 2",
+		"modelardb_queries_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status = %d", code)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/statusz is not a JSON snapshot: %v", err)
+	}
+	if snap["modelardb_ingested_points_total"] != 2 {
+		t.Fatalf("/statusz points = %g, want 2", snap["modelardb_ingested_points_total"])
+	}
+
+	code, body = get(t, base, "/debug/pprof/heap?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "heap profile") {
+		t.Fatalf("/debug/pprof/heap status = %d body prefix %q", code, body[:min(80, len(body))])
+	}
+}

@@ -26,12 +26,19 @@
 // — and the exactly-once dedup table protecting them — survive a
 // restart.
 //
+// With -http the daemon serves an admin endpoint on that address:
+// /metrics (Prometheus text exposition of every ingest, query, WAL and
+// RPC instrument), /statusz (the same snapshot as JSON) and
+// /debug/pprof. -slow-query logs any query at or above the given
+// latency with its per-stage timings.
+//
 // Usage:
 //
 //	modelardbd -config wind.conf [-data /var/lib/modelardb] \
 //	           [-wal /var/lib/modelardb/wal] [-wal-fsync interval] \
 //	           [-load data.csv] [-listen 127.0.0.1:8989] \
-//	           [-cluster-listen 127.0.0.1:9090]
+//	           [-cluster-listen 127.0.0.1:9090] \
+//	           [-http 127.0.0.1:9100] [-slow-query 250ms]
 package main
 
 import (
@@ -42,12 +49,15 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"modelardb"
 	"modelardb/internal/cluster"
 	"modelardb/internal/config"
+	"modelardb/internal/obs"
 )
 
 func main() {
@@ -63,17 +73,40 @@ func main() {
 		"WAL durability policy: always, interval or never; empty = from config file")
 	clusterListen := flag.String("cluster-listen", "",
 		"also serve the cluster worker transport on this address (masters connect with cluster.Dial)")
+	httpListen := flag.String("http", "",
+		"serve the admin endpoint (/metrics, /statusz, /debug/pprof) on this address; empty = disabled")
+	slowQuery := flag.Duration("slow-query", 0,
+		"log queries at or above this end-to-end latency with per-stage timings; 0 = from config file")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *load, *listen, *parallelism, *walDir, *walFsync, *clusterListen); err != nil {
+	opts := runOptions{
+		dataDir: *dataDir, load: *load, listen: *listen,
+		parallelism: *parallelism, walDir: *walDir, walFsync: *walFsync,
+		clusterListen: *clusterListen, httpListen: *httpListen,
+		slowQuery: *slowQuery,
+	}
+	if err := run(*configPath, opts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(configPath, dataDir, load, listen string, parallelism int, walDir, walFsync, clusterListen string) error {
+// runOptions carries the flag overrides into run.
+type runOptions struct {
+	dataDir       string
+	load          string
+	listen        string
+	parallelism   int
+	walDir        string
+	walFsync      string
+	clusterListen string
+	httpListen    string
+	slowQuery     time.Duration
+}
+
+func run(configPath string, opts runOptions) error {
 	f, err := os.Open(configPath)
 	if err != nil {
 		return err
@@ -83,30 +116,41 @@ func run(configPath, dataDir, load, listen string, parallelism int, walDir, walF
 	if err != nil {
 		return err
 	}
-	cfg.Path = dataDir
-	if parallelism >= 0 {
-		cfg.QueryParallelism = parallelism
+	cfg.Path = opts.dataDir
+	if opts.parallelism >= 0 {
+		cfg.QueryParallelism = opts.parallelism
 	}
-	if walDir != "" {
-		cfg.WALDir = walDir
+	if opts.walDir != "" {
+		cfg.WALDir = opts.walDir
 	}
-	if walFsync != "" {
-		cfg.WALFsync = walFsync
+	if opts.walFsync != "" {
+		cfg.WALFsync = opts.walFsync
+	}
+	if opts.slowQuery > 0 {
+		cfg.SlowQueryThreshold = opts.slowQuery
 	}
 	db, err := modelardb.Open(cfg)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
-	if load != "" {
-		n, err := loadCSV(db, load)
+	if opts.load != "" {
+		n, err := loadCSV(db, opts.load)
 		if err != nil {
-			return fmt.Errorf("load %s: %w", load, err)
+			return fmt.Errorf("load %s: %w", opts.load, err)
 		}
-		log.Printf("loaded %d data points from %s", n, load)
+		log.Printf("loaded %d data points from %s", n, opts.load)
 	}
-	if clusterListen != "" {
-		cln, err := net.Listen("tcp", clusterListen)
+	if opts.httpListen != "" {
+		aln, err := startAdmin(db, opts.httpListen)
+		if err != nil {
+			return err
+		}
+		defer aln.Close()
+		log.Printf("modelardbd admin endpoint on %s", aln.Addr())
+	}
+	if opts.clusterListen != "" {
+		cln, err := net.Listen("tcp", opts.clusterListen)
 		if err != nil {
 			return err
 		}
@@ -118,7 +162,7 @@ func run(configPath, dataDir, load, listen string, parallelism int, walDir, walF
 			}
 		}()
 	}
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", opts.listen)
 	if err != nil {
 		return err
 	}
@@ -260,19 +304,21 @@ func handle(ctx context.Context, db *modelardb.DB, w *bufio.Writer, line string)
 		}
 		fmt.Fprintln(w, "OK")
 	case "STATS":
-		st, err := db.Stats()
-		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
-			return
+		// Render the registry snapshot directly: every metric a
+		// subsystem registers — ingest and query counters, WAL
+		// backpressure signals, RPC gauges — appears here without any
+		// per-field wiring, under its canonical /metrics name.
+		snap := db.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
 		}
-		// The tail fields are the backpressure signals: WAL growth
-		// since the last checkpoint, fsyncs issued (growing slower
-		// than points under group commit), and streams currently
-		// being produced for remote masters.
-		fmt.Fprintf(w, "OK series=%d groups=%d segments=%d bytes=%d points=%d cache_hits=%d cache_misses=%d wal_bytes=%d wal_pending=%d wal_fsyncs=%d streams=%d\n",
-			st.Series, st.Groups, st.Segments, st.StorageBytes, st.DataPoints,
-			st.CacheHits, st.CacheMisses, st.WALBytes,
-			st.WALBytesSinceCheckpoint, st.WALFsyncs, st.InFlightStreams)
+		sort.Strings(names)
+		w.WriteString("OK")
+		for _, name := range names {
+			w.WriteString(" " + name + "=" + obs.FormatValue(snap[name]))
+		}
+		w.WriteString("\n")
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", verb)
 	}

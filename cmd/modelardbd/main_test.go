@@ -53,16 +53,23 @@ func TestHandleAppendFlushStats(t *testing.T) {
 		t.Fatalf("FLUSH = %q", out)
 	}
 	out := send(t, db, "STATS")
-	if !strings.HasPrefix(out, "OK series=1 groups=1") {
+	if !strings.HasPrefix(out, "OK ") {
 		t.Fatalf("STATS = %q", out)
 	}
-	if !strings.Contains(out, "cache_hits=") || !strings.Contains(out, "cache_misses=") || !strings.Contains(out, "wal_bytes=") {
-		t.Fatalf("STATS misses cache/WAL counters: %q", out)
-	}
-	for _, field := range []string{"wal_pending=", "wal_fsyncs=", "streams="} {
-		if !strings.Contains(out, field) {
-			t.Fatalf("STATS misses backpressure field %s: %q", field, out)
+	// STATS renders the registry snapshot under canonical metric names,
+	// so every subsystem's instruments appear without per-field wiring.
+	for _, field := range []string{
+		"modelardb_series=1", "modelardb_groups=1", "modelardb_segments=",
+		"modelardb_ingested_points_total=", "modelardb_cache_hits_total=",
+		"modelardb_cache_misses_total=", "modelardb_queries_total=",
+	} {
+		if !strings.Contains(out, " "+field) {
+			t.Fatalf("STATS misses %s: %q", field, out)
 		}
+	}
+	// No WAL configured: the WAL family must be absent, not zero-stuffed.
+	if strings.Contains(out, "modelardb_wal_") {
+		t.Fatalf("STATS reports WAL metrics without a WAL: %q", out)
 	}
 }
 

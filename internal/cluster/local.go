@@ -304,31 +304,28 @@ func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
 	return ctx, func() { stop(); cancel() }
 }
 
-// Stats aggregates worker statistics.
+// Stats aggregates worker statistics as a typed view over the merged
+// cluster snapshot (Snapshot); the error result is always nil.
 func (c *LocalCluster) Stats() (modelardb.Stats, error) {
-	var total modelardb.Stats
-	for i, w := range c.workers {
-		s, err := w.Stats()
-		if err != nil {
-			return total, err
-		}
-		if i == 0 {
-			total.Series = s.Series
-			total.Groups = s.Groups
-		}
-		total.Segments += s.Segments
-		total.StorageBytes += s.StorageBytes
-		total.DataPoints += s.DataPoints
-		total.CacheHits += s.CacheHits
-		total.CacheMisses += s.CacheMisses
-		total.WALBytes += s.WALBytes
-		total.WALBytesSinceCheckpoint += s.WALBytesSinceCheckpoint
-		total.WALFsyncs += s.WALFsyncs
+	return modelardb.StatsFromSnapshot(c.Snapshot()), nil
+}
+
+// Snapshot folds every worker's metrics-registry snapshot into one
+// cluster-wide snapshot, de-duplicating the replicated catalog gauges
+// and adding the master's own send-queue depth — the same aggregation
+// contract as the transport client's Snapshot.
+func (c *LocalCluster) Snapshot() map[string]float64 {
+	snaps := make([]map[string]float64, 0, len(c.workers))
+	for _, w := range c.workers {
+		snaps = append(snaps, w.Snapshot())
 	}
+	total := mergeWorkerSnapshots(snaps)
+	var queued int64
 	for _, depth := range c.seq.depths() {
-		total.QueuedBatches += int64(depth)
+		queued += int64(depth)
 	}
-	return total, nil
+	total[modelardb.MetricQueuedBatches] = float64(queued)
+	return total
 }
 
 // Close closes every worker.

@@ -8,11 +8,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"modelardb"
 	"modelardb/internal/core"
+	"modelardb/internal/obs"
 	"modelardb/internal/query"
 	"modelardb/internal/sqlparse"
 )
@@ -32,22 +32,34 @@ func init() {
 // scan with a Cancel frame — and a dropped master connection aborts
 // every call it had in flight.
 type Server struct {
-	db       *modelardb.DB
-	inflight atomic.Int64
-	streams  atomic.Int64
+	db *modelardb.DB
+	// met holds the worker-side RPC instruments, registered into the
+	// DB's own registry: the in-flight and stream gauges therefore ride
+	// every snapshot (Stats, the Snapshot RPC, /metrics) without any
+	// per-surface overlay.
+	met *obs.RPCServerMetrics
+}
+
+// serverMethods names every RPC the server dispatches; each gets its
+// own handle-latency histogram.
+var serverMethods = []string{
+	"Append", "IngestState", "Flush", "ExecutePartial",
+	"ExecutePartialStream", "Stats", "Snapshot",
 }
 
 // NewServer wraps a database as a transport worker.
-func NewServer(db *modelardb.DB) *Server { return &Server{db: db} }
+func NewServer(db *modelardb.DB) *Server {
+	return &Server{db: db, met: obs.NewRPCServerMetrics(db.Metrics(), serverMethods)}
+}
 
 // InFlight reports the number of calls currently executing; tests and
 // monitoring use it to observe that cancelled scans actually drain.
-func (s *Server) InFlight() int { return int(s.inflight.Load()) }
+func (s *Server) InFlight() int { return int(s.met.InFlight.Value()) }
 
 // InFlightStreams reports the number of streaming scatter replies
 // currently being produced — the backpressure signal surfaced through
 // cluster Stats.
-func (s *Server) InFlightStreams() int { return int(s.streams.Load()) }
+func (s *Server) InFlightStreams() int { return int(s.met.Streams.Value()) }
 
 // AppendArgs is a batch of data points for one worker. Seqs carries
 // the master-assigned batch sequence per group in Points: the worker
@@ -90,6 +102,14 @@ type StreamQueryArgs struct {
 // StatsReply mirrors modelardb.Stats over the transport.
 type StatsReply struct {
 	Stats modelardb.Stats
+}
+
+// SnapshotReply carries a worker's full metrics-registry snapshot. The
+// master folds worker snapshots key-wise (obs.MergeSnapshots), so a
+// metric a worker adds shows up in cluster-wide statistics without any
+// reply-struct change.
+type SnapshotReply struct {
+	Snap map[string]float64
 }
 
 // dispatch runs one call under its per-call context and returns the
@@ -139,14 +159,18 @@ func (s *Server) dispatch(ctx context.Context, method string, body []byte) ([]by
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// The server's RPC gauges live in the DB's registry, so the
+		// snapshot-backed Stats already carries the in-flight stream count.
 		st, err := s.db.Stats()
 		if err != nil {
 			return nil, err
 		}
-		// The stream count lives on the server, not the DB: overlay it so
-		// the master's aggregation sees every worker's in-flight streams.
-		st.InFlightStreams = s.streams.Load()
 		return encodeBody(&StatsReply{Stats: st})
+	case "Snapshot":
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return encodeBody(&SnapshotReply{Snap: s.db.Snapshot()})
 	default:
 		return nil, fmt.Errorf("cluster: unknown method %q", method)
 	}
@@ -168,8 +192,8 @@ func (s *Server) dispatchStream(ctx, connCtx context.Context, f *frame, conn net
 	if err != nil {
 		return err
 	}
-	s.streams.Add(1)
-	defer s.streams.Add(-1)
+	s.met.Streams.Add(1)
+	defer s.met.Streams.Add(-1)
 	var seq uint64
 	// Chunk frames carry the typed-vector wire format directly — no gob
 	// interface cells — and one encode buffer serves the whole stream.
@@ -182,6 +206,8 @@ func (s *Server) dispatchStream(ctx, connCtx context.Context, f *frame, conn net
 			return err
 		}
 		encBuf = query.EncodePartial(encBuf[:0], part)
+		s.met.StreamChunks.Inc()
+		s.met.StreamBytes.Add(int64(len(encBuf)))
 		cf := &frame{Kind: frameChunk, ID: f.ID, Seq: seq, Body: encBuf}
 		seq++
 		stop := context.AfterFunc(connCtx, func() { conn.SetWriteDeadline(time.Now()) })
@@ -223,10 +249,11 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			mu.Lock()
 			calls[f.ID] = callCancel
 			mu.Unlock()
-			s.inflight.Add(1)
+			s.met.InFlight.Add(1)
 			wg.Add(1)
 			go func(f *frame) {
 				defer wg.Done()
+				t0 := time.Now()
 				var body []byte
 				var err error
 				if f.Method == "ExecutePartialStream" {
@@ -235,6 +262,9 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 					err = s.dispatchStream(callCtx, cctx, f, conn, &wmu)
 				} else {
 					body, err = s.dispatch(callCtx, f.Method, f.Body)
+				}
+				if h := s.met.Calls[f.Method]; h != nil {
+					h.ObserveSince(t0)
 				}
 				mu.Lock()
 				delete(calls, f.ID)
@@ -249,7 +279,7 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 				// notices and cancels the remaining calls.
 				_ = writeFrame(conn, resp)
 				wmu.Unlock()
-				s.inflight.Add(-1)
+				s.met.InFlight.Add(-1)
 			}(f)
 		case frameCancel:
 			mu.Lock()
@@ -298,6 +328,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // master restart can duplicate an acknowledged point.
 type Client struct {
 	meta *modelardb.DB
+	// met holds the master-side RPC instruments (per-method latency,
+	// retries, reconnects), registered into the metadata DB's registry
+	// so the master's own /metrics carries them.
+	met *obs.RPCClientMetrics
 	// addrs are the worker addresses, kept for reconnects.
 	addrs  []string
 	assign map[modelardb.Gid]int
@@ -352,6 +386,7 @@ func DialContext(ctx context.Context, cfg modelardb.Config, addrs []string) (*Cl
 	}
 	c := &Client{
 		meta:             meta,
+		met:              obs.NewRPCClientMetrics(meta.Metrics(), serverMethods),
 		addrs:            addrs,
 		assign:           AssignGroups(meta, len(addrs)),
 		base:             ctx,
@@ -400,7 +435,21 @@ func (c *Client) conn(w int) *wireConn {
 func (c *Client) call(ctx context.Context, w int, method string, args, reply any) error {
 	ctx, cancel := mergeContexts(ctx, c.base)
 	defer cancel()
-	return c.callRetrying(ctx, w, method, args, reply)
+	t0 := time.Now()
+	err := c.callRetrying(ctx, w, method, args, reply)
+	c.observeCall(method, t0, err)
+	return err
+}
+
+// observeCall records one finished call — retries included — against
+// the master-side instruments.
+func (c *Client) observeCall(method string, t0 time.Time, err error) {
+	if h := c.met.Calls[method]; h != nil {
+		h.ObserveSince(t0)
+	}
+	if err != nil {
+		c.met.Errors.Inc()
+	}
 }
 
 // callRetrying issues one call on worker w's connection; ctx must
@@ -431,6 +480,7 @@ func (c *Client) callRetrying(ctx context.Context, w int, method string, args, r
 		next, rerr := c.redial(ctx, w, conn)
 		if rerr == nil {
 			conn = next
+			c.met.Retries.Inc()
 			err = c.timeoutCall(ctx, conn, method, args, reply)
 			if err == nil || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
 				return err
@@ -486,6 +536,7 @@ func (c *Client) redial(ctx context.Context, w int, old *wireConn) (*wireConn, e
 	}
 	c.workers[w] = nc
 	c.mu.Unlock()
+	c.met.Reconnects.Inc()
 	old.Close()
 	return nc, nil
 }
@@ -509,14 +560,16 @@ func (c *Client) timeoutCall(ctx context.Context, w *wireConn, method string, ar
 // from scratch would double-merge it — so a mid-stream loss surfaces
 // as an error and the query fails as a whole (queries are read-only;
 // re-running one is always safe for the caller).
-func (c *Client) callStreamRetrying(ctx context.Context, w int, method string, args any, onChunk func([]byte) error) error {
+func (c *Client) callStreamRetrying(ctx context.Context, w int, method string, args any, onChunk func([]byte) error) (err error) {
+	t0 := time.Now()
+	defer func() { c.observeCall(method, t0, err) }()
 	gotChunk := false
 	wrapped := func(body []byte) error {
 		gotChunk = true
 		return onChunk(body)
 	}
 	conn := c.conn(w)
-	err := c.timeoutCallStream(ctx, conn, method, args, wrapped)
+	err = c.timeoutCallStream(ctx, conn, method, args, wrapped)
 	if err == nil || gotChunk || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
 		return err
 	}
@@ -528,6 +581,7 @@ func (c *Client) callStreamRetrying(ctx context.Context, w int, method string, a
 		next, rerr := c.redial(ctx, w, conn)
 		if rerr == nil {
 			conn = next
+			c.met.Retries.Inc()
 			err = c.timeoutCallStream(ctx, conn, method, args, wrapped)
 			if err == nil || gotChunk || !errors.Is(err, ErrConnectionLost) || ctx.Err() != nil {
 				return err
@@ -697,38 +751,59 @@ func (c *Client) Query(ctx context.Context, sql string) (*modelardb.Result, erro
 	return res, err
 }
 
-// Stats aggregates every worker's statistics; series and group counts
-// come from the shared metadata, volume counters sum up. The
-// backpressure signals ride along: WALBytesSinceCheckpoint and
-// InFlightStreams sum over workers, and QueuedBatches is the master's
-// own send-queue depth — together they describe where a loaded
-// cluster is congested.
+// Stats aggregates every worker's statistics as a typed view over the
+// merged cluster snapshot (Snapshot); the error result reports a
+// failed worker fetch.
 func (c *Client) Stats(ctx context.Context) (modelardb.Stats, error) {
-	var total modelardb.Stats
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		return modelardb.Stats{}, err
+	}
+	return modelardb.StatsFromSnapshot(snap), nil
+}
+
+// Snapshot fetches every worker's metrics-registry snapshot and folds
+// them into one cluster-wide snapshot: values sum key-wise, the
+// replicated catalog gauges are de-duplicated, and the master's own
+// send-queue depth rides along as MetricQueuedBatches — so a metric a
+// worker adds appears in cluster statistics without per-field wiring.
+func (c *Client) Snapshot(ctx context.Context) (map[string]float64, error) {
+	snaps := make([]map[string]float64, 0, len(c.addrs))
 	for i := range c.addrs {
-		var reply StatsReply
-		if err := c.call(ctx, i, "Stats", nil, &reply); err != nil {
-			return total, err
+		var reply SnapshotReply
+		if err := c.call(ctx, i, "Snapshot", nil, &reply); err != nil {
+			return nil, err
 		}
-		s := reply.Stats
-		if i == 0 {
-			total.Series = s.Series
-			total.Groups = s.Groups
-		}
-		total.Segments += s.Segments
-		total.StorageBytes += s.StorageBytes
-		total.DataPoints += s.DataPoints
-		total.CacheHits += s.CacheHits
-		total.CacheMisses += s.CacheMisses
-		total.WALBytes += s.WALBytes
-		total.WALBytesSinceCheckpoint += s.WALBytesSinceCheckpoint
-		total.WALFsyncs += s.WALFsyncs
-		total.InFlightStreams += s.InFlightStreams
+		snaps = append(snaps, reply.Snap)
 	}
+	total := mergeWorkerSnapshots(snaps)
+	var queued int64
 	for _, depth := range c.seq.depths() {
-		total.QueuedBatches += int64(depth)
+		queued += int64(depth)
 	}
+	total[modelardb.MetricQueuedBatches] = float64(queued)
 	return total, nil
+}
+
+// Metrics exposes the master's own registry (per-method RPC latency,
+// retries, reconnects, plus the metadata replica's instruments).
+func (c *Client) Metrics() *obs.Registry { return c.meta.Metrics() }
+
+// mergeWorkerSnapshots folds per-worker registry snapshots into one
+// cluster-wide snapshot. Values sum key-wise except the catalog
+// gauges: every worker replicates the full metadata, so series and
+// group counts come from the first worker instead of being multiplied
+// by the cluster size.
+func mergeWorkerSnapshots(snaps []map[string]float64) map[string]float64 {
+	total := map[string]float64{}
+	for _, s := range snaps {
+		obs.MergeSnapshots(total, s)
+	}
+	if len(snaps) > 0 {
+		total[modelardb.MetricSeries] = snaps[0][modelardb.MetricSeries]
+		total[modelardb.MetricGroups] = snaps[0][modelardb.MetricGroups]
+	}
+	return total
 }
 
 // AppendContext buffers a data point and sends a batch when full.

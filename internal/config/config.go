@@ -26,6 +26,9 @@
 //	# streamed partial-result chunk bound for cluster scatters;
 //	# 0 = default (1 MiB)
 //	stream_chunk_bytes 1048576
+//	# log queries at or above this end-to-end latency with per-stage
+//	# timings; 0 = disabled
+//	slow_query_threshold 250ms
 //	dimension Location Park Turbine
 //	correlation Location 1
 //	series s1.gz 100 Location=Aalborg/T1
@@ -133,6 +136,12 @@ func apply(cfg *modelardb.Config, directive, rest string) error {
 			return fmt.Errorf("wal_sync_interval %q is not a non-negative duration (e.g. 100ms)", rest)
 		}
 		cfg.WALSyncInterval = v
+	case "slow_query_threshold":
+		v, err := time.ParseDuration(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf("slow_query_threshold %q is not a non-negative duration (e.g. 250ms)", rest)
+		}
+		cfg.SlowQueryThreshold = v
 	case "stream_chunk_bytes":
 		v, err := strconv.ParseInt(rest, 10, 64)
 		if err != nil || v < 1 {

@@ -17,6 +17,7 @@ bulk_write_size 1000
 query_parallelism 4
 rpc_timeout 5s
 retry_budget 30s
+slow_query_threshold 250ms
 wal_fsync always
 wal_segment_bytes 4096
 dimension Location Park Turbine
@@ -46,6 +47,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.RetryBudget != 30*time.Second {
 		t.Fatalf("retry_budget = %v, want 30s", cfg.RetryBudget)
+	}
+	if cfg.SlowQueryThreshold != 250*time.Millisecond {
+		t.Fatalf("slow_query_threshold = %v, want 250ms", cfg.SlowQueryThreshold)
 	}
 	if cfg.WALFsync != "always" || cfg.WALSegmentBytes != 4096 {
 		t.Fatalf("wal cfg = %q %d, want always 4096", cfg.WALFsync, cfg.WALSegmentBytes)
@@ -84,6 +88,8 @@ func TestParseErrors(t *testing.T) {
 		"rpc_timeout soon",
 		"retry_budget -1s",
 		"retry_budget later",
+		"slow_query_threshold -1s",
+		"slow_query_threshold fast",
 		"wal_dir",
 		"wal_fsync sometimes",
 		"wal_fsync",

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets is the default histogram ladder for latencies in
+// seconds: powers of four from 1µs to ~67s, wide enough that a 200ns
+// append and a multi-second scatter land inside the ladder while
+// keeping the per-observation search trivial (14 buckets).
+var DefLatencyBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+	1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+	1, 4, 16, 64,
+}
+
+// SizeBuckets is a ladder for counts and sizes (batch points, rows):
+// powers of four from 1 to ~1M.
+var SizeBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+}
+
+// Histogram is a fixed-bucket concurrent histogram. Buckets are stored
+// non-cumulatively (one atomic add per observation touches one
+// bucket); the exposition accumulates them. The sum is a CAS loop over
+// float64 bits, so Observe never locks and never allocates.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a histogram with the given upper bounds (which
+// must be sorted ascending); nil selects DefLatencyBuckets. Registry
+// users go through Registry.Histogram instead.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	return &Histogram{upper: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0 in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// CountSum returns the observation count and value sum. The two loads
+// are not a single atomic snapshot; under concurrent writes they may
+// straddle an observation, which exposition tolerates.
+func (h *Histogram) CountSum() (uint64, float64) {
+	return h.count.Load(), math.Float64frombits(h.sum.Load())
+}

@@ -1,0 +1,326 @@
+// Package obs is the observability layer: a dependency-free concurrent
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus text exposition, plus per-query traces and a slow-query
+// log built on them.
+//
+// Every subsystem (ingestion, WAL, query engine, cluster RPC) writes
+// into one Registry owned by its DB, and every read surface —
+// DB.Stats, the cluster Stats RPC, the daemon's STATS command, the
+// /metrics and /statusz admin endpoints — is a view over the same
+// registry, so a new metric appears everywhere without per-surface
+// wiring.
+//
+// The package depends only on the standard library and imports nothing
+// from the rest of the repository, so any internal package can use it
+// without cycles. Hot-path cost is one atomic add per counter event
+// and two time.Now calls plus a few atomic ops per histogram
+// observation; nothing allocates after construction.
+//
+// Metric names follow Prometheus conventions (`snake_case`, `_total`
+// for counters, unit suffixes like `_seconds`/`_bytes`). A name may
+// carry a fixed label set inline — `rpc_seconds{method="Append"}` —
+// and names sharing the text before the brace form one family in the
+// exposition.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind discriminates registry entries for TYPE lines and conflicts.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// entry is one registered metric.
+type entry struct {
+	kind kind
+	c    *Counter
+	g    *Gauge
+	fn   func() float64
+	h    *Histogram
+}
+
+// value resolves the entry's current scalar value (histograms report
+// their observation count; see Snapshot for the _count/_sum split).
+func (e *entry) value() float64 {
+	switch e.kind {
+	case kindCounter:
+		return float64(e.c.Value())
+	case kindGauge:
+		return float64(e.g.Value())
+	case kindCounterFunc, kindGaugeFunc:
+		return e.fn()
+	default:
+		return float64(e.h.Count())
+	}
+}
+
+// Registry is a concurrent collection of named metrics. Registration
+// takes a lock; the returned metric handles are lock-free. Looking up
+// an existing name returns the same handle, so independently wired
+// components share one metric when they share one name.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	help    map[string]string // keyed by family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}, help: map[string]string{}}
+}
+
+// familyOf strips an inline label set: "a{b=\"c\"}" -> "a".
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelsOf returns the inline label set without braces, or "".
+func labelsOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return strings.TrimSuffix(name[i+1:], "}")
+	}
+	return ""
+}
+
+// register get-or-creates an entry, panicking on a kind conflict —
+// two subsystems claiming one name as different metric types is a
+// programming error worth failing loudly on.
+func (r *Registry) register(name, help string, k kind, make func() *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, e.kind.promType(), k.promType()))
+		}
+		return e
+	}
+	e := make()
+	r.entries[name] = e
+	if fam := familyOf(name); help != "" && r.help[fam] == "" {
+		r.help[fam] = help
+	}
+	return e
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.register(name, help, kindCounter, func() *entry {
+		return &entry{kind: kindCounter, c: &Counter{}}
+	})
+	return e.c
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.register(name, help, kindGauge, func() *entry {
+		return &entry{kind: kindGauge, g: &Gauge{}}
+	})
+	return e.g
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// collection time — for sources that already maintain their own
+// monotonic count (a WAL's fsync count, a cache's hit count).
+// Re-registering a name replaces its function.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	e := r.register(name, help, kindCounterFunc, func() *entry {
+		return &entry{kind: kindCounterFunc}
+	})
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// collection time. Re-registering a name replaces its function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	e := r.register(name, help, kindGaugeFunc, func() *entry {
+		return &entry{kind: kindGaugeFunc}
+	})
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram registers (or finds) a histogram with the given upper
+// bucket bounds (nil selects DefLatencyBuckets, in seconds).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	e := r.register(name, help, kindHistogram, func() *entry {
+		return &entry{kind: kindHistogram, h: NewHistogram(buckets)}
+	})
+	return e.h
+}
+
+// sortedNames returns registered names ordered by (family, name) so an
+// exposition walk emits each family contiguously even when one family
+// name is a prefix of another.
+func (r *Registry) sortedNames() []string {
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		fi, fj := familyOf(names[i]), familyOf(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Snapshot returns every metric's current scalar value keyed by its
+// registered name. Histograms contribute two entries, name_count and
+// name_sum. The map is a fresh copy; mutating it does not touch the
+// registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.entries))
+	for name, e := range r.entries {
+		if e.kind == kindHistogram {
+			count, sum := e.h.CountSum()
+			fam, labels := familyOf(name), labelsOf(name)
+			out[joinName(fam+"_count", labels)] = float64(count)
+			out[joinName(fam+"_sum", labels)] = sum
+			continue
+		}
+		out[name] = e.value()
+	}
+	return out
+}
+
+// joinName reassembles a metric name from family and inline labels.
+func joinName(fam, labels string) string {
+	if labels == "" {
+		return fam
+	}
+	return fam + "{" + labels + "}"
+}
+
+// joinLabels merges an inline label set with one extra label pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	if extra == "" {
+		return labels
+	}
+	return labels + "," + extra
+}
+
+// FormatValue renders a sample value the way Prometheus expects:
+// integral values without an exponent, everything else in shortest
+// round-trip form. Shared by the exposition writer and text surfaces
+// like the daemon's STATS command.
+func FormatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (v0.0.4), deterministically ordered: families
+// sorted by name, one HELP/TYPE header per family, histogram buckets
+// cumulative with a +Inf terminator.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	lastFam := ""
+	for _, name := range r.sortedNames() {
+		e := r.entries[name]
+		fam, labels := familyOf(name), labelsOf(name)
+		if fam != lastFam {
+			if help := r.help[fam]; help != "" {
+				b.WriteString("# HELP " + fam + " " + help + "\n")
+			}
+			b.WriteString("# TYPE " + fam + " " + e.kind.promType() + "\n")
+			lastFam = fam
+		}
+		if e.kind != kindHistogram {
+			b.WriteString(name + " " + FormatValue(e.value()) + "\n")
+			continue
+		}
+		h := e.h
+		cumulative := uint64(0)
+		for i, upper := range h.upper {
+			cumulative += h.counts[i].Load()
+			le := strconv.FormatFloat(upper, 'g', -1, 64)
+			b.WriteString(joinName(fam+"_bucket", joinLabels(labels, `le="`+le+`"`)) + " " + strconv.FormatUint(cumulative, 10) + "\n")
+		}
+		count, sum := h.CountSum()
+		b.WriteString(joinName(fam+"_bucket", joinLabels(labels, `le="+Inf"`)) + " " + strconv.FormatUint(count, 10) + "\n")
+		b.WriteString(joinName(fam+"_sum", labels) + " " + FormatValue(sum) + "\n")
+		b.WriteString(joinName(fam+"_count", labels) + " " + strconv.FormatUint(count, 10) + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MergeSnapshots folds src into dst by summing values key-wise —
+// how a cluster master combines worker snapshots. Non-additive keys
+// (a cluster-wide series count, say) are the caller's to fix up after.
+func MergeSnapshots(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}

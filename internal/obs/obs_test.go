@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text format byte for byte:
+// family headers once per family, deterministic ordering, cumulative
+// histogram buckets with a +Inf terminator.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_events_total", "Events seen.").Add(3)
+	r.Gauge("app_depth", "Queue depth.").Set(7)
+	r.GaugeFunc("app_temp", "Temperature.", func() float64 { return 21.5 })
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.Counter(`app_calls_total{method="Get"}`, "Calls by method.").Add(2)
+	r.Counter(`app_calls_total{method="Put"}`, "Calls by method.").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_calls_total Calls by method.
+# TYPE app_calls_total counter
+app_calls_total{method="Get"} 2
+app_calls_total{method="Put"} 1
+# HELP app_depth Queue depth.
+# TYPE app_depth gauge
+app_depth 7
+# HELP app_events_total Events seen.
+# TYPE app_events_total counter
+app_events_total 3
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.01"} 1
+app_latency_seconds_bucket{le="0.1"} 3
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 5.105
+app_latency_seconds_count 4
+# HELP app_temp Temperature.
+# TYPE app_temp gauge
+app_temp 21.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshot verifies the scalar snapshot: counters and gauges by
+// name, histograms split into _count and _sum, labels preserved.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(9)
+	r.CounterFunc("cf_total", "", func() float64 { return 4 })
+	h := r.Histogram(`h_seconds{stage="scan"}`, "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"c_total":                       9,
+		"cf_total":                      4,
+		`h_seconds_count{stage="scan"}`: 2,
+		`h_seconds_sum{stage="scan"}`:   2.5,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %g, want %g", k, snap[k], v)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+// TestSharedHandles verifies get-or-create semantics: registering a
+// name twice returns the same handle, and a kind conflict panics.
+func TestSharedHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "")
+	b := r.Counter("shared_total", "")
+	if a != b {
+		t.Error("two registrations of one counter name returned distinct handles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("shared_total", "")
+}
+
+// TestConcurrentUpdates hammers one counter, one gauge and one
+// histogram from many goroutines while a reader collects — the -race
+// gate for the registry's concurrency contract.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ct_total", "")
+	g := r.Gauge("gg", "")
+	h := r.Histogram("hh_seconds", "", nil)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 1e-5)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != workers*per {
+		t.Errorf("bucket counts sum to %d, want %d", cum, workers*per)
+	}
+}
+
+// TestHistogramBuckets pins bucket edge behavior: a value equal to an
+// upper bound lands in that bucket (le is inclusive), above the last
+// bound lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.001, 10, 11} {
+		h.Observe(v)
+	}
+	got := []uint64{h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load()}
+	want := []uint64{2, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMergeSnapshots verifies key-wise summation.
+func TestMergeSnapshots(t *testing.T) {
+	dst := map[string]float64{"a": 1, "b": 2}
+	MergeSnapshots(dst, map[string]float64{"b": 3, "c": 4})
+	if dst["a"] != 1 || dst["b"] != 5 || dst["c"] != 4 {
+		t.Errorf("merged = %v", dst)
+	}
+}

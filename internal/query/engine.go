@@ -6,10 +6,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"modelardb/internal/core"
 	"modelardb/internal/dims"
 	"modelardb/internal/models"
+	"modelardb/internal/obs"
 	"modelardb/internal/sqlparse"
 	"modelardb/internal/storage"
 )
@@ -32,6 +34,10 @@ type Engine struct {
 	// scanHook, when set, is invoked once per scanned segment with the
 	// query's context (SetScanHook).
 	scanHook func(ctx context.Context) error
+	// obsv, when set, receives a per-query trace (stage spans, work
+	// counters) for every execution; qid numbers the traces.
+	obsv *obs.QueryObserver
+	qid  atomic.Uint64
 }
 
 // NewEngine returns an engine over the given store and metadata.
@@ -88,38 +94,75 @@ func (p *PartialResult) ReleaseBatch() {
 // Cancelling ctx aborts the scan between segments (sequential path) or
 // chunks (parallel path) and returns ctx.Err().
 func (e *Engine) Execute(ctx context.Context, sql string) (*Result, error) {
+	tr := e.beginTrace(obs.RawSQL(sql))
+	sp := tr.StartSpan(obs.SpanParse)
 	q, err := sqlparse.Parse(sql)
+	sp.End()
 	if err != nil {
+		e.finishTrace(tr, err)
 		return nil, err
 	}
-	return e.ExecuteQuery(ctx, q)
+	res, err := e.executeTraced(ctx, q, tr)
+	e.finishTrace(tr, err)
+	return res, err
 }
 
 // ExecuteQuery runs a parsed query on this node.
 func (e *Engine) ExecuteQuery(ctx context.Context, q *sqlparse.Query) (*Result, error) {
+	tr := e.beginTrace(q)
+	res, err := e.executeTraced(ctx, q, tr)
+	e.finishTrace(tr, err)
+	return res, err
+}
+
+// executeTraced is ExecuteQuery's body with the trace threaded through
+// the plan, so per-segment and per-chunk work lands on it.
+func (e *Engine) executeTraced(ctx context.Context, q *sqlparse.Query, tr *obs.Trace) (*Result, error) {
+	sp := tr.StartSpan(obs.SpanPlan)
 	p, err := e.compile(q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	p.trace = tr
+	sp = tr.StartSpan(obs.SpanScan)
 	partial, err := e.runPlan(ctx, p)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.StartSpan(obs.SpanFinalize)
 	res, err := e.finalizePlan(p, []*PartialResult{partial})
+	sp.End()
 	// The boxed result copies numeric cells and shares immutable string
 	// backings, so the batch can go back to the pool immediately.
 	partial.ReleaseBatch()
+	if res != nil {
+		tr.AddRows(int64(len(res.Rows)))
+	}
 	return res, err
 }
 
 // ExecutePartial runs the worker-side part of a query: scan, iterate
 // and per-group partial aggregation (Algorithm 5 lines 9-13).
 func (e *Engine) ExecutePartial(ctx context.Context, q *sqlparse.Query) (*PartialResult, error) {
+	tr := e.beginTrace(q)
+	sp := tr.StartSpan(obs.SpanPlan)
 	p, err := e.compile(q)
+	sp.End()
 	if err != nil {
+		e.finishTrace(tr, err)
 		return nil, err
 	}
-	return e.runPlan(ctx, p)
+	p.trace = tr
+	sp = tr.StartSpan(obs.SpanScan)
+	partial, err := e.runPlan(ctx, p)
+	sp.End()
+	if partial != nil {
+		tr.AddRows(int64(partial.NumRows()))
+	}
+	e.finishTrace(tr, err)
+	return partial, err
 }
 
 // Validate compiles a parsed query without executing it, reporting the
@@ -142,8 +185,52 @@ func (e *Engine) SetScanHook(h func(ctx context.Context) error) {
 	e.scanHook = h
 }
 
-// hookSegment runs the scan hook, if any, for one segment.
-func (e *Engine) hookSegment(ctx context.Context) error {
+// SetObserver installs (or, with nil, removes) the query observer:
+// every execution then carries an obs.Trace — stage spans, segments
+// scanned, chunks processed, rows produced — which feeds the
+// observer's metrics, slow-query log and OnTrace callback when the
+// query finishes. Configure before serving queries, like
+// SetParallelism; the per-query cost is one small allocation and a few
+// clock reads.
+func (e *Engine) SetObserver(o *obs.QueryObserver) {
+	e.obsv = o
+}
+
+// Observer returns the installed query observer, if any.
+func (e *Engine) Observer() *obs.QueryObserver { return e.obsv }
+
+// beginTrace starts a trace for one execution when an observer is
+// installed; without one it returns nil and the whole trace surface
+// collapses to nil-checks.
+func (e *Engine) beginTrace(sql fmt.Stringer) *obs.Trace {
+	if e.obsv == nil {
+		return nil
+	}
+	return obs.NewTrace(e.qid.Add(1), sql)
+}
+
+// finishTrace completes a trace and hands it to the observer.
+func (e *Engine) finishTrace(tr *obs.Trace, err error) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	e.obsv.Observe(tr, err)
+}
+
+// queueWaitHistogram resolves the pool queue-wait histogram, nil when
+// unobserved — scanParallel only timestamps jobs when it is set.
+func (e *Engine) queueWaitHistogram() *obs.Histogram {
+	if e.obsv == nil || e.obsv.Metrics == nil {
+		return nil
+	}
+	return e.obsv.Metrics.QueueWait
+}
+
+// hookSegment runs per-segment bookkeeping: the trace's segment count
+// and the scan hook, if any.
+func (e *Engine) hookSegment(ctx context.Context, p *plan) error {
+	p.trace.AddSegments(1)
 	if e.scanHook == nil {
 		return nil
 	}
@@ -174,6 +261,10 @@ type plan struct {
 	// from the select items' resolved references (non-aggregate plans
 	// only; aggregates materialize rows at finalize).
 	colTypes []ColType
+	// trace is this execution's observability record (nil untraced). It
+	// rides the plan rather than the context so the per-segment hot
+	// path pays a field load, not a ctx.Value walk.
+	trace *obs.Trace
 }
 
 type planItem struct {
@@ -567,7 +658,7 @@ func (e *Engine) runAggregate(ctx context.Context, p *plan) (*PartialResult, err
 	sc := getScratch()
 	defer sc.release()
 	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
-		if err := e.hookSegment(ctx); err != nil {
+		if err := e.hookSegment(ctx, p); err != nil {
 			return err
 		}
 		return e.aggregateSegment(p, seg, out.Groups, sc)
@@ -766,7 +857,7 @@ func (e *Engine) runSelect(ctx context.Context, p *plan) (*PartialResult, error)
 	sc := getScratch()
 	defer sc.release()
 	err := e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
-		if err := e.hookSegment(ctx); err != nil {
+		if err := e.hookSegment(ctx, p); err != nil {
 			return err
 		}
 		return e.selectSegment(p, seg, out.Batch, sc)

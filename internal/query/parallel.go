@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"modelardb/internal/core"
 	"modelardb/internal/storage"
@@ -75,10 +76,13 @@ func (e *Engine) scanChunkSize() int {
 // already failed; it never escapes to callers.
 var errScanAborted = errors.New("query: parallel scan aborted")
 
-// chunkJob is one numbered unit of scan work.
+// chunkJob is one numbered unit of scan work. enq is the enqueue
+// timestamp feeding the pool queue-wait histogram; zero when the
+// engine is unobserved.
 type chunkJob struct {
 	seq   int
 	chunk storage.Chunk
+	enq   time.Time
 }
 
 // chunkResult carries one chunk's partial state back to the collector.
@@ -100,6 +104,7 @@ func (e *Engine) scanParallel(ctx context.Context, p *plan, n int, fn func([]*co
 	results := make(chan chunkResult, n)
 	done := make(chan struct{})
 	prodErr := make(chan error, 1)
+	queueWait := e.queueWaitHistogram()
 
 	// Producer: enumerate chunks in scan order. ScanChunks only walks
 	// the store's index (checking ctx between chunks); segment decoding
@@ -107,8 +112,13 @@ func (e *Engine) scanParallel(ctx context.Context, p *plan, n int, fn func([]*co
 	go func() {
 		seq := 0
 		err := e.store.ScanChunks(ctx, p.scanFilter(), e.scanChunkSize(), func(c storage.Chunk) error {
+			job := chunkJob{seq: seq, chunk: c}
+			if queueWait != nil {
+				job.enq = time.Now()
+			}
 			select {
-			case jobs <- chunkJob{seq: seq, chunk: c}:
+			case jobs <- job:
+				p.trace.AddChunks(1)
 				seq++
 				return nil
 			case <-done:
@@ -132,6 +142,9 @@ func (e *Engine) scanParallel(ctx context.Context, p *plan, n int, fn func([]*co
 				case <-done:
 					return // aborted: skip chunks already queued
 				default:
+				}
+				if queueWait != nil {
+					queueWait.ObserveSince(job.enq)
 				}
 				err := ctx.Err()
 				var val any
@@ -199,7 +212,7 @@ func (e *Engine) runAggregatePar(ctx context.Context, p *plan, n int) (*PartialR
 		sc := getScratch()
 		defer sc.release()
 		for _, seg := range segs {
-			if err := e.hookSegment(ctx); err != nil {
+			if err := e.hookSegment(ctx, p); err != nil {
 				return nil, err
 			}
 			if err := e.aggregateSegment(p, seg, groups, sc); err != nil {
@@ -247,7 +260,7 @@ func (e *Engine) runSelectPar(ctx context.Context, p *plan, n int) (*PartialResu
 		sc := getScratch()
 		defer sc.release()
 		for _, seg := range segs {
-			if err := e.hookSegment(ctx); err != nil {
+			if err := e.hookSegment(ctx, p); err != nil {
 				b.release()
 				return nil, err
 			}

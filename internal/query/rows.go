@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"modelardb/internal/core"
+	"modelardb/internal/obs"
 	"modelardb/internal/sqlparse"
 )
 
@@ -59,33 +60,72 @@ type Rows struct {
 	scratch []any // reused boxed row backing Row() in streaming mode
 	err     error
 	closed  bool
+
+	// Streaming-mode observability: nrows counts rows delivered and
+	// finish (set when the engine traces) completes the query's trace on
+	// Close — a streaming query's total includes iteration time, since
+	// the scan runs concurrently with it.
+	nrows  int64
+	finish func(rows int64, err error)
 }
 
 // errRowsLimit stops a streaming producer once LIMIT rows were
 // delivered; it never escapes to callers.
 var errRowsLimit = errors.New("query: row limit reached")
 
+// QueryRowsSQL parses sql and returns a streaming cursor. The parse
+// runs inside the query trace, so stage histograms and the slow-query
+// log cover the streaming path the same way they cover Execute.
+func (e *Engine) QueryRowsSQL(ctx context.Context, sql string) (*Rows, error) {
+	tr := e.beginTrace(obs.RawSQL(sql))
+	sp := tr.StartSpan(obs.SpanParse)
+	q, err := sqlparse.Parse(sql)
+	sp.End()
+	if err != nil {
+		e.finishTrace(tr, err)
+		return nil, err
+	}
+	return e.queryRowsTraced(ctx, q, tr)
+}
+
 // QueryRows executes a parsed query and returns a streaming cursor.
 // Cancelling ctx aborts the underlying scan; Close releases the cursor
 // early and drains the executor's worker pool.
 func (e *Engine) QueryRows(ctx context.Context, q *sqlparse.Query) (*Rows, error) {
+	return e.queryRowsTraced(ctx, q, e.beginTrace(q))
+}
+
+func (e *Engine) queryRowsTraced(ctx context.Context, q *sqlparse.Query, tr *obs.Trace) (*Rows, error) {
+	sp := tr.StartSpan(obs.SpanPlan)
 	p, err := e.compile(q)
+	sp.End()
 	if err != nil {
+		e.finishTrace(tr, err)
 		return nil, err
 	}
+	p.trace = tr
 	if p.isAggregate || len(q.OrderBy) > 0 {
 		// No row can be emitted before the scan completes; run the query
 		// to completion (on the plan already compiled above) and iterate
-		// the finished result.
+		// the finished result. The query work ends here, so the trace
+		// does too — the cursor just walks materialized rows.
+		sp = tr.StartSpan(obs.SpanScan)
 		partial, err := e.runPlan(ctx, p)
+		sp.End()
 		if err != nil {
+			e.finishTrace(tr, err)
 			return nil, err
 		}
+		sp = tr.StartSpan(obs.SpanFinalize)
 		res, err := e.finalizePlan(p, []*PartialResult{partial})
+		sp.End()
 		partial.ReleaseBatch()
 		if err != nil {
+			e.finishTrace(tr, err)
 			return nil, err
 		}
+		tr.AddRows(int64(len(res.Rows)))
+		e.finishTrace(tr, nil)
 		return &Rows{cols: res.Columns, mat: res.Rows, materialized: true}, nil
 	}
 	rctx, cancel := context.WithCancel(ctx)
@@ -96,7 +136,16 @@ func (e *Engine) QueryRows(ctx context.Context, q *sqlparse.Query) (*Rows, error
 		errc:    make(chan error, 1),
 		cancel:  cancel,
 	}
-	go e.streamRows(ctx, rctx, p, q.Limit, r)
+	if tr != nil {
+		r.finish = func(rows int64, err error) {
+			tr.AddRows(rows)
+			e.finishTrace(tr, err)
+		}
+	}
+	// The scan span ends on the producer goroutine; Close waits the
+	// producer out before finishing the trace, so End happens-before
+	// Finish.
+	go e.streamRows(ctx, rctx, p, q.Limit, r, tr.StartSpan(obs.SpanScan))
 	return r, nil
 }
 
@@ -106,7 +155,7 @@ func (e *Engine) QueryRows(ctx context.Context, q *sqlparse.Query) (*Rows, error
 // through the channel — the producer never touches a batch after a
 // successful send. ctx is the caller's context, rctx the cursor-scoped
 // one cancelled by Close.
-func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Rows) {
+func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Rows, scanSpan obs.Span) {
 	sent := 0
 	push := func(b *ColumnBatch) error {
 		if b.Len() == 0 {
@@ -142,7 +191,7 @@ func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Ro
 			sc := getScratch()
 			defer sc.release()
 			for _, seg := range segs {
-				if err := e.hookSegment(rctx); err != nil {
+				if err := e.hookSegment(rctx, p); err != nil {
 					b.release()
 					return nil, err
 				}
@@ -159,7 +208,7 @@ func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Ro
 		sc := getScratch()
 		defer sc.release()
 		err = e.store.Scan(rctx, p.scanFilter(), func(seg *core.Segment) error {
-			if err := e.hookSegment(rctx); err != nil {
+			if err := e.hookSegment(rctx, p); err != nil {
 				return err
 			}
 			b := getBatch(p.colTypes)
@@ -179,6 +228,7 @@ func (e *Engine) streamRows(ctx, rctx context.Context, p *plan, limit int, r *Ro
 		// cursor itself was closed early (a clean stop: ctx is intact).
 		err = ctx.Err()
 	}
+	scanSpan.End()
 	r.errc <- err
 	close(r.batches)
 }
@@ -221,6 +271,7 @@ func (r *Rows) Next() bool {
 		r.cur, r.idx = batch, 0
 	}
 	r.idx++
+	r.nrows++
 	r.onRow = true
 	return true
 }
@@ -375,6 +426,13 @@ func (r *Rows) Close() error {
 		}
 		<-r.errc
 		r.batches = nil
+	}
+	if r.finish != nil {
+		// The producer has drained (above), so the scan span is ended and
+		// the trace can complete with the rows actually delivered.
+		f := r.finish
+		r.finish = nil
+		f(r.nrows, r.err)
 	}
 	r.mat, r.scratch = nil, nil
 	return nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"modelardb/internal/core"
+	"modelardb/internal/obs"
 	"modelardb/internal/sqlparse"
 )
 
@@ -41,13 +42,29 @@ const DefaultStreamChunkBytes = 1 << 20
 // an estimate, not a promise. maxBytes <= 0 selects
 // DefaultStreamChunkBytes.
 func (e *Engine) ExecutePartialChunks(ctx context.Context, q *sqlparse.Query, maxBytes int, emit func(*PartialResult) error) error {
+	tr := e.beginTrace(q)
+	sp := tr.StartSpan(obs.SpanPlan)
 	p, err := e.compile(q)
+	sp.End()
 	if err != nil {
+		e.finishTrace(tr, err)
 		return err
 	}
+	p.trace = tr
 	if maxBytes <= 0 {
 		maxBytes = DefaultStreamChunkBytes
 	}
+	err = e.runChunksTraced(ctx, p, maxBytes, emit, tr)
+	e.finishTrace(tr, err)
+	return err
+}
+
+// runChunksTraced runs the chunked worker-side execution with the scan
+// stage under a span (chunk emission included — rows leave the worker
+// as the scan produces them, so the two are one stage here).
+func (e *Engine) runChunksTraced(ctx context.Context, p *plan, maxBytes int, emit func(*PartialResult) error, tr *obs.Trace) error {
+	sp := tr.StartSpan(obs.SpanScan)
+	defer sp.End()
 	if p.isAggregate {
 		part, err := e.runAggregate(ctx, p)
 		if err != nil {
@@ -137,7 +154,7 @@ func (e *Engine) runSelectChunks(ctx context.Context, p *plan, maxBytes int, emi
 			sc := getScratch()
 			defer sc.release()
 			for _, seg := range segs {
-				if err := e.hookSegment(ctx); err != nil {
+				if err := e.hookSegment(ctx, p); err != nil {
 					b.release()
 					return nil, err
 				}
@@ -159,7 +176,7 @@ func (e *Engine) runSelectChunks(ctx context.Context, p *plan, maxBytes int, emi
 		sc := getScratch()
 		defer sc.release()
 		err = e.store.Scan(ctx, p.scanFilter(), func(seg *core.Segment) error {
-			if err := e.hookSegment(ctx); err != nil {
+			if err := e.hookSegment(ctx, p); err != nil {
 				return err
 			}
 			scratch = getReused(scratch)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"modelardb/internal/core"
+	"modelardb/internal/obs"
 )
 
 // SyncPolicy selects when WAL writes are flushed and fsynced.
@@ -122,6 +123,11 @@ type Options struct {
 	// is persisted on first open and later opens reuse the persisted
 	// value, so the Gid-to-file mapping never changes under old logs.
 	Shards int
+	// Metrics, when non-nil, receives append/fsync latency and
+	// group-commit coalescing observations. Monotonic totals the WAL
+	// exposes as methods (FsyncCount, SizeBytes, ...) are the owner's to
+	// register as collection-time functions.
+	Metrics *obs.WALMetrics
 }
 
 // segmentInfo summarizes one sealed segment file for checkpoint
@@ -167,6 +173,8 @@ type shard struct {
 	// fsyncs counts fsyncs issued on this shard (observability: the
 	// group-commit benchmark reports fsyncs per point).
 	fsyncs int64
+	// met mirrors Options.Metrics (nil disables latency observation).
+	met *obs.WALMetrics
 
 	index  uint64 // current segment's index
 	curMax map[core.Gid]uint64
@@ -261,6 +269,7 @@ func Open(opts Options) (*WAL, error) {
 			w.closeShards()
 			return nil, err
 		}
+		s.met = opts.Metrics
 		w.shards = append(w.shards, s)
 	}
 	// Floor every shard's sequence counters at the checkpoint, so a
@@ -556,6 +565,18 @@ func decodeRecord(ver int, payload []byte) (core.Gid, uint64, uint64, []core.Dat
 // lock), so per-group sequence order equals log order and replay
 // reproduces ingestion exactly.
 func (w *WAL) Append(gid core.Gid, ext uint64, pts []core.DataPoint) (uint64, error) {
+	if m := w.opts.Metrics; m != nil {
+		// Observed outside the shard lock so the histogram covers the
+		// whole append including lock and group-commit waits.
+		t0 := time.Now()
+		seq, err := w.append(gid, ext, pts)
+		m.AppendSeconds.ObserveSince(t0)
+		return seq, err
+	}
+	return w.append(gid, ext, pts)
+}
+
+func (w *WAL) append(gid core.Gid, ext uint64, pts []core.DataPoint) (uint64, error) {
 	s := w.shardOf(gid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -629,10 +650,14 @@ func (s *shard) flushAndSync() error {
 		return err
 	}
 	flushed := s.logicalEnd
+	t0 := time.Now()
 	if err := s.file.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	s.fsyncs++
+	if s.met != nil {
+		s.met.FsyncSeconds.ObserveSince(t0)
+	}
 	if flushed > s.synced {
 		s.synced = flushed
 	}
@@ -667,6 +692,11 @@ func (s *shard) commitTo(target int64) error {
 			return nil
 		}
 		if s.syncing {
+			// Group commit in action: this appender's bytes will ride the
+			// in-flight (or the next) leader fsync instead of its own.
+			if s.met != nil {
+				s.met.SyncWaits.Inc()
+			}
 			s.cond.Wait()
 			continue
 		}
@@ -680,10 +710,14 @@ func (s *shard) commitTo(target int64) error {
 		file := s.file
 		s.syncing = true
 		s.mu.Unlock()
+		t0 := time.Now()
 		err := file.Sync()
 		s.mu.Lock()
 		s.syncing = false
 		s.fsyncs++
+		if s.met != nil {
+			s.met.FsyncSeconds.ObserveSince(t0)
+		}
 		if err != nil {
 			s.err = fmt.Errorf("wal: fsync: %w", err)
 			s.cond.Broadcast()

@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,7 @@ import (
 	"modelardb/internal/core"
 	"modelardb/internal/dims"
 	"modelardb/internal/models"
+	"modelardb/internal/obs"
 	"modelardb/internal/partition"
 	"modelardb/internal/query"
 	"modelardb/internal/sqlparse"
@@ -172,6 +174,14 @@ type Config struct {
 	// arrives, so master peak memory per worker is one chunk instead of
 	// the whole reply. 0 selects the default (1 MiB).
 	StreamChunkBytes int64
+	// SlowQueryThreshold enables the slow-query log: every query whose
+	// end-to-end latency reaches the threshold is logged with its
+	// per-stage timings (parse/plan/scan/finalize), segment/chunk/row
+	// counts and SQL text. 0 (the default) disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogger receives slow-query lines; nil selects the
+	// process-default logger.
+	SlowQueryLogger *log.Logger
 }
 
 // DefaultConfig returns the paper's evaluated configuration (Table 1):
@@ -213,7 +223,14 @@ type DB struct {
 	// the pre-crash state exactly.
 	wal    *wal.WAL
 	closed atomic.Bool
-	points atomic.Int64
+	// metrics is the instance's observability registry: every subsystem
+	// writes into it and every read surface (Stats, the daemon's STATS
+	// command, the /metrics endpoint, the cluster Stats RPC) is a view
+	// over it. ingest holds the ingestion hot path's direct handles —
+	// the per-point cost is one atomic add, exactly what the counter it
+	// replaced cost.
+	metrics *obs.Registry
+	ingest  *obs.IngestMetrics
 	// flushMu serializes Flush with Close (never with Append), so a
 	// Flush racing Close either completes before the store closes or
 	// reports ErrClosed — never a write to a closed store.
@@ -261,14 +278,19 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.StreamChunkBytes < 0 {
 		return nil, fmt.Errorf("modelardb: StreamChunkBytes %d is negative; use 0 for the default (%d) or a positive chunk size", cfg.StreamChunkBytes, query.DefaultStreamChunkBytes)
 	}
+	if cfg.SlowQueryThreshold < 0 {
+		return nil, fmt.Errorf("modelardb: SlowQueryThreshold %v is negative; use 0 to disable the slow-query log or a positive threshold", cfg.SlowQueryThreshold)
+	}
 	if _, err := wal.ParsePolicy(cfg.WALFsync); err != nil {
 		return nil, fmt.Errorf("modelardb: %w", err)
 	}
 	db := &DB{
-		cfg:  cfg,
-		meta: core.NewMetadataCache(),
-		reg:  models.NewBuiltinRegistry(),
+		cfg:     cfg,
+		meta:    core.NewMetadataCache(),
+		reg:     models.NewBuiltinRegistry(),
+		metrics: obs.NewRegistry(),
 	}
+	db.ingest = obs.NewIngestMetrics(db.metrics)
 	for _, mt := range cfg.Models {
 		if err := db.reg.Register(mt); err != nil {
 			return nil, fmt.Errorf("modelardb: %w", err)
@@ -312,6 +334,12 @@ func Open(cfg Config) (*DB, error) {
 	db.engine = query.NewEngine(db.store, db.meta, db.reg, db.schema)
 	db.engine.EnableViewCache(cfg.SegmentCacheSize)
 	db.engine.SetParallelism(cfg.QueryParallelism)
+	qo := &obs.QueryObserver{Metrics: obs.NewQueryMetrics(db.metrics)}
+	if cfg.SlowQueryThreshold > 0 {
+		qo.SlowLog = obs.NewSlowQueryLog(cfg.SlowQueryThreshold, cfg.SlowQueryLogger)
+	}
+	db.engine.SetObserver(qo)
+	db.registerStateMetrics()
 	db.series = db.meta.AllSeries()
 	db.initShards()
 	if cfg.WALDir != "" {
@@ -321,6 +349,40 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// registerStateMetrics exposes state the database already tracks —
+// catalog sizes, store volume, cache effectiveness — as function
+// metrics read at collection time, so they are never double-counted
+// against their authoritative sources.
+func (db *DB) registerStateMetrics() {
+	r := db.metrics
+	r.GaugeFunc(MetricSeries, "Registered time series.",
+		func() float64 { return float64(db.meta.NumSeries()) })
+	r.GaugeFunc(MetricGroups, "Time series groups.",
+		func() float64 { return float64(len(db.meta.Groups())) })
+	r.GaugeFunc(MetricSegments, "Stored segments.", func() float64 {
+		n, err := db.store.Count()
+		if err != nil {
+			return 0
+		}
+		return float64(n)
+	})
+	r.GaugeFunc(MetricStorageBytes, "Serialized size of all stored segments.", func() float64 {
+		n, err := db.store.SizeBytes()
+		if err != nil {
+			return 0
+		}
+		return float64(n)
+	})
+	r.CounterFunc(MetricCacheHits, "Segment cache lookups that found a decoded model view.", func() float64 {
+		hits, _ := db.engine.CacheStats()
+		return float64(hits)
+	})
+	r.CounterFunc(MetricCacheMisses, "Segment cache lookups that missed.", func() float64 {
+		_, misses := db.engine.CacheStats()
+		return float64(misses)
+	})
 }
 
 // openWAL opens the write-ahead log, reconciles the segment store with
@@ -333,6 +395,7 @@ func (db *DB) openWAL() error {
 		Sync:         policy,
 		SegmentBytes: db.cfg.WALSegmentBytes,
 		SyncInterval: db.cfg.WALSyncInterval,
+		Metrics:      obs.NewWALMetrics(db.metrics),
 	})
 	if err != nil {
 		return fmt.Errorf("modelardb: %w", err)
@@ -375,6 +438,15 @@ func (db *DB) openWAL() error {
 		}
 	}
 	db.wal = w
+	// Monotonic totals the WAL already maintains are exposed as function
+	// metrics; the histograms passed through Options above cover the
+	// latency side.
+	db.metrics.CounterFunc(MetricWALFsyncs, "WAL fsyncs issued (group commit coalesces appends onto shared fsyncs).",
+		func() float64 { return float64(w.FsyncCount()) })
+	db.metrics.GaugeFunc(MetricWALBytes, "WAL current on-disk volume.",
+		func() float64 { return float64(w.SizeBytes()) })
+	db.metrics.GaugeFunc(MetricWALPending, "WAL record bytes appended since the last checkpoint (write backpressure signal).",
+		func() float64 { return float64(w.BytesSinceCheckpoint()) })
 	return nil
 }
 
@@ -401,7 +473,7 @@ func (db *DB) replayWAL(w *wal.WAL) error {
 				}
 				return err
 			}
-			db.points.Add(1)
+			db.ingest.Points.Inc()
 		}
 		return nil
 	})
@@ -550,7 +622,9 @@ func (db *DB) Append(tid Tid, ts int64, value float32) error {
 	if err := sh.gi.Append(tid, ts, value*series.Scaling); err != nil {
 		return err
 	}
-	db.points.Add(1)
+	// One atomic add: the single-point hot path carries no clock reads —
+	// latency histograms observe at batch and WAL granularity instead.
+	db.ingest.Points.Inc()
 	return nil
 }
 
@@ -626,6 +700,7 @@ func (db *DB) appendGroup(gid Gid, points []DataPoint, seq uint64) error {
 	if seq != 0 && seq <= sh.applied {
 		return nil // duplicate delivery: this batch was already ingested
 	}
+	t0 := time.Now()
 	if db.wal != nil {
 		// One WAL record covers the whole group slice; replay applies
 		// its points in order and stops at the first rejected point,
@@ -643,8 +718,13 @@ func (db *DB) appendGroup(gid Gid, points []DataPoint, seq uint64) error {
 		if err := sh.gi.Append(p.Tid, p.TS, p.Value*series.Scaling); err != nil {
 			return err
 		}
-		db.points.Add(1)
+		db.ingest.Points.Inc()
 	}
+	// Batch-granularity observation: two clock reads amortized over the
+	// whole group slice, so per-point cost stays one atomic add.
+	db.ingest.Batches.Inc()
+	db.ingest.BatchSeconds.ObserveSince(t0)
+	db.ingest.BatchPoints.Observe(float64(len(points)))
 	return nil
 }
 
@@ -778,11 +858,7 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 // would thrash memory; aggregate and ORDER BY queries transparently
 // fall back to materialize-then-iterate.
 func (db *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
-	q, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return db.engine.QueryRows(ctx, q)
+	return db.engine.QueryRowsSQL(ctx, sql)
 }
 
 // QueryParsed executes an already-parsed query.
@@ -813,6 +889,24 @@ func (db *DB) Close() error {
 	}
 	return nil
 }
+
+// Canonical registry names of the metrics Stats summarizes. Cluster
+// components and admin surfaces address snapshot entries through these
+// instead of hand-copying counter fields.
+const (
+	MetricSeries          = "modelardb_series"
+	MetricGroups          = "modelardb_groups"
+	MetricSegments        = "modelardb_segments"
+	MetricStorageBytes    = "modelardb_storage_bytes"
+	MetricPoints          = "modelardb_ingested_points_total"
+	MetricCacheHits       = "modelardb_cache_hits_total"
+	MetricCacheMisses     = "modelardb_cache_misses_total"
+	MetricWALBytes        = "modelardb_wal_size_bytes"
+	MetricWALPending      = "modelardb_wal_pending_bytes"
+	MetricWALFsyncs       = "modelardb_wal_fsyncs_total"
+	MetricInFlightStreams = "modelardb_rpc_streams_inflight"
+	MetricQueuedBatches   = "modelardb_cluster_queued_batches"
+)
 
 // Stats summarizes the database contents.
 type Stats struct {
@@ -858,36 +952,43 @@ type Stats struct {
 	QueuedBatches int64
 }
 
-// Stats returns current statistics.
+// Stats returns current statistics: a typed view over the metrics
+// registry snapshot, so it reports exactly what /metrics and the STATS
+// command report. The error result is kept for API compatibility and
+// is always nil.
 func (db *DB) Stats() (Stats, error) {
-	segs, err := db.store.Count()
-	if err != nil {
-		return Stats{}, err
-	}
-	size, err := db.store.SizeBytes()
-	if err != nil {
-		return Stats{}, err
-	}
-	hits, misses := db.engine.CacheStats()
-	var walBytes, walSince, walFsyncs int64
-	if db.wal != nil {
-		walBytes = db.wal.SizeBytes()
-		walSince = db.wal.BytesSinceCheckpoint()
-		walFsyncs = db.wal.FsyncCount()
-	}
-	return Stats{
-		Series:                  db.meta.NumSeries(),
-		Groups:                  len(db.meta.Groups()),
-		Segments:                segs,
-		StorageBytes:            size,
-		DataPoints:              db.points.Load(),
-		CacheHits:               hits,
-		CacheMisses:             misses,
-		WALBytes:                walBytes,
-		WALBytesSinceCheckpoint: walSince,
-		WALFsyncs:               walFsyncs,
-	}, nil
+	return StatsFromSnapshot(db.Snapshot()), nil
 }
+
+// StatsFromSnapshot builds the typed Stats summary from a registry
+// snapshot — the DB's own, or a cluster-wide merge of worker
+// snapshots. Keys a snapshot does not carry (the WAL family on a
+// WAL-less instance, cluster gauges on a standalone DB) read as zero.
+func StatsFromSnapshot(snap map[string]float64) Stats {
+	return Stats{
+		Series:                  int(snap[MetricSeries]),
+		Groups:                  int(snap[MetricGroups]),
+		Segments:                int64(snap[MetricSegments]),
+		StorageBytes:            int64(snap[MetricStorageBytes]),
+		DataPoints:              int64(snap[MetricPoints]),
+		CacheHits:               int64(snap[MetricCacheHits]),
+		CacheMisses:             int64(snap[MetricCacheMisses]),
+		WALBytes:                int64(snap[MetricWALBytes]),
+		WALBytesSinceCheckpoint: int64(snap[MetricWALPending]),
+		WALFsyncs:               int64(snap[MetricWALFsyncs]),
+		InFlightStreams:         int64(snap[MetricInFlightStreams]),
+		QueuedBatches:           int64(snap[MetricQueuedBatches]),
+	}
+}
+
+// Metrics exposes the instance's observability registry: admin
+// endpoints serve it (WritePrometheus), cluster components register
+// their own instruments into it, and tests read it directly.
+func (db *DB) Metrics() *obs.Registry { return db.metrics }
+
+// Snapshot returns the current value of every registered metric keyed
+// by name; histograms contribute name_count and name_sum entries.
+func (db *DB) Snapshot() map[string]float64 { return db.metrics.Snapshot() }
 
 // ModelUsage returns, per model name, the percentage of stored
 // segments using that model — the quantity of the paper's Figures 16
