@@ -26,7 +26,7 @@ BENCH_RECORD = 'Calibration|Parallel|Pruning|IngestAppend|AppendWAL|AppendBatchW
 BENCH_GATE = 'Calibration$$|IngestAppendSerial|IngestAppendBatch|ParallelSumDataPointView|ScatterTCPStream|AppendWALGroupCommit'
 
 .PHONY: all build vet fmt-check lint vuln test race bench crash ci \
-	bench-record bench-compare fuzz obs-smoke
+	bench-record bench-compare fuzz obs-smoke docs-check
 
 all: build test
 
@@ -95,6 +95,13 @@ obs-smoke:
 	$(GO) build -o BENCH_smoke_cli ./cmd/modelardb-cli
 	./scripts/obs_smoke.sh ./BENCH_smoke_modelardbd ./BENCH_smoke_cli
 
+# Docs gate: every intra-repo link in README.md and docs/ resolves
+# (offline — no network), and the godoc Example functions build, run
+# and produce their committed output.
+docs-check:
+	./scripts/check_links.sh
+	$(GO) test -run '^Example' ./...
+
 # Crash-recovery gate: the WAL and segment-log recovery tests (torn
 # tails, kill-and-reopen, crash==no-crash property, worker restart,
 # exactly-once dedup across restarts) run CRASH_COUNT times under the
@@ -113,4 +120,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFileStoreRecover$$' -fuzztime $(FUZZTIME) ./internal/storage
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePartial$$' -fuzztime $(FUZZTIME) ./internal/query
 
-ci: build lint vuln race bench crash
+ci: build lint vuln race bench crash docs-check

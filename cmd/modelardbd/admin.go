@@ -9,23 +9,31 @@ import (
 	"net/http/pprof"
 
 	"modelardb"
+	"modelardb/internal/httpapi"
 )
 
-// startAdmin serves the observability endpoints on addr:
+// startAdmin serves the daemon's HTTP endpoint on addr:
 //
 //	/metrics           Prometheus text exposition of the DB's registry
 //	/statusz           the registry snapshot as a JSON object
 //	/debug/pprof/...   the standard runtime profiles
+//	/api/v1/...        the JSON API (append, query, remote write),
+//	                   when api is non-nil
 //
-// The handlers live on a dedicated mux — nothing is registered on
-// http.DefaultServeMux — and the bound listener is returned so the
-// caller can log the resolved address (addr may carry port 0).
-func startAdmin(db *modelardb.DB, addr string) (net.Listener, error) {
+// The admin surfaces are unauthenticated (bind them to loopback);
+// /api/v1 enforces the API's own bearer-token auth. The handlers live
+// on a dedicated mux — nothing is registered on http.DefaultServeMux —
+// and the bound listener is returned so the caller can log the
+// resolved address (addr may carry port 0).
+func startAdmin(db *modelardb.DB, addr string, api *httpapi.Server) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
+	if api != nil {
+		api.Register(mux)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := db.Metrics().WritePrometheus(w); err != nil {

@@ -42,7 +42,7 @@ func TestAdminEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ln, err := startAdmin(db, "127.0.0.1:0")
+	ln, err := startAdmin(db, "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"modelardb"
+	"modelardb/internal/httpapi"
+	"modelardb/internal/obs"
+)
+
+// apiServer mounts the HTTP API for db the way run does.
+func apiServer(t *testing.T, db *modelardb.DB, opts httpapi.Options) *httptest.Server {
+	t.Helper()
+	opts.Metrics = obs.NewHTTPMetrics(db.Metrics(), httpapi.Endpoints)
+	ts := httptest.NewServer(httpapi.New(db, opts).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestQueryEquivalence runs the same SQL over the line protocol, the
+// HTTP JSON API and the in-process cursor and requires identical rows
+// from all three: the server surfaces are views over one engine, not
+// separate query paths.
+func TestQueryEquivalence(t *testing.T) {
+	db := testDB(t)
+	ts := apiServer(t, db, httpapi.Options{})
+	const sql = "SELECT Tid, TS, Value FROM DataPoint"
+
+	// Ingest over HTTP; read it back over every surface.
+	resp, err := http.Post(ts.URL+"/api/v1/append?flush=1", "application/json",
+		strings.NewReader(`[{"tid":1,"ts":0,"value":2},{"tid":1,"ts":1000,"value":4},{"tid":1,"ts":2000,"value":8}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d", resp.StatusCode)
+	}
+
+	// Line protocol: header, tab-separated rows, ".".
+	out := send(t, db, sql)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 || lines[len(lines)-1] != "." {
+		t.Fatalf("line protocol output = %q", out)
+	}
+	var lineRows [][]string
+	for _, l := range lines[1 : len(lines)-1] {
+		lineRows = append(lineRows, strings.Split(l, "\t"))
+	}
+
+	// HTTP JSON.
+	resp, err = http.Post(ts.URL+"/api/v1/query", "text/plain", strings.NewReader(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Columns []string        `json:"columns"`
+		Rows    [][]json.Number `json:"rows"`
+		Error   string          `json:"error"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Error != "" {
+		t.Fatalf("HTTP query error: %s", payload.Error)
+	}
+	if strings.Join(payload.Columns, "\t") != lines[0] {
+		t.Fatalf("HTTP columns %v != line header %q", payload.Columns, lines[0])
+	}
+	var httpRows [][]string
+	for _, r := range payload.Rows {
+		row := make([]string, len(r))
+		for i, v := range r {
+			row[i] = v.String()
+		}
+		httpRows = append(httpRows, row)
+	}
+
+	// In-process cursor, rendered with the same column-text path the
+	// line protocol uses.
+	rows, err := db.QueryRows(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var inprocRows [][]string
+	for rows.Next() {
+		row := make([]string, len(rows.Columns()))
+		for c := range row {
+			row[c] = string(rows.AppendColumnText(nil, c))
+		}
+		inprocRows = append(inprocRows, row)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := fmt.Sprint([][]string{{"1", "0", "2"}, {"1", "1000", "4"}, {"1", "2000", "8"}})
+	for surface, got := range map[string][][]string{
+		"line protocol": lineRows,
+		"HTTP JSON":     httpRows,
+		"in-process":    inprocRows,
+	} {
+		if fmt.Sprint(got) != want {
+			t.Errorf("%s rows = %v, want %v", surface, got, want)
+		}
+	}
+}
+
+// TestHTTPRejections covers the documented rejection statuses: 401 for
+// a missing token, 429 with Retry-After once a token's bucket is dry.
+func TestHTTPRejections(t *testing.T) {
+	db := testDB(t)
+	ts := apiServer(t, db, httpapi.Options{Tokens: []httpapi.Token{{Token: "k", Rate: 1}}})
+
+	resp, err := http.Post(ts.URL+"/api/v1/query", "text/plain", strings.NewReader("SELECT SUM_S(*) FROM Segment"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated status = %d, want 401", resp.StatusCode)
+	}
+
+	query := func() *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/query", strings.NewReader("SELECT SUM_S(*) FROM Segment"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer k")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := query(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first authorized query status = %d", resp.StatusCode)
+	}
+	resp = query()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestMergeConfig checks flag-over-directive precedence.
+func TestMergeConfig(t *testing.T) {
+	cfg := modelardb.Config{
+		QueryParallelism:   2,
+		WALDir:             "/from/config",
+		WALFsync:           "always",
+		SlowQueryThreshold: time.Second,
+		HTTPListen:         "127.0.0.1:1111",
+	}
+	// Unset flags leave every directive in force.
+	merged := cfg
+	mergeConfig(&merged, runOptions{parallelism: -1})
+	if merged.QueryParallelism != 2 || merged.WALDir != "/from/config" ||
+		merged.WALFsync != "always" || merged.SlowQueryThreshold != time.Second ||
+		merged.HTTPListen != "127.0.0.1:1111" {
+		t.Fatalf("unset flags changed the config: %+v", merged)
+	}
+	// Set flags win.
+	merged = cfg
+	mergeConfig(&merged, runOptions{
+		dataDir: "/data", parallelism: 8, walDir: "/flag/wal",
+		walFsync: "never", slowQuery: 5 * time.Second, httpListen: "127.0.0.1:2222",
+	})
+	if merged.Path != "/data" || merged.QueryParallelism != 8 ||
+		merged.WALDir != "/flag/wal" || merged.WALFsync != "never" ||
+		merged.SlowQueryThreshold != 5*time.Second || merged.HTTPListen != "127.0.0.1:2222" {
+		t.Fatalf("flags did not win: %+v", merged)
+	}
+}

@@ -26,11 +26,19 @@
 // — and the exactly-once dedup table protecting them — survive a
 // restart.
 //
-// With -http the daemon serves an admin endpoint on that address:
-// /metrics (Prometheus text exposition of every ingest, query, WAL and
-// RPC instrument), /statusz (the same snapshot as JSON) and
-// /debug/pprof. -slow-query logs any query at or above the given
-// latency with its per-stage timings.
+// With -http (or the http_listen config directive) the daemon serves
+// an HTTP endpoint on that address: the admin surface — /metrics
+// (Prometheus text exposition of every ingest, query, WAL, RPC and
+// HTTP instrument), /statusz (the same snapshot as JSON) and
+// /debug/pprof — plus the JSON API under /api/v1 (append, query and
+// Prometheus remote-write ingest; see docs/http-api.md). -http-api
+// serves the /api/v1 surface alone on a second address, so the API
+// can face clients while the admin surface stays on loopback.
+// Bearer-token auth and per-token rate limits for /api/v1 come from
+// the http_token and http_rate_limit config directives. -slow-query
+// logs any query at or above the given latency with its per-stage
+// timings; queries arriving over HTTP are traced and logged exactly
+// like line-protocol ones.
 //
 // Usage:
 //
@@ -38,16 +46,19 @@
 //	           [-wal /var/lib/modelardb/wal] [-wal-fsync interval] \
 //	           [-load data.csv] [-listen 127.0.0.1:8989] \
 //	           [-cluster-listen 127.0.0.1:9090] \
-//	           [-http 127.0.0.1:9100] [-slow-query 250ms]
+//	           [-http 127.0.0.1:9100] [-http-api 0.0.0.0:9101] \
+//	           [-slow-query 250ms]
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -57,6 +68,7 @@ import (
 	"modelardb"
 	"modelardb/internal/cluster"
 	"modelardb/internal/config"
+	"modelardb/internal/httpapi"
 	"modelardb/internal/obs"
 )
 
@@ -74,7 +86,9 @@ func main() {
 	clusterListen := flag.String("cluster-listen", "",
 		"also serve the cluster worker transport on this address (masters connect with cluster.Dial)")
 	httpListen := flag.String("http", "",
-		"serve the admin endpoint (/metrics, /statusz, /debug/pprof) on this address; empty = disabled")
+		"serve the HTTP endpoint (admin surface + /api/v1) on this address; empty = from config file (http_listen)")
+	httpAPIListen := flag.String("http-api", "",
+		"additionally serve the /api/v1 JSON API alone on this address; empty = disabled")
 	slowQuery := flag.Duration("slow-query", 0,
 		"log queries at or above this end-to-end latency with per-stage timings; 0 = from config file")
 	flag.Parse()
@@ -86,7 +100,7 @@ func main() {
 		dataDir: *dataDir, load: *load, listen: *listen,
 		parallelism: *parallelism, walDir: *walDir, walFsync: *walFsync,
 		clusterListen: *clusterListen, httpListen: *httpListen,
-		slowQuery: *slowQuery,
+		httpAPIListen: *httpAPIListen, slowQuery: *slowQuery,
 	}
 	if err := run(*configPath, opts); err != nil {
 		log.Fatal(err)
@@ -103,19 +117,14 @@ type runOptions struct {
 	walFsync      string
 	clusterListen string
 	httpListen    string
+	httpAPIListen string
 	slowQuery     time.Duration
 }
 
-func run(configPath string, opts runOptions) error {
-	f, err := os.Open(configPath)
-	if err != nil {
-		return err
-	}
-	cfg, err := config.Parse(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
+// mergeConfig folds the flag overrides into the parsed configuration:
+// a flag that was set wins over its config-file directive, an unset
+// flag leaves the directive in force.
+func mergeConfig(cfg *modelardb.Config, opts runOptions) {
 	cfg.Path = opts.dataDir
 	if opts.parallelism >= 0 {
 		cfg.QueryParallelism = opts.parallelism
@@ -129,6 +138,22 @@ func run(configPath string, opts runOptions) error {
 	if opts.slowQuery > 0 {
 		cfg.SlowQueryThreshold = opts.slowQuery
 	}
+	if opts.httpListen != "" {
+		cfg.HTTPListen = opts.httpListen
+	}
+}
+
+func run(configPath string, opts runOptions) error {
+	f, err := os.Open(configPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := config.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	mergeConfig(&cfg, opts)
 	db, err := modelardb.Open(cfg)
 	if err != nil {
 		return err
@@ -141,13 +166,35 @@ func run(configPath string, opts runOptions) error {
 		}
 		log.Printf("loaded %d data points from %s", n, opts.load)
 	}
-	if opts.httpListen != "" {
-		aln, err := startAdmin(db, opts.httpListen)
+	// One API server backs both HTTP mounts: the admin endpoint's
+	// /api/v1 routes and the dedicated -http-api listener share the
+	// token table (and so the rate-limit buckets) and the per-endpoint
+	// metrics.
+	api := httpapi.New(db, httpapi.Options{
+		Tokens:      cfg.HTTPTokens,
+		DefaultRate: cfg.HTTPRateLimit,
+		Metrics:     obs.NewHTTPMetrics(db.Metrics(), httpapi.Endpoints),
+	})
+	if cfg.HTTPListen != "" {
+		aln, err := startAdmin(db, cfg.HTTPListen, api)
 		if err != nil {
 			return err
 		}
 		defer aln.Close()
 		log.Printf("modelardbd admin endpoint on %s", aln.Addr())
+	}
+	if opts.httpAPIListen != "" {
+		apiLn, err := net.Listen("tcp", opts.httpAPIListen)
+		if err != nil {
+			return err
+		}
+		defer apiLn.Close()
+		log.Printf("modelardbd HTTP API on %s", apiLn.Addr())
+		go func() {
+			if err := http.Serve(apiLn, api.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("HTTP API stopped: %v", err)
+			}
+		}()
 	}
 	if opts.clusterListen != "" {
 		cln, err := net.Listen("tcp", opts.clusterListen)

@@ -1,0 +1,59 @@
+package modelardb_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"modelardb"
+)
+
+// Example opens an in-memory database, ingests a few points within a
+// lossless error bound, and answers an aggregate query directly on
+// the stored models.
+func Example() {
+	db, err := modelardb.Open(modelardb.Config{
+		ErrorBound: modelardb.RelBound(0),
+		Dimensions: []modelardb.Dimension{
+			{Name: "Location", Levels: []string{"Park"}},
+		},
+		Series: []modelardb.SeriesConfig{
+			{Source: "turbine-1", SI: 1000, Members: map[string][]string{"Location": {"Aalborg"}}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	err = db.AppendBatch(ctx, []modelardb.DataPoint{
+		{Tid: 1, TS: 0, Value: 5},
+		{Tid: 1, TS: 1000, Value: 7},
+		{Tid: 1, TS: 2000, Value: 9},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := db.QueryRows(ctx, "SELECT SUM_S(*), COUNT_S(*) FROM Segment")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var sum, count float64
+		if err := rows.Scan(&sum, &count); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sum=%g count=%g\n", sum, count)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// sum=21 count=3
+}

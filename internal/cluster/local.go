@@ -10,7 +10,9 @@
 //
 // Two deployments are provided: an in-process cluster (LocalCluster)
 // used by tests, benchmarks and the scale-out simulation, and a
-// net/rpc-based deployment (Server/Client) for multi-process use.
+// multi-process deployment (Server/Client) over a context-aware
+// framed transport — see docs/wire-protocol.md for the frame and
+// chunk-codec specification.
 package cluster
 
 import (

@@ -29,6 +29,15 @@
 //	# log queries at or above this end-to-end latency with per-stage
 //	# timings; 0 = disabled
 //	slow_query_threshold 250ms
+//	# HTTP endpoint (admin surface + /api/v1 JSON API); the daemon's
+//	# -http flag overrides it
+//	http_listen 127.0.0.1:9100
+//	# bearer tokens accepted by the HTTP API, each with an optional
+//	# per-token rate limit (requests/second); no tokens = open API
+//	http_token wind-park-ingest 500
+//	http_token grafana-reader
+//	# default per-token request rate (token bucket); 0 = unlimited
+//	http_rate_limit 100
 //	dimension Location Park Turbine
 //	correlation Location 1
 //	series s1.gz 100 Location=Aalborg/T1
@@ -148,6 +157,36 @@ func apply(cfg *modelardb.Config, directive, rest string) error {
 			return fmt.Errorf("stream_chunk_bytes %q is not a positive integer", rest)
 		}
 		cfg.StreamChunkBytes = v
+	case "http_listen":
+		if rest == "" {
+			return fmt.Errorf("http_listen needs a listen address (e.g. 127.0.0.1:9100)")
+		}
+		cfg.HTTPListen = rest
+	case "http_token":
+		fields := strings.Fields(rest)
+		if len(fields) == 0 || len(fields) > 2 {
+			return fmt.Errorf("http_token needs a token and at most one rate limit")
+		}
+		tok := modelardb.HTTPToken{Token: fields[0]}
+		if len(fields) == 2 {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("http_token rate %q is not a positive requests-per-second number", fields[1])
+			}
+			tok.Rate = v
+		}
+		for _, existing := range cfg.HTTPTokens {
+			if existing.Token == tok.Token {
+				return fmt.Errorf("http_token %q declared twice", tok.Token)
+			}
+		}
+		cfg.HTTPTokens = append(cfg.HTTPTokens, tok)
+	case "http_rate_limit":
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("http_rate_limit %q is not a non-negative requests-per-second number", rest)
+		}
+		cfg.HTTPRateLimit = v
 	case "dimension":
 		fields := strings.Fields(rest)
 		if len(fields) < 2 {

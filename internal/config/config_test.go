@@ -20,6 +20,10 @@ retry_budget 30s
 slow_query_threshold 250ms
 wal_fsync always
 wal_segment_bytes 4096
+http_listen 127.0.0.1:9100
+http_token ingest 500
+http_token reader
+http_rate_limit 100
 dimension Location Park Turbine
 dimension Measure Category
 correlation Location 1, Measure 1 Temperature
@@ -53,6 +57,17 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.WALFsync != "always" || cfg.WALSegmentBytes != 4096 {
 		t.Fatalf("wal cfg = %q %d, want always 4096", cfg.WALFsync, cfg.WALSegmentBytes)
+	}
+	if cfg.HTTPListen != "127.0.0.1:9100" {
+		t.Fatalf("http_listen = %q", cfg.HTTPListen)
+	}
+	if len(cfg.HTTPTokens) != 2 ||
+		cfg.HTTPTokens[0] != (modelardb.HTTPToken{Token: "ingest", Rate: 500}) ||
+		cfg.HTTPTokens[1] != (modelardb.HTTPToken{Token: "reader"}) {
+		t.Fatalf("http_tokens = %+v", cfg.HTTPTokens)
+	}
+	if cfg.HTTPRateLimit != 100 {
+		t.Fatalf("http_rate_limit = %g", cfg.HTTPRateLimit)
 	}
 	if len(cfg.Dimensions) != 2 || cfg.Dimensions[0].Name != "Location" {
 		t.Fatalf("dimensions = %+v", cfg.Dimensions)
@@ -95,6 +110,15 @@ func TestParseErrors(t *testing.T) {
 		"wal_fsync",
 		"wal_segment_bytes 0",
 		"wal_segment_bytes x",
+		"http_listen",
+		"http_token",
+		"http_token t zero",
+		"http_token t 0",
+		"http_token t -5",
+		"http_token t 5 extra",
+		"http_token dup 1\nhttp_token dup 2",
+		"http_rate_limit -1",
+		"http_rate_limit many",
 		"dimension OnlyName",
 		"correlation",
 		"series one_field",

@@ -1,0 +1,102 @@
+package httpapi
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket rate limiter: capacity `burst`
+// tokens refilled at `rate` tokens per second, one token per request.
+// rate 0 means unlimited. The zero bucket is unusable; newBucket
+// starts full so a client's first burst is never throttled.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64) *tokenBucket {
+	burst := math.Max(1, rate)
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// allow consumes one token if available. When denied it returns the
+// wait until the next token accrues — the Retry-After hint.
+func (b *tokenBucket) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration(math.Ceil((1 - b.tokens) / b.rate * float64(time.Second)))
+}
+
+// authorizer checks bearer tokens and applies per-token rate limits.
+// With no tokens configured the API is open (anonymous), and a single
+// shared bucket enforces the default rate, if any.
+type authorizer struct {
+	tokens    map[string]*tokenBucket // nil bucket entry = unlimited token
+	anonymous *tokenBucket            // used only when tokens is empty
+}
+
+func newAuthorizer(tokens []Token, defaultRate float64) *authorizer {
+	a := &authorizer{tokens: make(map[string]*tokenBucket, len(tokens))}
+	for _, t := range tokens {
+		rate := t.Rate
+		if rate == 0 {
+			rate = defaultRate
+		}
+		a.tokens[t.Token] = newBucket(rate)
+	}
+	if len(tokens) == 0 && defaultRate > 0 {
+		a.anonymous = newBucket(defaultRate)
+	}
+	return a
+}
+
+// admit authorizes one request. It returns (0, 0) on success; on
+// failure the HTTP status to reject with (401 or 429) and, for 429,
+// the Retry-After hint.
+func (a *authorizer) admit(r *http.Request, now time.Time) (int, time.Duration) {
+	bucket := a.anonymous
+	if len(a.tokens) > 0 {
+		auth := r.Header.Get("Authorization")
+		const prefix = "Bearer "
+		if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+			return http.StatusUnauthorized, 0
+		}
+		b, ok := a.tokens[auth[len(prefix):]]
+		if !ok {
+			return http.StatusUnauthorized, 0
+		}
+		bucket = b
+	}
+	if ok, retry := bucket.allow(now); !ok {
+		return http.StatusTooManyRequests, retry
+	}
+	return 0, 0
+}
+
+// retryAfterHeader renders a Retry-After value in whole seconds,
+// rounded up so a client that waits exactly that long finds a token.
+func retryAfterHeader(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,97 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	b := newBucket(2) // 2 req/s, burst 2
+	now := time.Unix(0, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := b.allow(now)
+	if ok {
+		t.Fatal("request over burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint = %v, want (0, 1s]", retry)
+	}
+	// Half a second refills one token at 2 req/s.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := b.allow(now); !ok {
+		t.Fatal("request after refill denied")
+	}
+	if ok, _ := b.allow(now); ok {
+		t.Fatal("second request after single-token refill allowed")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := newBucket(0)
+	now := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatal("unlimited bucket denied")
+		}
+	}
+}
+
+func TestAdmitTokenLookup(t *testing.T) {
+	a := newAuthorizer([]Token{{Token: "a"}, {Token: "b", Rate: 5}}, 2)
+	now := time.Unix(0, 0)
+	mkReq := func(auth string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/api/v1/query", nil)
+		if auth != "" {
+			r.Header.Set("Authorization", auth)
+		}
+		return r
+	}
+	if status, _ := a.admit(mkReq(""), now); status != http.StatusUnauthorized {
+		t.Fatalf("missing header status = %d", status)
+	}
+	if status, _ := a.admit(mkReq("Basic dXNlcg=="), now); status != http.StatusUnauthorized {
+		t.Fatalf("non-bearer status = %d", status)
+	}
+	if status, _ := a.admit(mkReq("Bearer nope"), now); status != http.StatusUnauthorized {
+		t.Fatalf("unknown token status = %d", status)
+	}
+	// The scheme is case-insensitive per RFC 7235.
+	if status, _ := a.admit(mkReq("bearer a"), now); status != 0 {
+		t.Fatalf("lowercase scheme status = %d, want admitted", status)
+	}
+	// Token "a" inherits the default rate of 2: one more request fits
+	// the burst, the third is throttled.
+	if status, _ := a.admit(mkReq("Bearer a"), now); status != 0 {
+		t.Fatal("second request within inherited burst denied")
+	}
+	if status, retry := a.admit(mkReq("Bearer a"), now); status != http.StatusTooManyRequests || retry <= 0 {
+		t.Fatalf("over-quota status = %d retry %v", status, retry)
+	}
+	// Token "b" has its own rate and an independent bucket.
+	for i := 0; i < 5; i++ {
+		if status, _ := a.admit(mkReq("Bearer b"), now); status != 0 {
+			t.Fatalf("token b request %d denied", i)
+		}
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	for _, c := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{100 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+	} {
+		if got := retryAfterHeader(c.d); got != c.want {
+			t.Errorf("retryAfterHeader(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

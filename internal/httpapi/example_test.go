@@ -1,0 +1,58 @@
+package httpapi_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"modelardb"
+	"modelardb/internal/httpapi"
+)
+
+// Example serves a database over the HTTP API and drives it with a
+// plain HTTP client: append a batch, then query it back as JSON —
+// what a curl session against modelardbd's /api/v1 does.
+func Example() {
+	db, err := modelardb.Open(modelardb.Config{
+		ErrorBound: modelardb.RelBound(0),
+		Dimensions: []modelardb.Dimension{{Name: "Location", Levels: []string{"Park"}}},
+		Series: []modelardb.SeriesConfig{
+			{Source: "turbine-1", SI: 1000, Members: map[string][]string{"Location": {"Aalborg"}}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	srv := httptest.NewServer(httpapi.New(db, httpapi.Options{}).Handler())
+	defer srv.Close()
+
+	// Points address their series by tid or by configured source name.
+	resp, err := http.Post(srv.URL+"/api/v1/append", "application/json",
+		strings.NewReader(`{"points":[
+			{"source":"turbine-1","ts":0,"value":5},
+			{"source":"turbine-1","ts":1000,"value":7}
+		],"flush":true}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Print(string(body))
+
+	resp, err = http.Post(srv.URL+"/api/v1/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT SUM_S(*) FROM Segment"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Print(string(body))
+	// Output:
+	// {"appended":2,"flushed":true}
+	// {"columns":["SUM_S(*)"],"rows":[[12]]}
+}

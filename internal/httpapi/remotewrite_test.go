@@ -1,0 +1,127 @@
+package httpapi
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// promWrite posts an encoded, snappy-compressed WriteRequest.
+func promWrite(t *testing.T, url string, series []promSeries) (*http.Response, string) {
+	t.Helper()
+	body := string(snappyEncode(encodeWriteRequest(series)))
+	return post(t, url+"/api/v1/prom/write", "application/x-protobuf", body, nil)
+}
+
+func TestRemoteWrite(t *testing.T) {
+	ts, db, reg := newTestServer(t, Options{})
+	resp, body := promWrite(t, ts.URL, []promSeries{
+		{
+			// Samples deliberately out of order: the handler must sort
+			// them per series before appending.
+			Labels:  []promLabel{{Name: "__name__", Value: "s1"}, {Name: "job", Value: "ignored"}},
+			Samples: []promSample{{Value: 4, Timestamp: 1000}, {Value: 2, Timestamp: 0}},
+		},
+		{
+			Labels:  []promLabel{{Name: "modelardb_tid", Value: "2"}},
+			Samples: []promSample{{Value: 9, Timestamp: 0}},
+		},
+	})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d body %q, want 204", resp.StatusCode, body)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := db.QueryRows(t.Context(), "SELECT Tid, TS, Value FROM DataPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got [][3]float64
+	for rows.Next() {
+		var tid, timestamp int64
+		var value float64
+		if err := rows.Scan(&tid, &timestamp, &value); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, [3]float64{float64(tid), float64(timestamp), value})
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][3]float64{{1, 0, 2}, {1, 1000, 4}, {2, 0, 9}}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := reg.Snapshot()[`modelardb_http_requests_total{endpoint="prom_write"}`]; n != 1 {
+		t.Fatalf("prom_write requests = %g, want 1", n)
+	}
+}
+
+func TestRemoteWriteUnknownSeries(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	cases := []struct {
+		name   string
+		series []promSeries
+	}{
+		{"unknown metric name", []promSeries{{
+			Labels:  []promLabel{{Name: "__name__", Value: "nope"}},
+			Samples: []promSample{{Value: 1, Timestamp: 0}},
+		}}},
+		{"no identifying label", []promSeries{{
+			Labels:  []promLabel{{Name: "job", Value: "x"}},
+			Samples: []promSample{{Value: 1, Timestamp: 0}},
+		}}},
+		{"bad tid", []promSeries{{
+			Labels:  []promLabel{{Name: "modelardb_tid", Value: "zero"}},
+			Samples: []promSample{{Value: 1, Timestamp: 0}},
+		}}},
+		{"out-of-range tid", []promSeries{{
+			Labels:  []promLabel{{Name: "modelardb_tid", Value: "99"}},
+			Samples: []promSample{{Value: 1, Timestamp: 0}},
+		}}},
+	}
+	for _, c := range cases {
+		resp, body := promWrite(t, ts.URL, c.series)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d body %q, want 400", c.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "error") {
+			t.Errorf("%s: body %q has no error", c.name, body)
+		}
+	}
+}
+
+// TestRemoteWriteAtomicResolution: if any series fails to resolve, no
+// points from the request are ingested.
+func TestRemoteWriteAtomicResolution(t *testing.T) {
+	ts, db, _ := newTestServer(t, Options{})
+	resp, _ := promWrite(t, ts.URL, []promSeries{
+		{Labels: []promLabel{{Name: "__name__", Value: "s1"}}, Samples: []promSample{{Value: 1, Timestamp: 0}}},
+		{Labels: []promLabel{{Name: "__name__", Value: "nope"}}, Samples: []promSample{{Value: 2, Timestamp: 0}}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryRows(t.Context(), "SELECT Tid, TS, Value FROM DataPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if rows.Next() {
+		t.Fatalf("data point %v ingested by a rejected write", rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

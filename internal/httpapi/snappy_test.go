@@ -1,0 +1,97 @@
+package httpapi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnappyRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("hello, snappy"),
+		bytes.Repeat([]byte("modelardb"), 10_000), // needs the 2-length-byte literal tag
+		make([]byte, 1<<16),
+	}
+	for _, src := range cases {
+		dst, err := snappyDecode(snappyEncode(src))
+		if err != nil {
+			t.Fatalf("decode(encode(%d bytes)): %v", len(src), err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatalf("round trip of %d bytes lost data", len(src))
+		}
+	}
+}
+
+// TestSnappyCopies decodes a hand-built block using each copy tag form,
+// since our literal-only encoder never emits them.
+func TestSnappyCopies(t *testing.T) {
+	// Decoded target: "abcdabcdabcd" (12 bytes): a 4-byte literal
+	// followed by an overlapping 8-byte copy at offset 4.
+	block := []byte{
+		12,              // decoded length
+		(4-1)<<2 | 0x00, // literal, length 4
+		'a', 'b', 'c', 'd',
+		(8-4)<<2 | 0x01, 4, // copy1: length 8, offset 4 (overlapping)
+	}
+	got, err := snappyDecode(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdabcdabcd" {
+		t.Fatalf("copy1 decode = %q", got)
+	}
+
+	// Same result via a copy2 (2-byte little-endian offset).
+	block = []byte{
+		12,
+		(4-1)<<2 | 0x00, 'a', 'b', 'c', 'd',
+		(8-1)<<2 | 0x02, 4, 0,
+	}
+	if got, err = snappyDecode(block); err != nil || string(got) != "abcdabcdabcd" {
+		t.Fatalf("copy2 decode = %q, %v", got, err)
+	}
+
+	// And via a copy4 (4-byte little-endian offset).
+	block = []byte{
+		12,
+		(4-1)<<2 | 0x00, 'a', 'b', 'c', 'd',
+		(8-1)<<2 | 0x03, 4, 0, 0, 0,
+	}
+	if got, err = snappyDecode(block); err != nil || string(got) != "abcdabcdabcd" {
+		t.Fatalf("copy4 decode = %q, %v", got, err)
+	}
+}
+
+func TestSnappyCorrupt(t *testing.T) {
+	cases := []struct {
+		name  string
+		block []byte
+	}{
+		{"empty", nil},
+		{"truncated literal", []byte{4, (4 - 1) << 2, 'a'}},
+		{"length mismatch", []byte{9, (4 - 1) << 2, 'a', 'b', 'c', 'd'}},
+		{"zero offset", []byte{8, (4 - 1) << 2, 'a', 'b', 'c', 'd', (8 - 4) << 2, 0}},
+		{"offset past start", []byte{8, (4 - 1) << 2, 'a', 'b', 'c', 'd', (8-4)<<2 | 0x01, 9}},
+		{"overrun", []byte{4, (4 - 1) << 2, 'a', 'b', 'c', 'd', (8-4)<<2 | 0x01, 4}},
+		{"huge declared length", append([]byte{0xff, 0xff, 0xff, 0xff, 0x07}, 0)},
+	}
+	for _, c := range cases {
+		if _, err := snappyDecode(c.block); err == nil {
+			t.Errorf("%s: decode succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestRemoteWriteRejectsCorruptBody(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	resp, body := post(t, ts.URL+"/api/v1/prom/write", "application/x-protobuf", "not snappy at all", nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d body %q, want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "error") {
+		t.Fatalf("body %q has no error", body)
+	}
+}

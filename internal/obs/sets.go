@@ -150,6 +150,43 @@ func NewRPCServerMetrics(r *Registry, methods []string) *RPCServerMetrics {
 	return m
 }
 
+// HTTPMetrics is the HTTP API front-end's instrument set, one handle
+// set per endpoint so every handler reaches its instruments without a
+// map lookup per label value at request time beyond one endpoint-name
+// index.
+type HTTPMetrics struct {
+	Requests     map[string]*Counter   // requests accepted for handling
+	Seconds      map[string]*Histogram // end-to-end handle latency
+	Unauthorized map[string]*Counter   // rejected: missing or unknown bearer token
+	Throttled    map[string]*Counter   // rejected: token over its rate limit
+	Errors       map[string]*Counter   // requests that failed after admission
+}
+
+// NewHTTPMetrics registers the HTTP metric family for the given
+// endpoint names.
+func NewHTTPMetrics(r *Registry, endpoints []string) *HTTPMetrics {
+	m := &HTTPMetrics{
+		Requests:     make(map[string]*Counter, len(endpoints)),
+		Seconds:      make(map[string]*Histogram, len(endpoints)),
+		Unauthorized: make(map[string]*Counter, len(endpoints)),
+		Throttled:    make(map[string]*Counter, len(endpoints)),
+		Errors:       make(map[string]*Counter, len(endpoints)),
+	}
+	for _, name := range endpoints {
+		m.Requests[name] = r.Counter(`modelardb_http_requests_total{endpoint="`+name+`"}`,
+			"HTTP API requests admitted, by endpoint.")
+		m.Seconds[name] = r.Histogram(`modelardb_http_request_seconds{endpoint="`+name+`"}`,
+			"HTTP API request latency by endpoint.", nil)
+		m.Unauthorized[name] = r.Counter(`modelardb_http_rejected_total{endpoint="`+name+`",reason="unauthorized"}`,
+			"HTTP API requests rejected before handling, by endpoint and reason.")
+		m.Throttled[name] = r.Counter(`modelardb_http_rejected_total{endpoint="`+name+`",reason="throttled"}`,
+			"HTTP API requests rejected before handling, by endpoint and reason.")
+		m.Errors[name] = r.Counter(`modelardb_http_errors_total{endpoint="`+name+`"}`,
+			"HTTP API requests that failed after admission, by endpoint.")
+	}
+	return m
+}
+
 // RPCClientMetrics is a cluster master's instrument set.
 type RPCClientMetrics struct {
 	Calls      map[string]*Histogram // per-method call latency including retries

@@ -182,6 +182,32 @@ type Config struct {
 	// SlowQueryLogger receives slow-query lines; nil selects the
 	// process-default logger.
 	SlowQueryLogger *log.Logger
+	// HTTPListen is the address of the daemon's HTTP endpoint (admin
+	// surface plus the /api/v1 JSON API); empty disables it. The library
+	// itself never listens — the field carries the config-file directive
+	// (http_listen) to servers like modelardbd, which the -http flag
+	// overrides.
+	HTTPListen string
+	// HTTPTokens are the bearer tokens accepted by the HTTP API. Empty
+	// leaves the API unauthenticated (loopback/admin use); with at least
+	// one token every /api/v1 request must carry a matching
+	// "Authorization: Bearer <token>" header.
+	HTTPTokens []HTTPToken
+	// HTTPRateLimit is the default per-token request rate (requests per
+	// second, token bucket with a one-second burst) for tokens without
+	// their own rate — and for anonymous requests when no tokens are
+	// configured. 0 disables rate limiting.
+	HTTPRateLimit float64
+}
+
+// HTTPToken is one bearer token accepted by the HTTP API, with an
+// optional per-token rate limit overriding Config.HTTPRateLimit.
+type HTTPToken struct {
+	// Token is the secret presented as "Authorization: Bearer <token>".
+	Token string
+	// Rate is the token's request budget in requests per second (token
+	// bucket, burst of max(1, Rate)); 0 inherits Config.HTTPRateLimit.
+	Rate float64
 }
 
 // DefaultConfig returns the paper's evaluated configuration (Table 1):
@@ -211,6 +237,11 @@ type DB struct {
 	// series indexes the immutable per-series metadata by Tid-1 for the
 	// per-point ingestion fast path.
 	series []*core.TimeSeries
+	// sources maps a series' Source name to its Tid (first declaration
+	// wins on duplicates); built in Open, immutable afterwards. External
+	// protocols that address series by name — Prometheus remote write's
+	// __name__ label — resolve through it.
+	sources map[string]Tid
 
 	// shards holds one ingestion shard per group. The map is built in
 	// Open and immutable afterwards, so the ingestion hot path reads it
@@ -281,6 +312,17 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.SlowQueryThreshold < 0 {
 		return nil, fmt.Errorf("modelardb: SlowQueryThreshold %v is negative; use 0 to disable the slow-query log or a positive threshold", cfg.SlowQueryThreshold)
 	}
+	if cfg.HTTPRateLimit < 0 {
+		return nil, fmt.Errorf("modelardb: HTTPRateLimit %g is negative; use 0 to disable rate limiting or a positive requests-per-second rate", cfg.HTTPRateLimit)
+	}
+	for _, tok := range cfg.HTTPTokens {
+		if tok.Token == "" {
+			return nil, errors.New("modelardb: HTTPTokens contains an empty token")
+		}
+		if tok.Rate < 0 {
+			return nil, fmt.Errorf("modelardb: HTTP token rate %g is negative; use 0 to inherit HTTPRateLimit or a positive rate", tok.Rate)
+		}
+	}
 	if _, err := wal.ParsePolicy(cfg.WALFsync); err != nil {
 		return nil, fmt.Errorf("modelardb: %w", err)
 	}
@@ -341,6 +383,14 @@ func Open(cfg Config) (*DB, error) {
 	db.engine.SetObserver(qo)
 	db.registerStateMetrics()
 	db.series = db.meta.AllSeries()
+	db.sources = make(map[string]Tid, len(db.series))
+	for _, ts := range db.series {
+		if ts.Source != "" {
+			if _, dup := db.sources[ts.Source]; !dup {
+				db.sources[ts.Source] = ts.Tid
+			}
+		}
+	}
 	db.initShards()
 	if cfg.WALDir != "" {
 		if err := db.openWAL(); err != nil {
@@ -1026,6 +1076,15 @@ func (db *DB) GroupMembers(gid Gid) []Tid { return db.meta.TidsOf(gid) }
 
 // NumSeries returns the number of registered series.
 func (db *DB) NumSeries() int { return db.meta.NumSeries() }
+
+// TidOfSource resolves a series by its configured Source name (the
+// first declaration wins when sources collide). Wire protocols that
+// name series instead of numbering them — Prometheus remote write's
+// __name__ label, for one — use it to map names onto Tids.
+func (db *DB) TidOfSource(source string) (Tid, bool) {
+	tid, ok := db.sources[source]
+	return tid, ok
+}
 
 // Metadata exposes the metadata cache for cluster components.
 func (db *DB) Metadata() *core.MetadataCache { return db.meta }

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Offline markdown link check over README.md and docs/: every inline
+# intra-repo link must point at an existing file, and a #fragment must
+# match a heading in the target (GitHub anchor rules: lowercased,
+# punctuation stripped, spaces to dashes). External http(s)/mailto
+# links are skipped — CI must not depend on the network — and so are
+# site-relative links that escape the repository root (the CI badge's
+# ../../actions path is a GitHub web URL, not a file).
+# Run via `make docs-check`.
+set -eu
+cd "$(dirname "$0")/.."
+ROOT=$PWD
+
+fail=0
+complain() {
+	echo "check-links: $1" >&2
+	fail=1
+}
+
+# anchors_of prints the GitHub-style anchor of every heading in a file.
+anchors_of() {
+	grep -E '^#{1,6} ' "$1" 2>/dev/null |
+		sed -E 's/^#+ +//' |
+		tr '[:upper:]' '[:lower:]' |
+		sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+for f in README.md docs/*.md; do
+	dir=$(dirname "$f")
+	# Inline links/images: the (...) right after ]. Good enough for this
+	# repo's markdown; reference-style links are not used.
+	while IFS= read -r link; do
+		case "$link" in
+		'' | http://* | https://* | mailto:*) continue ;;
+		esac
+		target=${link%%#*}
+		frag=''
+		case "$link" in *'#'*) frag=${link#*#} ;; esac
+		if [ -z "$target" ]; then
+			path=$f # same-file fragment
+		else
+			path=$dir/$target
+		fi
+		abs=$(realpath -m "$path")
+		case "$abs" in
+		"$ROOT"/*) ;;
+		*) continue ;; # site-relative (e.g. the CI badge), not a repo file
+		esac
+		if [ ! -e "$abs" ]; then
+			complain "$f: broken link '$link' ($path does not exist)"
+			continue
+		fi
+		if [ -n "$frag" ]; then
+			case "$path" in
+			*.md)
+				if ! anchors_of "$abs" | grep -qx "$frag"; then
+					complain "$f: link '$link' names a missing anchor #$frag"
+				fi
+				;;
+			esac
+		fi
+	done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "check-links: README.md and docs/ links OK"

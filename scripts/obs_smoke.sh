@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Observability smoke: boots a real modelardbd with the admin endpoint
 # enabled, bulk loads a few points, runs one query over the line
-# protocol, and then asserts the full admin surface end to end —
-# /metrics exposes the ingest/query/WAL/RPC families with the expected
-# live values, /statusz parses as a JSON snapshot, /debug/pprof/heap
-# answers, and the slow-query log fired with per-stage timings.
+# protocol, drives an authenticated append + query through the HTTP
+# API (and asserts the 401 path), and then asserts the full admin
+# surface end to end — /metrics exposes the ingest/query/WAL/RPC/HTTP
+# families with the expected live values, /statusz parses as a JSON
+# snapshot, /debug/pprof/heap answers, and the slow-query log fired
+# with per-stage timings.
 # Run via `make obs-smoke`, which builds the two binaries first.
 set -eu
 
@@ -35,6 +37,8 @@ series s1 1000 Location=A
 series s2 1000 Location=B
 # 1ns: every query counts as slow, so the smoke can assert the log line.
 slow_query_threshold 1ns
+# The HTTP API requires this bearer token (the admin surface stays open).
+http_token smoke-token
 EOF
 printf 'tid,ts,value\n1,0,5\n1,1000,5\n2,0,7\n2,1000,7\n' >"$DIR/points.csv"
 
@@ -58,6 +62,25 @@ ADDR=$(sed -n 's/.*modelardbd listening on \([0-9.:]*\).*/\1/p' "$DIR/out.log")
 echo 'SELECT SUM_S(*) FROM Segment' | "$CLI" -addr "$ADDR" >"$DIR/query.out"
 grep -q '^24$' "$DIR/query.out" || fail "unexpected query result" "$DIR/query.out"
 
+# The HTTP API, mounted on the same endpoint: an unauthenticated
+# request is a 401, an authenticated append (source-addressed) and
+# query round-trip, and both show up in the per-endpoint metrics.
+code=$(curl -s -o "$DIR/unauth.out" -w '%{http_code}' -X POST \
+	-d 'SELECT SUM_S(*) FROM Segment' "http://$ADMIN/api/v1/query")
+[ "$code" = 401 ] || fail "unauthenticated query returned $code, want 401" "$DIR/unauth.out"
+
+curl -fsS -X POST -H 'Authorization: Bearer smoke-token' \
+	-H 'Content-Type: application/json' \
+	-d '{"points":[{"source":"s1","ts":2000,"value":1},{"source":"s1","ts":3000,"value":1}],"flush":true}' \
+	"http://$ADMIN/api/v1/append" >"$DIR/append.out" ||
+	fail "HTTP append failed" "$DIR/append.out" "$DIR/out.log"
+grep -q '"appended":2' "$DIR/append.out" || fail "unexpected append response" "$DIR/append.out"
+
+curl -fsS -X POST -H 'Authorization: Bearer smoke-token' \
+	-d 'SELECT SUM_S(*) FROM Segment' "http://$ADMIN/api/v1/query" >"$DIR/httpquery.out" ||
+	fail "HTTP query failed" "$DIR/out.log"
+grep -q '"rows":\[\[26\]\]' "$DIR/httpquery.out" || fail "unexpected HTTP query result" "$DIR/httpquery.out"
+
 curl -fsS "http://$ADMIN/metrics" >"$DIR/metrics.out" ||
 	fail "/metrics unreachable" "$DIR/out.log"
 while IFS= read -r want; do
@@ -70,17 +93,23 @@ done <<'EOF'
 # TYPE modelardb_query_stage_seconds histogram
 # TYPE modelardb_wal_fsync_seconds histogram
 # TYPE modelardb_rpc_server_seconds histogram
+# TYPE modelardb_http_requests_total counter
+# TYPE modelardb_http_request_seconds histogram
 # TYPE modelardb_series gauge
-modelardb_ingested_points_total 4
-modelardb_queries_total 1
-modelardb_slow_queries_total 1
+modelardb_ingested_points_total 6
+modelardb_queries_total 2
+modelardb_slow_queries_total 2
 modelardb_series 2
-modelardb_query_stage_seconds_count{stage="scan"} 1
+modelardb_query_stage_seconds_count{stage="scan"} 2
+modelardb_http_requests_total{endpoint="append"} 1
+modelardb_http_requests_total{endpoint="query"} 1
+modelardb_http_rejected_total{endpoint="query",reason="unauthorized"} 1
+modelardb_http_request_seconds_count{endpoint="query"} 1
 EOF
 
 curl -fsS "http://$ADMIN/statusz" >"$DIR/statusz.out" ||
 	fail "/statusz unreachable" "$DIR/out.log"
-grep -q '"modelardb_ingested_points_total":4' "$DIR/statusz.out" ||
+grep -q '"modelardb_ingested_points_total":6' "$DIR/statusz.out" ||
 	fail "/statusz snapshot wrong" "$DIR/statusz.out"
 
 curl -fsS "http://$ADMIN/debug/pprof/heap?debug=1" >"$DIR/heap.out" ||
@@ -89,4 +118,4 @@ grep -q 'heap profile' "$DIR/heap.out" || fail "not a heap profile" "$DIR/heap.o
 
 grep -q 'slow query' "$DIR/out.log" || fail "slow-query log line missing" "$DIR/out.log"
 
-echo "obs-smoke: admin endpoint, exposition, pprof and slow-query log OK"
+echo "obs-smoke: admin endpoint, HTTP API, exposition, pprof and slow-query log OK"
